@@ -1,0 +1,72 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports.  Absolute numbers differ (our
+substrate is a from-scratch simulator, not the authors' testbed); the
+*shape* — who wins, by roughly what factor, where crossovers fall — is the
+reproduction target and is asserted.
+
+Set ``QONCORD_BENCH_SCALE=full`` for paper-sized runs (50 restarts, 9-14
+qubit instances); the default ``small`` keeps the whole suite in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noise import ibmq_kolkata, ibmq_toronto, ionq_forte
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+FULL = os.environ.get("QONCORD_BENCH_SCALE", "small") == "full"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Benchmark sizing knobs."""
+
+    restarts: int = 50 if FULL else 10
+    iterations: int = 100 if FULL else 40
+    qaoa_nodes: int = 7
+    qaoa_nodes_large: int = 9 if FULL else 7
+    queue_jobs: int = 1000 if FULL else 400
+    hellinger_samples: int = 100 if FULL else 30
+    trajectory_qubits: int = 14 if FULL else 10
+
+
+SCALE = Scale()
+
+
+def seven_qubit_problem():
+    """The 7-node Erdős–Rényi MaxCut instance used across the benches."""
+    return MaxCutProblem.random(SCALE.qaoa_nodes, 0.5, seed=1)
+
+
+def large_problem():
+    return MaxCutProblem.random(SCALE.qaoa_nodes_large, 0.5, seed=4)
+
+
+def standard_devices():
+    return ibmq_toronto(), ibmq_kolkata()
+
+
+def three_tier_devices():
+    return ibmq_toronto(), ibmq_kolkata(), ionq_forte()
+
+
+def mean_ar(problem, energies):
+    return float(np.mean([problem.approximation_ratio(e) for e in energies]))
+
+
+def once(benchmark, fn):
+    """Run a benchmark body exactly once (these are simulations, not
+    microbenchmarks) and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_series(title, rows):
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + row)

@@ -1,0 +1,72 @@
+"""Fig 1: motivation timeline — Qoncord vs single-device baselines.
+
+Reproduces the opening claim: running everything on the high-fidelity,
+high-load device (ibmq_kolkata, 3x the pending jobs) gives the best
+quality but long time-to-solution; the low-fidelity device is fast but
+inaccurate; Qoncord explores on the LF device and fine-tunes on the HF
+device, reaching HF-class quality substantially faster (paper: 2.14x for
+this single-task view).
+"""
+
+import numpy as np
+
+from benchmarks._helpers import once, print_series, seven_qubit_problem
+from repro.core import Qoncord, VQAJob
+from repro.noise import ibmq_kolkata, ibmq_toronto
+from repro.vqa import QAOAAnsatz
+
+
+def test_fig01_timeline(benchmark):
+    problem = seven_qubit_problem()
+    job = VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=1),
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=8,
+        max_iterations_per_stage=40,
+        name="fig1",
+    )
+    q = Qoncord(seed=0, min_fidelity=0.02, patience=8)
+
+    def run():
+        rows = {}
+        # The paper's baseline runs every iteration of every restart
+        # end-to-end on one device with no early termination.
+        base_hf = q.run_single_device_baseline(
+            job, ibmq_kolkata(), use_convergence_checker=False
+        )
+        base_lf = q.run_single_device_baseline(
+            job, ibmq_toronto(), use_convergence_checker=False
+        )
+        qon = q.run(job, [ibmq_toronto(), ibmq_kolkata()])
+        rows["hf"] = (
+            problem.approximation_ratio(base_hf.best.final_energy),
+            base_hf.total_seconds,
+        )
+        rows["lf"] = (
+            problem.approximation_ratio(base_lf.best.final_energy),
+            base_lf.total_seconds,
+        )
+        rows["qoncord"] = (
+            problem.approximation_ratio(qon.best_energy),
+            qon.total_seconds,
+        )
+        print_series(
+            "Fig 1: quality vs modelled time-to-solution",
+            [
+                f"{name:8s} AR={ar:.3f} time={t:8.0f}s"
+                for name, (ar, t) in rows.items()
+            ],
+        )
+        speedup = rows["hf"][1] / rows["qoncord"][1]
+        print(f"  qoncord speedup vs HF-only: {speedup:.2f}x")
+        return rows, speedup
+
+    rows, speedup = once(benchmark, run)
+    benchmark.extra_info["speedup_vs_hf"] = speedup
+    # Shape assertions: HF-only is slowest; Qoncord is materially faster
+    # than HF-only while staying within a few points of its quality.
+    assert rows["hf"][1] > rows["lf"][1]
+    assert speedup > 1.3
+    assert rows["qoncord"][0] > rows["lf"][0] - 0.05
+    assert rows["qoncord"][0] > rows["hf"][0] - 0.08

@@ -1,0 +1,40 @@
+"""Fig 6: intermediate values (at 40% of iterations) predict final quality.
+
+Restarts that converge well are already clustered near the best
+intermediate value — the basis of Qoncord's restart filter.
+"""
+
+from benchmarks._helpers import SCALE, once, print_series, seven_qubit_problem
+from repro.analysis import collect_scatter
+from repro.vqa import QAOAAnsatz
+
+
+def test_fig06_intermediate_final_scatter(benchmark):
+    problem = seven_qubit_problem()
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+
+    def run():
+        scatter = collect_scatter(
+            ansatz,
+            problem.hamiltonian,
+            None,
+            num_restarts=max(10, SCALE.restarts),
+            total_iterations=SCALE.iterations,
+            intermediate_fraction=0.4,
+            seed=11,
+        )
+        rows = [
+            f"restart {p.restart_index:2d}: intermediate={p.intermediate_energy:7.3f} "
+            f"final={p.final_energy:7.3f}"
+            for p in scatter.points
+        ]
+        rows.append(f"pearson corr = {scatter.correlation():.3f}")
+        rows.append(f"top-cluster recall = {scatter.top_cluster_recall():.2f}")
+        print_series("Fig 6: intermediate (40%) vs final energies", rows)
+        return scatter
+
+    scatter = once(benchmark, run)
+    benchmark.extra_info["correlation"] = scatter.correlation()
+    # Shape: intermediate values are informative about final quality.
+    assert scatter.correlation() > 0.3
+    assert scatter.top_cluster_recall() >= 0.4

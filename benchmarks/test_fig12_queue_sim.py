@@ -1,0 +1,60 @@
+"""Fig 12: fidelity-throughput frontier of the scheduling policies.
+
+1000 jobs (scaled), 10 hypothetical devices with fidelities 0.3-0.9, VQA
+job ratios 0.1-0.9.  Qoncord should sit closest to the ideal top-right
+corner: near-BestFidelity quality at near-LeastBusy throughput.
+"""
+
+import numpy as np
+
+from benchmarks._helpers import SCALE, once, print_series
+from repro.cloud import (
+    generate_workload,
+    hypothetical_fleet,
+    standard_policies,
+    sweep_policies,
+)
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig12_policy_frontier(benchmark):
+    def run():
+        table = {}
+        for ratio in RATIOS:
+            workload = generate_workload(
+                num_jobs=SCALE.queue_jobs, vqa_ratio=ratio, seed=42
+            )
+            results = sweep_policies(
+                standard_policies(), workload, hypothetical_fleet, seed=1
+            )
+            for name, res in results.items():
+                table[(name, ratio)] = (
+                    res.mean_relative_fidelity(),
+                    res.throughput,
+                )
+        rows = []
+        for name in sorted({k[0] for k in table}):
+            cells = "  ".join(
+                f"r{ratio}: f={table[(name, ratio)][0]:.2f}/t={table[(name, ratio)][1]:.2f}"
+                for ratio in RATIOS
+            )
+            rows.append(f"{name:18s} {cells}")
+        print_series("Fig 12: relative fidelity / throughput per VQA ratio", rows)
+        return table
+
+    table = once(benchmark, run)
+    for ratio in RATIOS:
+        fid = {n: table[(n, ratio)][0] for n, r in table if r == ratio}
+        thr = {n: table[(n, ratio)][1] for n, r in table if r == ratio}
+        # Best-fidelity: perfect quality, catastrophic throughput.
+        assert fid["best_fidelity"] > 0.999
+        assert thr["best_fidelity"] < 0.5 * thr["least_busy"]
+        # Least-busy/EQC: high throughput, poor quality.
+        assert fid["least_busy"] < fid["qoncord"]
+        # Qoncord dominates: close to best fidelity at useful throughput.
+        assert fid["qoncord"] > 0.8
+        assert thr["qoncord"] > 3.0 * thr["best_fidelity"]
+        # EQC pays its 2x execution overhead yet still schedules least-busy:
+        # quality no better than least_busy's neighbourhood.
+        assert fid["eqc"] < fid["qoncord"]

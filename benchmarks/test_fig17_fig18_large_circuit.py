@@ -1,0 +1,64 @@
+"""Figs 17 & 18: the 14-qubit study on hypothetical depolarizing devices.
+
+The paper's largest instance needed GPU density-matrix simulation; we use
+the Monte-Carlo trajectory backend (exact in expectation for these
+depolarizing + readout models) with the paper's 0.1%/0.5%/1% error tiers.
+"""
+
+import numpy as np
+
+from benchmarks._helpers import SCALE, mean_ar, once, print_series
+from repro.core import Qoncord, VQAJob
+from repro.noise import hypothetical_hf, hypothetical_lf, hypothetical_mf
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+NODES = SCALE.trajectory_qubits
+RESTARTS = 4 if SCALE.restarts < 50 else 12
+ITERS = 25 if SCALE.restarts < 50 else 60
+
+
+def test_fig17_fig18_fourteen_qubit(benchmark):
+    problem = MaxCutProblem.random(NODES, 0.5, seed=14)
+    job = VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=1),
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=RESTARTS,
+        max_iterations_per_stage=ITERS,
+        name="fig17",
+    )
+    lf, mf, hf = hypothetical_lf(), hypothetical_mf(), hypothetical_hf()
+    q = Qoncord(seed=0, min_fidelity=0.01, patience=6)
+    points = job.initial_points(seed=7)
+
+    def run():
+        singles = {}
+        for device in (lf, mf, hf):
+            base = q.run_single_device_baseline(job, device, initial_points=points)
+            singles[device.name] = (
+                mean_ar(problem, base.energies),
+                base.total_circuits,
+            )
+        qon = q.run(job, [lf, mf, hf], initial_points=points)
+        qon_mean = mean_ar(problem, qon.final_energies)
+        rows = [
+            f"{name:16s} meanAR={m:.3f} circuits={c}"
+            for name, (m, c) in singles.items()
+        ]
+        rows.append(
+            f"{'qoncord':16s} meanAR={qon_mean:.3f} circuits={qon.circuits_per_device}"
+        )
+        print_series(f"Figs 17/18: {NODES}-qubit QAOA, hypothetical tiers", rows)
+        return singles, qon, qon_mean
+
+    singles, qon, qon_mean = once(benchmark, run)
+    # HF (0.1% depolarizing) beats LF (1%) as a single device.
+    assert singles["hypothetical_hf"][0] >= singles["hypothetical_lf"][0] - 0.02
+    # Qoncord is competitive with the best single tier.
+    best_single = max(m for m, _ in singles.values())
+    assert qon_mean >= best_single - 0.05
+    # Fig 18 shape: the low tier takes the largest execution share.
+    assert (
+        qon.circuits_per_device["hypothetical_lf"]
+        >= qon.circuits_per_device["hypothetical_hf"]
+    )

@@ -1,0 +1,45 @@
+"""Cloud-scale queue simulation (paper Fig 12).
+
+Simulates a 1000-job workload (tasks + runtime VQA sessions) over ten
+hypothetical devices with execution fidelities 0.3-0.9, under all six
+scheduling policies.  Prints the fidelity-throughput frontier: Qoncord
+should be the only policy near the top-right corner.
+
+Run:  python examples/cloud_queue.py
+"""
+
+from repro.cloud import (
+    generate_workload,
+    hypothetical_fleet,
+    standard_policies,
+    sweep_policies,
+)
+
+
+def main() -> None:
+    fleet = hypothetical_fleet(num_devices=10, fidelity_range=(0.3, 0.9))
+    print("device fleet:")
+    for device in fleet:
+        print(f"  {device.name}  fidelity={device.fidelity:.2f} "
+              f"speed={device.speed_factor:.2f}")
+
+    for vqa_ratio in (0.1, 0.5, 0.9):
+        workload = generate_workload(
+            num_jobs=1000, vqa_ratio=vqa_ratio, seed=42
+        )
+        results = sweep_policies(
+            standard_policies(), workload, hypothetical_fleet, seed=1
+        )
+        print(f"\nVQA job ratio = {vqa_ratio:.0%} "
+              f"({workload.total_executions} circuit executions)")
+        print(f"  {'policy':20s} {'rel. fidelity':>14s} {'throughput':>11s} "
+              f"{'mean turnaround':>16s}")
+        for name, res in sorted(
+            results.items(), key=lambda kv: -kv[1].mean_relative_fidelity()
+        ):
+            print(f"  {name:20s} {res.mean_relative_fidelity():>14.3f} "
+                  f"{res.throughput:>11.3f} {res.mean_turnaround():>15.0f}s")
+
+
+if __name__ == "__main__":
+    main()

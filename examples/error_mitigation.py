@@ -1,0 +1,99 @@
+"""Error-mitigation ladder on a hardware-efficient ansatz (paper Fig 3).
+
+Applies the four mitigation techniques cumulatively — dynamical
+decoupling, TREX readout mitigation, Pauli twirling, zero-noise
+extrapolation — to a two-local circuit on a noisy device model with both
+stochastic (depolarizing, T1/T2, readout) and coherent (idle drift, ZZ
+over-rotation) error components, and reports the fidelity/latency
+trade-off each step buys.
+
+Run:  python examples/error_mitigation.py
+"""
+
+import numpy as np
+
+from repro.circuits import Hamiltonian, PauliString
+from repro.mitigation import (
+    ReadoutMitigator,
+    apply_dynamical_decoupling,
+    circuit_duration,
+    fold_global,
+    linear_extrapolate,
+    schedule_idle_delays,
+    twirl_circuit,
+)
+from repro.noise import GateErrorSpec, NoiseModel
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+from repro.vqa import TwoLocalAnsatz
+
+NUM_QUBITS = 6
+
+
+def main() -> None:
+    noise_model = NoiseModel(
+        name="example-device",
+        spec_1q=GateErrorSpec(0.0004, 35e-9),
+        spec_2q=GateErrorSpec(0.008, 450e-9),
+        t1=120e-6,
+        t2=100e-6,
+        readout_error=0.03,
+        readout_duration=750e-9,
+        static_phase_drift=2e5,
+        coherent_2q_angle=0.06,
+    )
+    ansatz = TwoLocalAnsatz(NUM_QUBITS, reps=2)
+    circuit = ansatz.bind(ansatz.random_parameters(np.random.default_rng(7)))
+    observable = Hamiltonian(NUM_QUBITS)
+    for i in range(NUM_QUBITS - 1):
+        observable.add_term(
+            1.0, PauliString.from_sparse(NUM_QUBITS, {i: "Z", i + 1: "Z"})
+        )
+
+    ideal = StatevectorSimulator().expectation(circuit, observable)
+    backend = DensityMatrixSimulator(noise_model)
+    scheduled = schedule_idle_delays(circuit, noise_model)
+    mitigator = ReadoutMitigator(
+        noise_model.readout_flip_probabilities(NUM_QUBITS)
+    )
+    rng = np.random.default_rng(3)
+
+    def twirled_probs(circ, samples=6):
+        acc = None
+        for _ in range(samples):
+            p = backend.probabilities(twirl_circuit(circ, rng))
+            acc = p if acc is None else acc + p
+        return acc / samples
+
+    print(f"ideal <H> = {ideal:.4f}\n")
+    print(f"{'mode':12s} {'<H>':>8s} {'|error|':>8s} {'latency':>10s}")
+
+    def report(mode, value, latency):
+        print(f"{mode:12s} {value:8.4f} {abs(value - ideal):8.4f} "
+              f"{latency * 1e6:8.1f}us")
+
+    base_latency = circuit_duration(scheduled, noise_model)
+    report("none", backend.expectation(scheduled, observable), base_latency)
+
+    decoupled = apply_dynamical_decoupling(scheduled, noise_model)
+    report("+DD", backend.expectation(decoupled, observable),
+           circuit_duration(decoupled, noise_model))
+
+    probs = mitigator.mitigate_probabilities(backend.probabilities(decoupled))
+    report("+TREX", float(np.dot(probs, observable.diagonal())),
+           circuit_duration(decoupled, noise_model))
+
+    probs = mitigator.mitigate_probabilities(twirled_probs(decoupled))
+    report("+Twirling", float(np.dot(probs, observable.diagonal())),
+           circuit_duration(decoupled, noise_model) * 6)
+
+    values = []
+    for scale in (1, 3):
+        folded = fold_global(decoupled, scale)
+        p = mitigator.mitigate_probabilities(twirled_probs(folded))
+        values.append(float(np.dot(p, observable.diagonal())))
+    report("+ZNE", linear_extrapolate([1, 3], values),
+           circuit_duration(decoupled, noise_model) * 6 * 4)
+
+
+if __name__ == "__main__":
+    main()

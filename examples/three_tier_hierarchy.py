@@ -1,0 +1,58 @@
+"""Three-tier device hierarchy (paper Section VI-C, Figs 15/16).
+
+Qoncord generalizes beyond an LF/HF pair: this example schedules a QAOA
+task across ibmq_toronto (LF, superconducting), ibmq_kolkata (MF,
+superconducting) and IonQ-Forte (HF, trapped-ion, all-to-all — note the
+different transpilation basis).  Restarts are progressively filtered and
+promoted up the hierarchy.
+
+Run:  python examples/three_tier_hierarchy.py
+"""
+
+import numpy as np
+
+from repro.core import Qoncord, VQAJob
+from repro.noise import ibmq_kolkata, ibmq_toronto, ionq_forte
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+
+def main() -> None:
+    problem = MaxCutProblem.random(num_nodes=7, edge_probability=0.5, seed=4)
+    job = VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=1),
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=8,
+        max_iterations_per_stage=35,
+        name="three-tier",
+    )
+    devices = [ibmq_kolkata(), ionq_forte(), ibmq_toronto()]  # any order
+    qoncord = Qoncord(seed=0, min_fidelity=0.01)
+    result = qoncord.run(job, devices)
+
+    print(f"problem: {problem}")
+    print(f"hierarchy (ranked by Eq 1): {result.device_order}")
+    print(f"estimated fidelities: "
+          f"{ {k: round(v, 3) for k, v in result.device_fidelities.items()} }")
+    print(f"\nfilter decisions per boundary:")
+    for i, decision in enumerate(result.filter_decisions):
+        print(f"  stage {i}: kept {decision.num_kept}, "
+              f"dropped {decision.num_dropped} "
+              f"(threshold E <= {decision.threshold:.3f})")
+    print(f"\nper-restart journeys:")
+    for trace in result.restarts:
+        stages = " -> ".join(
+            f"{s.device_name}[{s.iterations}it]" for s in trace.stages
+        )
+        status = (
+            f"final AR={problem.approximation_ratio(trace.final_energy):.3f}"
+            if trace.survived
+            else f"terminated at stage {trace.terminated_at_stage}"
+        )
+        print(f"  restart {trace.restart_index}: {stages}  {status}")
+    print(f"\ncircuits per device: {result.circuits_per_device}")
+    print(f"best AR: {problem.approximation_ratio(result.best_energy):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""VQE on molecular hydrogen with a UCCSD ansatz (paper Section VI-F).
+
+Derives the 4-qubit Jordan–Wigner H2 Hamiltonian from STO-3G integrals,
+builds the UCCSD circuit from exact fermionic excitation generators, and
+trains it three ways: noise-free, HF-device-only, and Qoncord-scheduled
+across the toronto/kolkata pair.  The chemistry yardstick: recover the
+~20 mHa correlation energy below the Hartree–Fock reference.
+
+Run:  python examples/vqe_h2.py
+"""
+
+import numpy as np
+
+from repro.core import Qoncord, VQAJob
+from repro.noise import ibmq_kolkata, ibmq_toronto
+from repro.sim import StatevectorSimulator
+from repro.vqa import (
+    SPSA,
+    UCCSDAnsatz,
+    h2_correlation_energy,
+    h2_ground_energy,
+    h2_hamiltonian,
+    h2_hartree_fock_energy,
+)
+
+
+def main() -> None:
+    h = h2_hamiltonian()
+    print(f"H2/STO-3G electronic Hamiltonian: {h.num_terms} Pauli terms")
+    print(f"  Hartree-Fock energy : {h2_hartree_fock_energy():.6f} Ha")
+    print(f"  FCI (exact) energy  : {h2_ground_energy():.6f} Ha")
+    print(f"  correlation energy  : {h2_correlation_energy() * 1000:.2f} mHa")
+
+    ansatz = UCCSDAnsatz(num_modes=4, num_particles=2)
+    print(f"\nansatz: {ansatz}")
+    print(f"  excitations: {ansatz.excitation_labels}")
+
+    # Noise-free VQE from the HF point.
+    sv = StatevectorSimulator()
+    result = SPSA(seed=0).minimize(
+        lambda x: sv.expectation(ansatz.bind(x), h),
+        np.zeros(ansatz.num_parameters),
+        maxiter=120,
+    )
+    print(f"\nnoise-free VQE: E = {result.fun:.6f} Ha "
+          f"(error {abs(result.fun - h2_ground_energy()) * 1000:.3f} mHa)")
+
+    # Qoncord-scheduled noisy VQE.
+    job = VQAJob(
+        ansatz=ansatz,
+        hamiltonian=h,
+        ground_energy=h2_ground_energy(),
+        num_restarts=1,
+        max_iterations_per_stage=60,
+        name="vqe-h2",
+    )
+    qoncord = Qoncord(seed=0, min_fidelity=0.01, min_keep=1)
+    hf_point = [np.zeros(ansatz.num_parameters)]
+    baseline = qoncord.run_single_device_baseline(
+        job, ibmq_kolkata(), initial_points=hf_point
+    )
+    scheduled = qoncord.run(
+        job, [ibmq_toronto(), ibmq_kolkata()], initial_points=hf_point
+    )
+    print(f"\nHF-device-only : E = {baseline.best.final_energy:.6f} Ha, "
+          f"circuits = {baseline.total_circuits}")
+    print(f"Qoncord        : E = {scheduled.best_energy:.6f} Ha, "
+          f"circuits = {scheduled.circuits_per_device}")
+    gap = abs(scheduled.best_energy - baseline.best.final_energy)
+    print(f"Qoncord is within {gap / abs(baseline.best.final_energy):.2%} "
+          f"of the HF-only energy (paper: 0.3%)")
+
+
+if __name__ == "__main__":
+    main()

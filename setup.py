@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  This shim lets ``python setup.py develop`` (and thus
+``pip install -e . --no-build-isolation --use-pep517=false`` on older
+pips) install the package the classic egg-link way.
+"""
+
+from setuptools import setup
+
+setup()

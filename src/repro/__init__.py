@@ -1,0 +1,21 @@
+"""Qoncord reproduction: multi-device job scheduling for VQAs (MICRO 2024).
+
+Layer map (bottom-up):
+
+* :mod:`repro.circuits` — circuit IR, Pauli algebra, observables.
+* :mod:`repro.transpile` — coupling maps, basis translation, routing.
+* :mod:`repro.sim` — statevector / density-matrix / trajectory simulators.
+* :mod:`repro.noise` — channels, device noise models, device profiles.
+* :mod:`repro.mitigation` — DD, TREX, twirling, ZNE.
+* :mod:`repro.vqa` — QAOA/VQE stacks, SPSA, executors, metrics.
+* :mod:`repro.core` — **Qoncord**: fidelity estimator, convergence checker,
+  restart filter, multi-device scheduler.
+* :mod:`repro.cloud` — queue simulation, scheduling policies, pricing data.
+* :mod:`repro.analysis` — landscape / clustering / entropy-arc studies.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Qoncord, VQAJob
+
+__all__ = ["Qoncord", "VQAJob", "__version__"]

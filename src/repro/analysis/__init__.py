@@ -1,0 +1,35 @@
+"""Analysis helpers behind the paper's motivation figures (4, 5, 6, 9, 10)."""
+
+from repro.analysis.clustering import (
+    IntermediateFinalScatter,
+    RestartScatterPoint,
+    collect_scatter,
+)
+from repro.analysis.entropy_arc import (
+    EntropyArc,
+    entropy_expectation_correlation,
+    hellinger_spread,
+    trace_entropy_arc,
+)
+from repro.analysis.landscape import (
+    LandscapeScan,
+    OptimizerPath,
+    direction_agreement,
+    scan_landscape,
+    trace_optimizer_path,
+)
+
+__all__ = [
+    "IntermediateFinalScatter",
+    "RestartScatterPoint",
+    "collect_scatter",
+    "EntropyArc",
+    "entropy_expectation_correlation",
+    "hellinger_spread",
+    "trace_entropy_arc",
+    "LandscapeScan",
+    "OptimizerPath",
+    "direction_agreement",
+    "scan_landscape",
+    "trace_optimizer_path",
+]

@@ -1,0 +1,107 @@
+"""Intermediate-vs-final value analysis (paper Fig 6).
+
+Runs multi-restart optimizations, records each restart's *intermediate*
+value (after 40% of the iterations) against its *final* value, and
+quantifies the paper's claim: restarts that end well were already
+clustered near the best intermediate value — so intermediate values are a
+usable quality filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.core.restart_filter import detect_clusters
+from repro.exceptions import ReproError
+from repro.noise.devices import DeviceProfile
+from repro.vqa.execution import EnergyEvaluator
+from repro.vqa.optimizers import SPSA
+
+
+@dataclass
+class RestartScatterPoint:
+    """One restart's (intermediate, final) energy pair."""
+
+    restart_index: int
+    intermediate_energy: float
+    final_energy: float
+
+
+@dataclass
+class IntermediateFinalScatter:
+    """Fig 6's scatter data for one problem instance."""
+
+    points: List[RestartScatterPoint]
+    intermediate_fraction: float
+
+    @property
+    def intermediates(self) -> np.ndarray:
+        return np.array([p.intermediate_energy for p in self.points])
+
+    @property
+    def finals(self) -> np.ndarray:
+        return np.array([p.final_energy for p in self.points])
+
+    def correlation(self) -> float:
+        """Pearson correlation between intermediate and final energies."""
+        if len(self.points) < 3:
+            raise ReproError("need >= 3 restarts for a correlation")
+        return float(np.corrcoef(self.intermediates, self.finals)[0, 1])
+
+    def top_cluster_recall(self, top_fraction: float = 0.4) -> float:
+        """Fraction of the best-final restarts found in the best
+        intermediate cluster — the filter's effectiveness."""
+        n = len(self.points)
+        if n < 3:
+            raise ReproError("need >= 3 restarts")
+        k = max(1, int(round(top_fraction * n)))
+        best_final = set(np.argsort(self.finals)[:k])
+        clusters = detect_clusters(self.intermediates.tolist())
+        # The cluster containing the single best intermediate value.
+        best_int = int(np.argmin(self.intermediates))
+        best_cluster = next(c for c in clusters if best_int in c)
+        hits = len(best_final & set(best_cluster))
+        return hits / k
+
+
+def collect_scatter(
+    ansatz,
+    hamiltonian: Hamiltonian,
+    device: Optional[DeviceProfile],
+    num_restarts: int = 20,
+    total_iterations: int = 60,
+    intermediate_fraction: float = 0.4,
+    seed: int = 0,
+) -> IntermediateFinalScatter:
+    """Run restarts and collect Fig 6's (intermediate, final) pairs."""
+    if not 0.0 < intermediate_fraction < 1.0:
+        raise ReproError("intermediate_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    cut = max(1, int(round(total_iterations * intermediate_fraction)))
+    points: List[RestartScatterPoint] = []
+    for restart in range(num_restarts):
+        evaluator = EnergyEvaluator(ansatz, hamiltonian, device, seed=seed + restart)
+        optimizer = SPSA(seed=seed * 977 + restart)
+        optimizer.reset(ansatz.random_parameters(rng))
+        intermediate = None
+        values = []
+        for iteration in range(total_iterations):
+            record = optimizer.step(evaluator)
+            values.append(record.value)
+            if iteration + 1 == cut:
+                intermediate = float(np.mean(values[-3:])) if len(values) >= 3 else record.value
+        final = float(evaluator(optimizer.params))
+        points.append(
+            RestartScatterPoint(
+                restart_index=restart,
+                intermediate_energy=intermediate,
+                final_energy=final,
+            )
+        )
+    return IntermediateFinalScatter(
+        points=points, intermediate_fraction=intermediate_fraction
+    )

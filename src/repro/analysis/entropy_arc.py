@@ -1,0 +1,103 @@
+"""Entropy-vs-expectation trajectory analysis (paper Figs 9 and 10).
+
+Fig 10: as training converges, the output distribution's Shannon entropy
+traces an arc — from the (low-entropy) starting point through high-entropy
+average-case distributions down towards the (low-entropy) solution.  Noisy
+devices fail to resolve the downward leg.  Fig 9: the Hellinger fidelity
+of a fixed circuit varies widely with its parameter values, which is why
+a static estimate like PCorrect cannot track optimization progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.exceptions import ReproError
+from repro.noise.devices import DeviceProfile
+from repro.sim.result import hellinger_fidelity, shannon_entropy
+from repro.vqa.execution import EnergyEvaluator
+from repro.vqa.optimizers import SPSA
+
+
+@dataclass
+class EntropyArc:
+    """One training run's (expectation, entropy) trajectory."""
+
+    device_name: str
+    expectations: List[float]
+    entropies: List[float]
+
+    def entropy_range(self) -> Tuple[float, float]:
+        return min(self.entropies), max(self.entropies)
+
+    def resolves_arc(self, drop_fraction: float = 0.1) -> bool:
+        """Did entropy come back down from its peak by a meaningful margin?
+
+        The paper's high-fidelity device resolves the full arc (rise then
+        fall); the noisy device plateaus near max entropy.
+        """
+        peak = max(self.entropies)
+        tail = self.entropies[-1]
+        lo, hi = self.entropy_range()
+        if hi == lo:
+            return False
+        return (peak - tail) / (hi - lo) >= drop_fraction
+
+
+def trace_entropy_arc(
+    ansatz,
+    hamiltonian: Hamiltonian,
+    device: Optional[DeviceProfile],
+    initial_point,
+    iterations: int = 60,
+    seed: int = 0,
+) -> EntropyArc:
+    """Train once, recording (expectation, entropy) per iteration."""
+    evaluator = EnergyEvaluator(ansatz, hamiltonian, device, seed=seed)
+    optimizer = SPSA(seed=seed)
+    optimizer.reset(np.asarray(initial_point, dtype=float))
+    expectations: List[float] = []
+    entropies: List[float] = []
+    for _ in range(iterations):
+        record = optimizer.step(evaluator)
+        expectations.append(record.value)
+        entropies.append(evaluator.last_evaluation.entropy)
+    return EntropyArc(
+        device_name=device.name if device else "ideal",
+        expectations=expectations,
+        entropies=entropies,
+    )
+
+
+def entropy_expectation_correlation(arc: EntropyArc) -> float:
+    """Correlation between entropy and expectation along a run (generally
+    negative early — entropy rises while energy falls — and complex later,
+    which is exactly why Qoncord requires *both* signals to saturate)."""
+    if len(arc.expectations) < 3:
+        raise ReproError("need >= 3 iterations")
+    return float(np.corrcoef(arc.expectations, arc.entropies)[0, 1])
+
+
+def hellinger_spread(
+    ansatz,
+    hamiltonian: Hamiltonian,
+    device: DeviceProfile,
+    num_parameter_sets: int = 50,
+    seed: int = 0,
+) -> np.ndarray:
+    """Fig 9: Hellinger fidelity (noisy vs ideal output distribution) of a
+    fixed ansatz over random parameter sets."""
+    rng = np.random.default_rng(seed)
+    noisy = EnergyEvaluator(ansatz, hamiltonian, device, seed=seed)
+    ideal = EnergyEvaluator(ansatz, hamiltonian, None)
+    fidelities = []
+    for _ in range(num_parameter_sets):
+        params = ansatz.random_parameters(rng)
+        p_noisy = noisy.distribution(params)
+        p_ideal = ideal.distribution(params)
+        fidelities.append(hellinger_fidelity(p_noisy, p_ideal))
+    return np.array(fidelities)

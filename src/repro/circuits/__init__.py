@@ -1,0 +1,17 @@
+"""Quantum circuit substrate: gates, parameters, circuits, Paulis, observables."""
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.circuits.parameter import Parameter, ParameterExpression, ParameterVector
+from repro.circuits.pauli import PauliString, random_pauli
+
+__all__ = [
+    "Instruction",
+    "QuantumCircuit",
+    "Hamiltonian",
+    "Parameter",
+    "ParameterExpression",
+    "ParameterVector",
+    "PauliString",
+    "random_pauli",
+]

@@ -1,0 +1,404 @@
+"""Quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`Instruction` objects
+over ``num_qubits`` qubits.  It supports symbolic parameters (bound with
+:meth:`QuantumCircuit.bind`), composition, inversion of unitary circuits,
+depth and gate-count queries — everything the transpiler, simulators, and
+the Qoncord fidelity estimator need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.circuits import gates
+from repro.circuits.parameter import Parameter, ParameterExpression
+from repro.exceptions import CircuitError, ParameterError
+
+ParamValue = Union[float, ParameterExpression]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One operation in a circuit: a gate, measurement, or directive."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParamValue, ...] = ()
+    #: Free-form metadata (e.g. ``{"duration": 3.5e-8}`` for delay).
+    metadata: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def is_gate(self) -> bool:
+        return gates.is_known_gate(self.name)
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.name == "measure"
+
+    @property
+    def is_directive(self) -> bool:
+        return self.name in gates.DIRECTIVES
+
+    @property
+    def is_parameterized(self) -> bool:
+        return any(isinstance(p, ParameterExpression) for p in self.params)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of this instruction (gates only, fully bound)."""
+        if not self.is_gate:
+            raise CircuitError(f"{self.name!r} has no unitary matrix")
+        if self.is_parameterized:
+            raise ParameterError(f"{self.name!r} has unbound parameters")
+        return gates.gate_matrix(self.name, [float(p) for p in self.params])
+
+    def bound(self, values: Mapping[Parameter, float]) -> "Instruction":
+        """Return a copy with ``values`` substituted into the parameters."""
+        new_params: List[ParamValue] = []
+        for p in self.params:
+            if isinstance(p, ParameterExpression):
+                new_params.append(p.bind(values))
+            else:
+                new_params.append(p)
+        return Instruction(self.name, self.qubits, tuple(new_params), self.metadata)
+
+
+class QuantumCircuit:
+    """An ordered sequence of instructions on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # -- container protocol --------------------------------------------------
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self):
+        return iter(self._instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"ops={len(self._instructions)})"
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    def _check_qubits(self, qubits: Sequence[int]) -> Tuple[int, ...]:
+        qs = tuple(int(q) for q in qubits)
+        for q in qs:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+        if len(set(qs)) != len(qs):
+            raise CircuitError(f"duplicate qubits in {qs}")
+        return qs
+
+    def append(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        params: Sequence[ParamValue] = (),
+        metadata: Optional[Mapping[str, float]] = None,
+    ) -> "QuantumCircuit":
+        """Append an operation; returns ``self`` for chaining."""
+        qs = self._check_qubits(qubits)
+        if gates.is_known_gate(name):
+            if len(qs) != gates.GATE_ARITY[name]:
+                raise CircuitError(
+                    f"gate {name!r} acts on {gates.GATE_ARITY[name]} qubits, got {len(qs)}"
+                )
+            if len(params) != gates.GATE_NUM_PARAMS[name]:
+                raise CircuitError(
+                    f"gate {name!r} expects {gates.GATE_NUM_PARAMS[name]} params, got {len(params)}"
+                )
+        elif name not in gates.DIRECTIVES:
+            raise CircuitError(f"unknown operation {name!r}")
+        cleaned: List[ParamValue] = []
+        for p in params:
+            if isinstance(p, ParameterExpression):
+                cleaned.append(p)
+            else:
+                cleaned.append(float(p))
+        self._instructions.append(
+            Instruction(name, qs, tuple(cleaned), dict(metadata or {}))
+        )
+        return self
+
+    # Named helpers (the full gate vocabulary used by the ansatz builders).
+    def id(self, q: int):  # noqa: A003 - matches the gate name
+        return self.append("id", [q])
+
+    def x(self, q: int):
+        return self.append("x", [q])
+
+    def y(self, q: int):
+        return self.append("y", [q])
+
+    def z(self, q: int):
+        return self.append("z", [q])
+
+    def h(self, q: int):
+        return self.append("h", [q])
+
+    def s(self, q: int):
+        return self.append("s", [q])
+
+    def sdg(self, q: int):
+        return self.append("sdg", [q])
+
+    def t(self, q: int):
+        return self.append("t", [q])
+
+    def tdg(self, q: int):
+        return self.append("tdg", [q])
+
+    def sx(self, q: int):
+        return self.append("sx", [q])
+
+    def sxdg(self, q: int):
+        return self.append("sxdg", [q])
+
+    def rx(self, theta: ParamValue, q: int):
+        return self.append("rx", [q], [theta])
+
+    def ry(self, theta: ParamValue, q: int):
+        return self.append("ry", [q], [theta])
+
+    def rz(self, theta: ParamValue, q: int):
+        return self.append("rz", [q], [theta])
+
+    def p(self, lam: ParamValue, q: int):
+        return self.append("p", [q], [lam])
+
+    def u(self, theta: ParamValue, phi: ParamValue, lam: ParamValue, q: int):
+        return self.append("u", [q], [theta, phi, lam])
+
+    def cx(self, control: int, target: int):
+        return self.append("cx", [control, target])
+
+    def cz(self, a: int, b: int):
+        return self.append("cz", [a, b])
+
+    def swap(self, a: int, b: int):
+        return self.append("swap", [a, b])
+
+    def rzz(self, theta: ParamValue, a: int, b: int):
+        return self.append("rzz", [a, b], [theta])
+
+    def rxx(self, theta: ParamValue, a: int, b: int):
+        return self.append("rxx", [a, b], [theta])
+
+    def ryy(self, theta: ParamValue, a: int, b: int):
+        return self.append("ryy", [a, b], [theta])
+
+    def crz(self, theta: ParamValue, control: int, target: int):
+        return self.append("crz", [control, target], [theta])
+
+    def barrier(self, *qubits: int):
+        qs = list(qubits) if qubits else list(range(self.num_qubits))
+        return self.append("barrier", qs)
+
+    def delay(self, duration: float, q: int):
+        """Idle the qubit for ``duration`` seconds (noise accrues here)."""
+        return self.append("delay", [q], metadata={"duration": float(duration)})
+
+    def reset(self, q: int):
+        return self.append("reset", [q])
+
+    def measure(self, q: int):
+        return self.append("measure", [q])
+
+    def measure_all(self):
+        for q in range(self.num_qubits):
+            self.measure(q)
+        return self
+
+    # -- parameters ------------------------------------------------------------
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        """Free parameters, sorted by name for a deterministic order."""
+        seen: Set[Parameter] = set()
+        for inst in self._instructions:
+            for p in inst.params:
+                if isinstance(p, ParameterExpression):
+                    seen |= p.parameters
+        return sorted(seen)
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def bind(self, values: Union[Mapping[Parameter, float], Sequence[float]]) -> "QuantumCircuit":
+        """Return a new circuit with parameters substituted.
+
+        ``values`` may be a mapping, or a sequence matched against
+        :attr:`parameters` order.
+        """
+        if not isinstance(values, Mapping):
+            params = self.parameters
+            values = list(values)
+            if len(values) != len(params):
+                raise ParameterError(
+                    f"expected {len(params)} values, got {len(values)}"
+                )
+            values = dict(zip(params, values))
+        bound = QuantumCircuit(self.num_qubits, name=self.name)
+        bound._instructions = [inst.bound(values) for inst in self._instructions]
+        return bound
+
+    # -- combination ------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        c = QuantumCircuit(self.num_qubits, name=name or self.name)
+        c._instructions = list(self._instructions)
+        return c
+
+    def compose(
+        self, other: "QuantumCircuit", qubits: Optional[Sequence[int]] = None
+    ) -> "QuantumCircuit":
+        """Return ``self`` followed by ``other`` (mapped onto ``qubits``)."""
+        if qubits is None:
+            if other.num_qubits > self.num_qubits:
+                raise CircuitError("composed circuit has more qubits")
+            qubits = list(range(other.num_qubits))
+        mapping = list(qubits)
+        if len(mapping) != other.num_qubits:
+            raise CircuitError("qubit mapping length mismatch")
+        out = self.copy()
+        for inst in other:
+            out.append(
+                inst.name,
+                [mapping[q] for q in inst.qubits],
+                inst.params,
+                inst.metadata,
+            )
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Adjoint circuit (unitary instructions only, fully bound)."""
+        inv = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        adjoint_name = {
+            "s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+            "sx": "sxdg", "sxdg": "sx",
+        }
+        for inst in reversed(self._instructions):
+            if inst.is_directive:
+                if inst.name == "barrier":
+                    inv.append("barrier", inst.qubits)
+                    continue
+                if inst.name == "delay":
+                    # Logically the identity; physically the idle time (and
+                    # its noise) recurs — exactly what unitary folding wants.
+                    inv.append("delay", inst.qubits, metadata=inst.metadata)
+                    continue
+                raise CircuitError(f"cannot invert directive {inst.name!r}")
+            if inst.name in adjoint_name:
+                inv.append(adjoint_name[inst.name], inst.qubits)
+            elif inst.params:
+                inv.append(inst.name, inst.qubits, [-p for p in inst.params])
+            else:
+                # Self-inverse gates (x, y, z, h, cx, cz, swap, id).
+                inv.append(inst.name, inst.qubits)
+        return inv
+
+    def remove_measurements(self) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        out._instructions = [i for i in self._instructions if not i.is_measurement]
+        return out
+
+    # -- structural queries -------------------------------------------------------
+
+    def count_ops(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for inst in self._instructions:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return counts
+
+    def num_gates(self, arity: Optional[int] = None) -> int:
+        """Count unitary gates, optionally restricted to ``arity`` qubits."""
+        total = 0
+        for inst in self._instructions:
+            if inst.is_gate and (arity is None or inst.num_qubits == arity):
+                total += 1
+        return total
+
+    @property
+    def num_1q_gates(self) -> int:
+        return self.num_gates(arity=1)
+
+    @property
+    def num_2q_gates(self) -> int:
+        return self.num_gates(arity=2)
+
+    @property
+    def num_measurements(self) -> int:
+        return sum(1 for i in self._instructions if i.is_measurement)
+
+    def depth(self, count_measurements: bool = True) -> int:
+        """Circuit depth: longest chain of operations over any qubit path."""
+        levels = [0] * self.num_qubits
+        for inst in self._instructions:
+            if inst.name == "barrier":
+                top = max((levels[q] for q in inst.qubits), default=0)
+                for q in inst.qubits:
+                    levels[q] = top
+                continue
+            if inst.is_measurement and not count_measurements:
+                continue
+            level = max(levels[q] for q in inst.qubits) + 1
+            for q in inst.qubits:
+                levels[q] = level
+        return max(levels, default=0)
+
+    def two_qubit_depth(self) -> int:
+        """Depth counting only two-qubit gates (dominant error source)."""
+        levels = [0] * self.num_qubits
+        for inst in self._instructions:
+            if not (inst.is_gate and inst.num_qubits == 2):
+                continue
+            level = max(levels[q] for q in inst.qubits) + 1
+            for q in inst.qubits:
+                levels[q] = level
+        return max(levels, default=0)
+
+    def used_qubits(self) -> Set[int]:
+        used: Set[int] = set()
+        for inst in self._instructions:
+            used.update(inst.qubits)
+        return used
+
+    def two_qubit_pairs(self) -> Set[Tuple[int, int]]:
+        """Unordered qubit pairs touched by any 2-qubit gate."""
+        pairs: Set[Tuple[int, int]] = set()
+        for inst in self._instructions:
+            if inst.is_gate and inst.num_qubits == 2:
+                a, b = inst.qubits
+                pairs.add((min(a, b), max(a, b)))
+        return pairs
+
+    # -- dense unitary (testing / small circuits) ----------------------------------
+
+    def to_unitary(self) -> np.ndarray:
+        """Dense unitary of the circuit (no measurements; <= ~12 qubits)."""
+        from repro.sim.statevector import circuit_unitary
+
+        return circuit_unitary(self)

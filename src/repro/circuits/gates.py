@@ -1,0 +1,197 @@
+"""Gate definitions: names, arities, and unitary matrices.
+
+Conventions
+-----------
+* Qubit 0 is the least-significant bit of a basis-state index
+  (little-endian, matching Qiskit).
+* A two-qubit gate matrix is given in the basis ``|q1 q0>`` where ``q0`` is
+  the *first* qubit argument (the control for :func:`cx_matrix`) and ``q1``
+  the second.  Simulators are responsible for embedding the matrix at the
+  right qubit positions.
+* Matrices are returned as fresh ``complex128`` arrays; callers may mutate
+  them freely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+#: Gates that take no parameters, keyed by lowercase name -> (matrix, arity).
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) * SQRT2_INV
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+_T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+_TDG = np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_SXDG = _SX.conj().T.copy()
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about the X axis by angle ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by angle ``theta``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by angle ``theta``."""
+    phase = np.exp(0.5j * theta)
+    return np.array([[1.0 / phase, 0], [0, phase]], dtype=complex)
+
+
+def u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary U(theta, phi, lambda) (OpenQASM 3 ``U``)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def p_matrix(lam: float) -> np.ndarray:
+    """Phase gate diag(1, e^{i lambda})."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+def cx_matrix() -> np.ndarray:
+    """CNOT with qubit argument 0 as control (little-endian |q1 q0>)."""
+    m = np.eye(4, dtype=complex)
+    # Control is bit 0: swap |01> (index 1) with |11> (index 3).
+    m[[1, 3]] = m[[3, 1]]
+    return m
+
+
+def cz_matrix() -> np.ndarray:
+    """Controlled-Z (symmetric in its qubits)."""
+    m = np.eye(4, dtype=complex)
+    m[3, 3] = -1.0
+    return m
+
+
+def swap_matrix() -> np.ndarray:
+    """SWAP gate."""
+    m = np.eye(4, dtype=complex)
+    m[[1, 2]] = m[[2, 1]]
+    return m
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """exp(-i theta/2 Z⊗Z) — the QAOA cost-layer primitive."""
+    phase = np.exp(0.5j * theta)
+    return np.diag([1.0 / phase, phase, phase, 1.0 / phase]).astype(complex)
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    """exp(-i theta/2 X⊗X) — the native Mølmer–Sørensen-style interaction."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    m = np.eye(4, dtype=complex) * c
+    m[0, 3] = m[3, 0] = m[1, 2] = m[2, 1] = -1j * s
+    return m
+
+
+def ryy_matrix(theta: float) -> np.ndarray:
+    """exp(-i theta/2 Y⊗Y)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    m = np.eye(4, dtype=complex) * c
+    m[0, 3] = m[3, 0] = 1j * s
+    m[1, 2] = m[2, 1] = -1j * s
+    return m
+
+
+def crz_matrix(theta: float) -> np.ndarray:
+    """Controlled-RZ with qubit argument 0 as control."""
+    m = np.eye(4, dtype=complex)
+    m[1, 1] = np.exp(-0.5j * theta)
+    m[3, 3] = np.exp(0.5j * theta)
+    return m
+
+
+_FIXED: Dict[str, np.ndarray] = {
+    "id": _I,
+    "x": _X,
+    "y": _Y,
+    "z": _Z,
+    "h": _H,
+    "s": _S,
+    "sdg": _SDG,
+    "t": _T,
+    "tdg": _TDG,
+    "sx": _SX,
+    "sxdg": _SXDG,
+    "cx": cx_matrix(),
+    "cz": cz_matrix(),
+    "swap": swap_matrix(),
+}
+
+_PARAMETRIC: Dict[str, Callable[..., np.ndarray]] = {
+    "rx": rx_matrix,
+    "ry": ry_matrix,
+    "rz": rz_matrix,
+    "p": p_matrix,
+    "u": u_matrix,
+    "rzz": rzz_matrix,
+    "rxx": rxx_matrix,
+    "ryy": ryy_matrix,
+    "crz": crz_matrix,
+}
+
+#: Number of qubits each gate acts on.
+GATE_ARITY: Dict[str, int] = {
+    **{name: 1 for name in ("id", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+                            "sx", "sxdg", "rx", "ry", "rz", "p", "u")},
+    **{name: 2 for name in ("cx", "cz", "swap", "rzz", "rxx", "ryy", "crz")},
+}
+
+#: Number of float parameters each gate takes.
+GATE_NUM_PARAMS: Dict[str, int] = {
+    **{name: 0 for name in _FIXED},
+    **{name: 1 for name in ("rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "crz")},
+    "u": 3,
+}
+
+#: Names recognised as non-unitary circuit directives.
+DIRECTIVES = frozenset({"measure", "barrier", "delay", "reset"})
+
+
+def is_known_gate(name: str) -> bool:
+    """Whether ``name`` is a unitary gate this library understands."""
+    return name in GATE_ARITY
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix for gate ``name`` with bound ``params``.
+
+    Raises:
+        CircuitError: for unknown gates or wrong parameter counts.
+    """
+    if name in _FIXED:
+        if params:
+            raise CircuitError(f"gate {name!r} takes no parameters")
+        return _FIXED[name].copy()
+    if name in _PARAMETRIC:
+        expected = GATE_NUM_PARAMS[name]
+        if len(params) != expected:
+            raise CircuitError(
+                f"gate {name!r} expects {expected} parameter(s), got {len(params)}"
+            )
+        return _PARAMETRIC[name](*[float(p) for p in params])
+    raise CircuitError(f"unknown gate {name!r}")

@@ -1,0 +1,255 @@
+"""Observables as weighted sums of Pauli strings.
+
+The :class:`Hamiltonian` class is the cost-function carrier for both QAOA
+(diagonal ZZ Hamiltonians from MaxCut) and VQE (the H2 molecular
+Hamiltonian with off-diagonal XXYY terms).  It provides expectation values
+against statevectors, density matrices, and shot counts, measurement-basis
+grouping for sampled estimation, and exact extremal eigenvalues for ground
+truth (Eq 3's denominator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.pauli import PauliString
+from repro.exceptions import CircuitError
+
+
+class Hamiltonian:
+    """H = sum_k c_k P_k with real coefficients c_k and Pauli strings P_k."""
+
+    def __init__(self, num_qubits: int, terms: Iterable[Tuple[float, PauliString]] = ()):
+        self.num_qubits = int(num_qubits)
+        self._terms: List[Tuple[float, PauliString]] = []
+        for coeff, pauli in terms:
+            self.add_term(coeff, pauli)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_term(self, coeff: float, pauli: PauliString) -> "Hamiltonian":
+        if pauli.num_qubits != self.num_qubits:
+            raise CircuitError(
+                f"term {pauli.label()} has {pauli.num_qubits} qubits, "
+                f"Hamiltonian has {self.num_qubits}"
+            )
+        self._terms.append((float(coeff), pauli))
+        return self
+
+    @classmethod
+    def from_labels(
+        cls, terms: Mapping[str, float]
+    ) -> "Hamiltonian":
+        """Build from ``{"ZZI": 0.5, ...}`` labels (rightmost char = qubit 0)."""
+        labels = list(terms)
+        if not labels:
+            raise CircuitError("empty Hamiltonian")
+        n = len(labels[0])
+        ham = cls(n)
+        for label, coeff in terms.items():
+            ham.add_term(coeff, PauliString(label))
+        return ham
+
+    def simplify(self, tol: float = 1e-12) -> "Hamiltonian":
+        """Merge duplicate Pauli strings and drop negligible coefficients."""
+        acc: Dict[PauliString, float] = {}
+        for coeff, pauli in self._terms:
+            acc[pauli] = acc.get(pauli, 0.0) + coeff
+        out = Hamiltonian(self.num_qubits)
+        for pauli, coeff in acc.items():
+            if abs(coeff) > tol:
+                out.add_term(coeff, pauli)
+        return out
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def terms(self) -> Tuple[Tuple[float, PauliString], ...]:
+        return tuple(self._terms)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._terms)
+
+    @property
+    def is_diagonal(self) -> bool:
+        return all(p.is_diagonal for _, p in self._terms)
+
+    def constant(self) -> float:
+        """Sum of identity-term coefficients."""
+        return sum(c for c, p in self._terms if p.is_identity)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{c:+.4g}*{p.label()}" for c, p in self._terms[:4]
+        )
+        more = "" if self.num_terms <= 4 else f", … ({self.num_terms} terms)"
+        return f"Hamiltonian({preview}{more})"
+
+    def __add__(self, other: "Hamiltonian") -> "Hamiltonian":
+        if not isinstance(other, Hamiltonian):
+            return NotImplemented
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("qubit count mismatch")
+        return Hamiltonian(self.num_qubits, list(self._terms) + list(other._terms))
+
+    def __mul__(self, scalar: float) -> "Hamiltonian":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return Hamiltonian(
+            self.num_qubits, [(c * scalar, p) for c, p in self._terms]
+        )
+
+    __rmul__ = __mul__
+
+    # -- expectation values --------------------------------------------------------
+
+    def expectation_statevector(self, state: np.ndarray) -> float:
+        return sum(
+            c * p.expectation_statevector(state) for c, p in self._terms
+        )
+
+    def expectation_density(self, rho: np.ndarray) -> float:
+        return sum(c * p.expectation_density(rho) for c, p in self._terms)
+
+    def expectation_counts(self, counts: Mapping[int, int]) -> float:
+        """Expectation from Z-basis counts — valid only for diagonal H."""
+        if not self.is_diagonal:
+            raise CircuitError(
+                "Hamiltonian has off-diagonal terms; use measurement grouping"
+            )
+        return sum(
+            c * (1.0 if p.is_identity else p.expectation_counts(counts))
+            for c, p in self._terms
+        )
+
+    def eigenvalue_of_bitstring(self, bits: int) -> float:
+        """Diagonal H evaluated on a computational basis state."""
+        if not self.is_diagonal:
+            raise CircuitError("only defined for diagonal Hamiltonians")
+        value = 0.0
+        for coeff, pauli in self._terms:
+            zmask = sum(
+                1 << q for q in range(self.num_qubits) if pauli.z[q]
+            )
+            parity = bin(bits & zmask).count("1") & 1
+            value += coeff * (-1.0 if parity else 1.0)
+        return value
+
+    # -- exact spectra (ground truth for Eq 3) ---------------------------------------
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix; fine for the <= 14-qubit problems in the paper when
+        diagonal, and <= ~12 qubits otherwise."""
+        dim = 1 << self.num_qubits
+        if self.is_diagonal:
+            diag = self.diagonal()
+            return np.diag(diag.astype(complex))
+        m = np.zeros((dim, dim), dtype=complex)
+        for coeff, pauli in self._terms:
+            m += coeff * pauli.to_matrix()
+        return m
+
+    def diagonal(self) -> np.ndarray:
+        """The diagonal of H as a real vector (diagonal H only)."""
+        if not self.is_diagonal:
+            raise CircuitError("Hamiltonian is not diagonal")
+        dim = 1 << self.num_qubits
+        idx = np.arange(dim)
+        diag = np.zeros(dim)
+        for coeff, pauli in self._terms:
+            if pauli.is_identity:
+                diag += coeff
+                continue
+            zmask = sum(1 << q for q in range(self.num_qubits) if pauli.z[q])
+            par = _parity(idx & zmask)
+            diag += coeff * np.where(par, -1.0, 1.0)
+        return diag
+
+    def ground_energy(self) -> float:
+        """Exact minimum eigenvalue (brute force / diagonalization)."""
+        if self.is_diagonal:
+            return float(self.diagonal().min())
+        if self.num_qubits > 12:
+            raise CircuitError("dense diagonalization beyond 12 qubits")
+        return float(np.linalg.eigvalsh(self.to_matrix()).min())
+
+    def max_energy(self) -> float:
+        """Exact maximum eigenvalue."""
+        if self.is_diagonal:
+            return float(self.diagonal().max())
+        if self.num_qubits > 12:
+            raise CircuitError("dense diagonalization beyond 12 qubits")
+        return float(np.linalg.eigvalsh(self.to_matrix()).max())
+
+    def ground_state_bitstrings(self) -> List[int]:
+        """All basis states achieving the minimum (diagonal H only)."""
+        diag = self.diagonal()
+        best = diag.min()
+        return [int(i) for i in np.nonzero(np.isclose(diag, best))[0]]
+
+    # -- measurement grouping (for shot-based estimation of off-diagonal H) ----------
+
+    def grouped_terms(self) -> List[List[Tuple[float, PauliString]]]:
+        """Partition terms into qubit-wise commuting groups (greedy)."""
+        groups: List[List[Tuple[float, PauliString]]] = []
+        for coeff, pauli in self._terms:
+            if pauli.is_identity:
+                continue
+            placed = False
+            for group in groups:
+                if all(pauli.qubitwise_commutes(other) for _, other in group):
+                    group.append((coeff, pauli))
+                    placed = True
+                    break
+            if not placed:
+                groups.append([(coeff, pauli)])
+        return groups
+
+    @staticmethod
+    def measurement_basis_circuit(
+        group: Sequence[Tuple[float, PauliString]], num_qubits: int
+    ) -> QuantumCircuit:
+        """Basis-change circuit mapping a QWC group to Z-basis measurement.
+
+        X factors get H; Y factors get Sdg then H.
+        """
+        circuit = QuantumCircuit(num_qubits, name="basis_change")
+        basis: Dict[int, str] = {}
+        for _, pauli in group:
+            for q in pauli.support():
+                c = pauli.char_at(q)
+                if basis.setdefault(q, c) != c:
+                    raise CircuitError("group is not qubit-wise commuting")
+        for q, c in sorted(basis.items()):
+            if c == "X":
+                circuit.h(q)
+            elif c == "Y":
+                circuit.sdg(q)
+                circuit.h(q)
+        return circuit
+
+    @staticmethod
+    def diagonalized_group(
+        group: Sequence[Tuple[float, PauliString]]
+    ) -> List[Tuple[float, PauliString]]:
+        """The group with X/Y factors replaced by Z (post basis change)."""
+        out = []
+        for coeff, pauli in group:
+            z = pauli.x | pauli.z
+            x = np.zeros_like(pauli.x)
+            out.append((coeff, PauliString(x, z)))
+        return out
+
+
+def _parity(arr: np.ndarray) -> np.ndarray:
+    """Boolean parity of set bits for an integer array."""
+    v = arr.astype(np.int64).copy()
+    par = np.zeros(v.shape, dtype=np.int64)
+    while v.any():
+        par ^= v & 1
+        v >>= 1
+    return par.astype(bool)

@@ -1,0 +1,187 @@
+"""Symbolic circuit parameters.
+
+Ansatz circuits (QAOA, UCCSD, two-local) are built once with symbolic
+parameters and bound to concrete values on every optimizer iteration.  We
+support *linear* expressions of parameters — ``2.0 * theta``, ``gamma -
+0.5`` — which covers every ansatz in the paper (UCCSD needs scaled angles,
+QAOA needs per-edge weights times gamma).
+
+This is intentionally simpler than a full symbolic engine: expressions are
+a mapping ``{Parameter: coefficient}`` plus a float offset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping, Set, Union
+
+from repro.exceptions import ParameterError
+
+Number = Union[int, float]
+_counter = itertools.count()
+
+
+class ParameterExpression:
+    """A linear combination of :class:`Parameter` objects plus a constant."""
+
+    __slots__ = ("_terms", "_offset")
+
+    def __init__(self, terms: Mapping["Parameter", float], offset: float = 0.0):
+        self._terms: Dict[Parameter, float] = {
+            p: float(c) for p, c in terms.items() if c != 0.0
+        }
+        self._offset = float(offset)
+
+    @property
+    def parameters(self) -> Set["Parameter"]:
+        """The free parameters appearing in this expression."""
+        return set(self._terms)
+
+    def bind(self, values: Mapping["Parameter", Number]) -> Union["ParameterExpression", float]:
+        """Substitute ``values``; returns a float once fully bound."""
+        terms: Dict[Parameter, float] = {}
+        offset = self._offset
+        for param, coeff in self._terms.items():
+            if param in values:
+                offset += coeff * float(values[param])
+            else:
+                terms[param] = coeff
+        if not terms:
+            return offset
+        return ParameterExpression(terms, offset)
+
+    def value(self, values: Mapping["Parameter", Number]) -> float:
+        """Fully evaluate; raises if any parameter is missing."""
+        result = self.bind(values)
+        if isinstance(result, ParameterExpression):
+            missing = sorted(p.name for p in result.parameters)
+            raise ParameterError(f"unbound parameters: {missing}")
+        return result
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _as_expr(self, other: Union["ParameterExpression", "Parameter", Number]) -> "ParameterExpression":
+        if isinstance(other, ParameterExpression):
+            return other
+        if isinstance(other, Parameter):
+            return ParameterExpression({other: 1.0})
+        if isinstance(other, (int, float)):
+            return ParameterExpression({}, float(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other):
+        other = self._as_expr(other)
+        if other is NotImplemented:
+            return NotImplemented
+        terms = dict(self._terms)
+        for p, c in other._terms.items():
+            terms[p] = terms.get(p, 0.0) + c
+        return ParameterExpression(terms, self._offset + other._offset)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return ParameterExpression(
+            {p: -c for p, c in self._terms.items()}, -self._offset
+        )
+
+    def __sub__(self, other):
+        other = self._as_expr(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other):
+        return (-self) + other
+
+    def __mul__(self, other):
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return ParameterExpression(
+            {p: c * other for p, c in self._terms.items()}, self._offset * other
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return self * (1.0 / other)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:g}*{p.name}" for p, c in sorted(self._terms.items(), key=lambda t: t[0].name)]
+        if self._offset or not parts:
+            parts.append(f"{self._offset:g}")
+        return " + ".join(parts)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, float)):
+            return not self._terms and self._offset == other
+        if isinstance(other, Parameter):
+            other = ParameterExpression({other: 1.0})
+        if not isinstance(other, ParameterExpression):
+            return NotImplemented
+        return self._terms == other._terms and self._offset == other._offset
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._terms.items()), self._offset))
+
+
+class Parameter(ParameterExpression):
+    """A named free circuit parameter.
+
+    Identity is by object, not by name: two ``Parameter("x")`` instances are
+    distinct parameters.  A stable ``uuid`` provides a total order for
+    deterministic parameter lists.
+    """
+
+    __slots__ = ("_name", "_uuid")
+
+    def __init__(self, name: str):
+        if not name:
+            raise ParameterError("parameter name must be non-empty")
+        self._name = name
+        self._uuid = next(_counter)
+        super().__init__({self: 1.0})
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name})"
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __lt__(self, other: "Parameter") -> bool:
+        return (self._name, self._uuid) < (other._name, other._uuid)
+
+
+class ParameterVector:
+    """A list of related parameters: ``ParameterVector("t", 3)`` -> t[0..2]."""
+
+    def __init__(self, name: str, length: int):
+        if length < 0:
+            raise ParameterError("length must be non-negative")
+        self._name = name
+        self._params = [Parameter(f"{name}[{i}]") for i in range(length)]
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __getitem__(self, index):
+        return self._params[index]
+
+    def __iter__(self) -> Iterable[Parameter]:
+        return iter(self._params)
+
+    def __repr__(self) -> str:
+        return f"ParameterVector({self._name}, {len(self._params)})"

@@ -1,0 +1,286 @@
+"""Pauli strings and their action on states.
+
+A :class:`PauliString` is an n-qubit tensor product of {I, X, Y, Z} stored
+as X/Z bit vectors (symplectic form).  We provide fast application to
+statevectors via index arithmetic (no dense matrices), products with phase
+tracking, commutation checks, and expectation values against statevectors,
+density matrices, and measurement counts.
+
+Label convention: ``PauliString("XZI")`` follows Qiskit's ordering — the
+*rightmost* character acts on qubit 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+_CHAR_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_XZ_TO_CHAR = {v: k for k, v in _CHAR_TO_XZ.items()}
+
+_SINGLE = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+class PauliString:
+    """An n-qubit Pauli operator P = ⊗_q P_q with P_q in {I, X, Y, Z}."""
+
+    __slots__ = ("x", "z", "num_qubits")
+
+    def __init__(self, label_or_x: Union[str, Sequence[int]], z: Sequence[int] = None):
+        if isinstance(label_or_x, str):
+            label = label_or_x.upper()
+            if not label or any(c not in _CHAR_TO_XZ for c in label):
+                raise CircuitError(f"invalid Pauli label {label_or_x!r}")
+            n = len(label)
+            self.x = np.zeros(n, dtype=bool)
+            self.z = np.zeros(n, dtype=bool)
+            # Rightmost label character is qubit 0.
+            for q, c in enumerate(reversed(label)):
+                xb, zb = _CHAR_TO_XZ[c]
+                self.x[q] = bool(xb)
+                self.z[q] = bool(zb)
+        else:
+            self.x = np.asarray(label_or_x, dtype=bool).copy()
+            self.z = np.asarray(z, dtype=bool).copy()
+            if self.x.shape != self.z.shape or self.x.ndim != 1:
+                raise CircuitError("x and z bit vectors must be equal-length 1-D")
+        self.num_qubits = len(self.x)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        return cls([0] * num_qubits, [0] * num_qubits)
+
+    @classmethod
+    def single(cls, num_qubits: int, qubit: int, kind: str) -> "PauliString":
+        """A single-qubit Pauli ``kind`` on ``qubit``, identity elsewhere."""
+        if kind not in "XYZ":
+            raise CircuitError(f"kind must be X, Y or Z, got {kind!r}")
+        x = np.zeros(num_qubits, dtype=bool)
+        z = np.zeros(num_qubits, dtype=bool)
+        xb, zb = _CHAR_TO_XZ[kind]
+        x[qubit], z[qubit] = bool(xb), bool(zb)
+        return cls(x, z)
+
+    @classmethod
+    def from_sparse(
+        cls, num_qubits: int, terms: Mapping[int, str]
+    ) -> "PauliString":
+        """Build from ``{qubit: 'X'|'Y'|'Z'}``; unlisted qubits are I."""
+        x = np.zeros(num_qubits, dtype=bool)
+        z = np.zeros(num_qubits, dtype=bool)
+        for q, kind in terms.items():
+            if not 0 <= q < num_qubits:
+                raise CircuitError(f"qubit {q} out of range")
+            xb, zb = _CHAR_TO_XZ[kind.upper()]
+            x[q], z[q] = bool(xb), bool(zb)
+        return cls(x, z)
+
+    # -- basic queries ----------------------------------------------------------
+
+    def label(self) -> str:
+        """Qiskit-style label: rightmost character is qubit 0."""
+        chars = [
+            _XZ_TO_CHAR[(int(self.x[q]), int(self.z[q]))]
+            for q in range(self.num_qubits)
+        ]
+        return "".join(reversed(chars))
+
+    def char_at(self, qubit: int) -> str:
+        return _XZ_TO_CHAR[(int(self.x[qubit]), int(self.z[qubit]))]
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    @property
+    def is_identity(self) -> bool:
+        return self.weight == 0
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True when the operator is diagonal in the computational basis."""
+        return not self.x.any()
+
+    def support(self) -> Tuple[int, ...]:
+        return tuple(int(q) for q in np.nonzero(self.x | self.z)[0])
+
+    def __repr__(self) -> str:
+        return f"PauliString({self.label()!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and np.array_equal(self.x, other.x)
+            and np.array_equal(self.z, other.z)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x.tobytes(), self.z.tobytes()))
+
+    # -- algebra -----------------------------------------------------------------
+
+    def commutes(self, other: "PauliString") -> bool:
+        """Whether the two operators commute (symplectic inner product = 0)."""
+        if self.num_qubits != other.num_qubits:
+            raise CircuitError("qubit count mismatch")
+        anti = np.count_nonzero(self.x & other.z) + np.count_nonzero(self.z & other.x)
+        return anti % 2 == 0
+
+    def compose(self, other: "PauliString") -> Tuple[complex, "PauliString"]:
+        """Product ``self @ other`` as ``(phase, PauliString)``."""
+        if self.num_qubits != other.num_qubits:
+            raise CircuitError("qubit count mismatch")
+        phase = 1.0 + 0.0j
+        for q in range(self.num_qubits):
+            a = _XZ_TO_CHAR[(int(self.x[q]), int(self.z[q]))]
+            b = _XZ_TO_CHAR[(int(other.x[q]), int(other.z[q]))]
+            phase *= _PAULI_PRODUCT_PHASE[(a, b)]
+        return phase, PauliString(self.x ^ other.x, self.z ^ other.z)
+
+    def qubitwise_commutes(self, other: "PauliString") -> bool:
+        """Qubit-wise commutation: per qubit, factors are equal or one is I.
+
+        This is the grouping criterion for simultaneous measurement.
+        """
+        if self.num_qubits != other.num_qubits:
+            raise CircuitError("qubit count mismatch")
+        for q in range(self.num_qubits):
+            a = (self.x[q], self.z[q])
+            b = (other.x[q], other.z[q])
+            if a != (False, False) and b != (False, False) and a != b:
+                return False
+        return True
+
+    # -- action on states -----------------------------------------------------------
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix (small qubit counts only)."""
+        m = np.array([[1.0 + 0.0j]])
+        for q in reversed(range(self.num_qubits)):
+            m = np.kron(m, _SINGLE[self.char_at(q)])
+        return m
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        """Apply P to a statevector without building a matrix.
+
+        For each basis index ``i``, ``P|i> = phase(i) |i XOR xmask>``.
+        """
+        n = self.num_qubits
+        dim = 1 << n
+        if state.shape[0] != dim:
+            raise CircuitError("statevector dimension mismatch")
+        idx = np.arange(dim)
+        xmask = 0
+        zmask = 0
+        y_count = 0
+        for q in range(n):
+            if self.x[q]:
+                xmask |= 1 << q
+            if self.z[q]:
+                zmask |= 1 << q
+            if self.x[q] and self.z[q]:
+                y_count += 1
+        flipped = idx ^ xmask
+        # Z-type phase: (-1)^{popcount(i & zmask)} acting on the source index
+        # of each output amplitude.  P|i> = i^{y} (-1)^{i·z} |i ^ x>, so the
+        # amplitude at output index j comes from i = j ^ x with phase
+        # i^{y} (-1)^{(j^x)·z}.
+        src = idx ^ xmask
+        z_par = _popcount(src & zmask) & 1
+        phase = ((-1.0) ** z_par) * (1j ** y_count)
+        out = np.empty_like(state)
+        out[idx] = phase * state[src]
+        del flipped
+        return out
+
+    def expectation_statevector(self, state: np.ndarray) -> float:
+        """<psi| P |psi> (always real for Hermitian P)."""
+        return float(np.real(np.vdot(state, self.apply(state))))
+
+    def expectation_density(self, rho: np.ndarray) -> float:
+        """tr(rho P) without forming the dense Pauli matrix."""
+        n = self.num_qubits
+        dim = 1 << n
+        if rho.shape != (dim, dim):
+            raise CircuitError("density matrix dimension mismatch")
+        idx = np.arange(dim)
+        xmask = sum(1 << q for q in range(n) if self.x[q])
+        zmask = sum(1 << q for q in range(n) if self.z[q])
+        y_count = int(np.count_nonzero(self.x & self.z))
+        src = idx ^ xmask
+        # tr(rho P) = sum_j rho[j, j^x] * P[j^x, j]; the matrix element
+        # P[j^x, j] carries the phase of P acting on |j> — evaluate the
+        # Z-parity at j (the column index), not at j^x.
+        z_par = _popcount(idx & zmask) & 1
+        phase = ((-1.0) ** z_par) * (1j ** y_count)
+        vals = rho[idx, src] * phase
+        return float(np.real(vals.sum()))
+
+    def expectation_counts(self, counts: Mapping[int, int]) -> float:
+        """Expectation from computational-basis counts (diagonal P only).
+
+        ``counts`` maps integer bitstrings (qubit q = bit q) to shot counts.
+        """
+        if not self.is_diagonal:
+            raise CircuitError(
+                f"{self.label()} is not diagonal; rotate the measurement basis first"
+            )
+        zmask = sum(1 << q for q in range(self.num_qubits) if self.z[q])
+        total = 0
+        acc = 0.0
+        for bits, c in counts.items():
+            parity = bin(bits & zmask).count("1") & 1
+            acc += (-1.0 if parity else 1.0) * c
+            total += c
+        if total == 0:
+            raise CircuitError("empty counts")
+        return acc / total
+
+
+_PAULI_PRODUCT_PHASE: Dict[Tuple[str, str], complex] = {}
+for _a in "IXYZ":
+    for _b in "IXYZ":
+        ma = _SINGLE[_a] @ _SINGLE[_b]
+        for _c in "IXYZ":
+            # ma equals phase * single[c] for exactly one c.
+            ref = _SINGLE[_c]
+            nz = np.nonzero(ref)
+            ratio = ma[nz][0] / ref[nz][0]
+            if np.allclose(ma, ratio * ref):
+                _PAULI_PRODUCT_PHASE[(_a, _b)] = complex(ratio)
+                break
+
+
+def _popcount(arr: np.ndarray) -> np.ndarray:
+    """Vectorised popcount for int64 arrays."""
+    v = arr.astype(np.int64).copy()
+    count = np.zeros_like(v)
+    while v.any():
+        count += v & 1
+        v >>= 1
+    return count
+
+
+def random_pauli(
+    num_qubits: int, rng: np.random.Generator, allow_identity: bool = True
+) -> PauliString:
+    """Uniformly random Pauli string (used by twirling and tests)."""
+    while True:
+        x = rng.integers(0, 2, size=num_qubits).astype(bool)
+        z = rng.integers(0, 2, size=num_qubits).astype(bool)
+        p = PauliString(x, z)
+        if allow_identity or not p.is_identity:
+            return p

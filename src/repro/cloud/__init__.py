@@ -1,0 +1,60 @@
+"""Cloud substrate: devices, workloads, fair-share queues, policies, simulation."""
+
+from repro.cloud.device import CloudDevice, hypothetical_fleet
+from repro.cloud.fair_share import FairShareQueue
+from repro.cloud.policies import (
+    BestFidelityPolicy,
+    EQCPolicy,
+    FidelityWeightedPolicy,
+    LeastBusyPolicy,
+    LoadWeightedPolicy,
+    QoncordPolicy,
+    SchedulingPolicy,
+    standard_policies,
+)
+from repro.cloud.pricing import (
+    PROVIDER_DATA,
+    ProviderDeviceInfo,
+    per_shot_price_ratio,
+    table1_rows,
+    table2_rows,
+    task_cost,
+    wait_time_ratio,
+)
+from repro.cloud.queue_sim import (
+    ExecutionRecord,
+    JobResult,
+    QueueSimulator,
+    SimulationResult,
+    sweep_policies,
+)
+from repro.cloud.workload import JobSpec, Workload, generate_workload
+
+__all__ = [
+    "CloudDevice",
+    "hypothetical_fleet",
+    "FairShareQueue",
+    "BestFidelityPolicy",
+    "EQCPolicy",
+    "FidelityWeightedPolicy",
+    "LeastBusyPolicy",
+    "LoadWeightedPolicy",
+    "QoncordPolicy",
+    "SchedulingPolicy",
+    "standard_policies",
+    "PROVIDER_DATA",
+    "ProviderDeviceInfo",
+    "per_shot_price_ratio",
+    "table1_rows",
+    "table2_rows",
+    "task_cost",
+    "wait_time_ratio",
+    "ExecutionRecord",
+    "JobResult",
+    "QueueSimulator",
+    "SimulationResult",
+    "sweep_policies",
+    "JobSpec",
+    "Workload",
+    "generate_workload",
+]

@@ -1,0 +1,80 @@
+"""Cloud-level device abstraction for the queue simulator.
+
+The queue study (Fig 12) uses ten hypothetical devices whose execution
+fidelities span 0.3-0.9; what matters at the cloud level is each device's
+*fidelity score*, *speed*, and *queue state* — not its gate set.  Per the
+paper's methodology, per-execution times vary 3x between minimum and
+maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+
+
+@dataclass
+class CloudDevice:
+    """One schedulable machine in the simulated cloud."""
+
+    name: str
+    fidelity: float
+    #: Execution-speed multiplier: the sampled base circuit time is
+    #: multiplied by this (fast low-fidelity devices have < 1).
+    speed_factor: float = 1.0
+    #: Simulation state: when the device next becomes free.
+    busy_until: float = 0.0
+    #: Executions completed (throughput accounting).
+    completed_executions: int = 0
+    busy_seconds: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 < self.fidelity <= 1.0:
+            raise SchedulingError(f"fidelity {self.fidelity} outside (0, 1]")
+        if self.speed_factor <= 0:
+            raise SchedulingError("speed factor must be positive")
+
+    def queue_delay(self, now: float) -> float:
+        """How long a new execution would wait before starting."""
+        return max(0.0, self.busy_until - now)
+
+    def execution_time(self, base_seconds: float, rng: np.random.Generator) -> float:
+        """Sample the actual run time: 3x min-to-max variation (Sec V-F)."""
+        low = base_seconds * self.speed_factor
+        return float(rng.uniform(low, 3.0 * low))
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.completed_executions = 0
+        self.busy_seconds = 0.0
+
+
+def hypothetical_fleet(
+    num_devices: int = 10,
+    fidelity_range: tuple = (0.3, 0.9),
+    fast_low_fidelity: bool = True,
+) -> List[CloudDevice]:
+    """The Fig 12 fleet: fidelities evenly spread over ``fidelity_range``.
+
+    With ``fast_low_fidelity`` the lower-fidelity devices are also faster
+    (the Rigetti-vs-IonQ trade-off of Table I/II): speed factors run
+    linearly from 0.6 (lowest fidelity) to 1.4 (highest).
+    """
+    if num_devices < 1:
+        raise SchedulingError("need at least one device")
+    fidelities = np.linspace(fidelity_range[0], fidelity_range[1], num_devices)
+    devices = []
+    for i, fid in enumerate(fidelities):
+        if fast_low_fidelity and num_devices > 1:
+            speed = 0.6 + 0.8 * i / (num_devices - 1)
+        else:
+            speed = 1.0
+        devices.append(
+            CloudDevice(name=f"dev{i:02d}_f{fid:.2f}", fidelity=float(fid),
+                        speed_factor=float(speed))
+        )
+    return devices

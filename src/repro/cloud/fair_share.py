@@ -1,0 +1,69 @@
+"""Fair-share queueing (paper Section II-E).
+
+Both cloud access models order pending work by fair share: users who have
+consumed less compute time are served first.  The queue tracks accumulated
+usage per user and pops the request whose owner has the least usage,
+breaking ties by submission time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import SchedulingError
+
+
+@dataclass(order=True)
+class _Entry:
+    sort_key: tuple
+    request: object = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class FairShareQueue:
+    """Priority queue keyed by (user usage, submission order)."""
+
+    def __init__(self):
+        self._heap = []
+        self._usage: Dict[int, float] = {}
+        self._counter = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    def usage_of(self, user_id: int) -> float:
+        return self._usage.get(user_id, 0.0)
+
+    def push(self, request, user_id: int) -> None:
+        """Enqueue a request owned by ``user_id``."""
+        key = (self.usage_of(user_id), next(self._counter))
+        entry = _Entry(sort_key=key, request=request)
+        heapq.heappush(self._heap, entry)
+        self._size += 1
+
+    def pop(self):
+        """Dequeue the fairest request."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                self._size -= 1
+                return entry.request
+        raise SchedulingError("pop from empty fair-share queue")
+
+    def record_usage(self, user_id: int, seconds: float) -> None:
+        """Charge compute time to a user (affects future priorities only).
+
+        Entries already in the heap keep their snapshot priority — matching
+        how production fair-share recomputes at enqueue time.
+        """
+        if seconds < 0:
+            raise SchedulingError("usage must be non-negative")
+        self._usage[user_id] = self.usage_of(user_id) + seconds

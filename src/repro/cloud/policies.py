@@ -1,0 +1,200 @@
+"""Cloud scheduling policies (paper Section V-A).
+
+Each policy answers: *which device runs this execution?*  Baseline
+policies pin a job to one device at first submission (the paper's central
+criticism); EQC fans executions out to the least-busy device but doubles
+the execution count; the Qoncord policy splits a VQA session into an
+exploration phase (least-busy among low-fidelity devices), terminates a
+fraction of the work there, and fine-tunes on a high-fidelity device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.device import CloudDevice
+from repro.cloud.workload import JobSpec
+from repro.exceptions import SchedulingError
+
+
+class SchedulingPolicy:
+    """Base policy: per-execution device selection + workload shaping."""
+
+    name = "base"
+
+    def reset(self) -> None:
+        """Clear per-run state (job-to-device pins)."""
+
+    def executions_for(self, job: JobSpec) -> int:
+        """How many executions this policy actually runs for ``job``."""
+        return job.num_executions
+
+    def select_device(
+        self,
+        job: JobSpec,
+        execution_index: int,
+        total_executions: int,
+        devices: Sequence[CloudDevice],
+        now: float,
+        rng: np.random.Generator,
+    ) -> CloudDevice:
+        raise NotImplementedError
+
+
+class _PinnedPolicy(SchedulingPolicy):
+    """Pick once per job, reuse for every execution (shared/runtime model)."""
+
+    def __init__(self):
+        self._assignment: Dict[int, str] = {}
+
+    def reset(self) -> None:
+        self._assignment.clear()
+
+    def _choose(self, devices, now, rng) -> CloudDevice:
+        raise NotImplementedError
+
+    def select_device(self, job, execution_index, total_executions, devices, now, rng):
+        if job.job_id not in self._assignment:
+            self._assignment[job.job_id] = self._choose(devices, now, rng).name
+        name = self._assignment[job.job_id]
+        for device in devices:
+            if device.name == name:
+                return device
+        raise SchedulingError(f"pinned device {name} vanished")
+
+
+class LeastBusyPolicy(_PinnedPolicy):
+    """Always the least-occupied device: best throughput, worst fidelity."""
+
+    name = "least_busy"
+
+    def _choose(self, devices, now, rng):
+        return min(devices, key=lambda d: (d.queue_delay(now), -d.speed_factor))
+
+
+class LoadWeightedPolicy(_PinnedPolicy):
+    """Random choice weighted towards lightly loaded machines."""
+
+    name = "load_weighted"
+
+    def _choose(self, devices, now, rng):
+        delays = np.array([d.queue_delay(now) for d in devices])
+        weights = 1.0 / (1.0 + delays)
+        weights /= weights.sum()
+        return devices[int(rng.choice(len(devices), p=weights))]
+
+
+class FidelityWeightedPolicy(_PinnedPolicy):
+    """Random choice weighted by fidelity (typical user behaviour)."""
+
+    name = "fidelity_weighted"
+
+    def _choose(self, devices, now, rng):
+        weights = np.array([d.fidelity for d in devices], dtype=float)
+        weights /= weights.sum()
+        return devices[int(rng.choice(len(devices), p=weights))]
+
+
+class BestFidelityPolicy(_PinnedPolicy):
+    """Always one of the highest-fidelity devices: best quality, worst wait."""
+
+    name = "best_fidelity"
+
+    def _choose(self, devices, now, rng):
+        best = max(d.fidelity for d in devices)
+        candidates = [d for d in devices if d.fidelity >= best - 1e-12]
+        return min(candidates, key=lambda d: d.queue_delay(now))
+
+
+class EQCPolicy(SchedulingPolicy):
+    """Stein et al.'s ensemble execution, modelled per Section V-A.
+
+    Runtime jobs are converted into independent tasks scheduled least-busy,
+    at the cost of ``overhead_factor`` x the circuit executions (2x is the
+    minimum for a 1-layer QAOA under asynchronous gradient descent).
+    """
+
+    name = "eqc"
+
+    def __init__(self, overhead_factor: float = 2.0):
+        if overhead_factor < 1.0:
+            raise SchedulingError("EQC overhead factor must be >= 1")
+        self.overhead_factor = overhead_factor
+
+    def executions_for(self, job: JobSpec) -> int:
+        if job.is_vqa:
+            return int(round(job.num_executions * self.overhead_factor))
+        return job.num_executions
+
+    def select_device(self, job, execution_index, total_executions, devices, now, rng):
+        return min(devices, key=lambda d: (d.queue_delay(now), -d.speed_factor))
+
+
+class QoncordPolicy(SchedulingPolicy):
+    """The paper's scheduler at cloud scale.
+
+    VQA sessions: the first ``explore_fraction`` of executions go to the
+    least-busy device in the lower-fidelity half of the fleet; surviving
+    work (restart filtering keeps ``keep_fraction`` of fine-tune
+    executions) runs on the least-busy device among the top-fidelity tier.
+    Plain tasks fall back to least-busy.
+    """
+
+    name = "qoncord"
+
+    def __init__(
+        self,
+        explore_fraction: float = 0.4,
+        keep_fraction: float = 0.5,
+        high_tier_quantile: float = 0.75,
+    ):
+        if not 0.0 < explore_fraction < 1.0:
+            raise SchedulingError("explore_fraction must be in (0, 1)")
+        if not 0.0 < keep_fraction <= 1.0:
+            raise SchedulingError("keep_fraction must be in (0, 1]")
+        self.explore_fraction = explore_fraction
+        self.keep_fraction = keep_fraction
+        self.high_tier_quantile = high_tier_quantile
+
+    def executions_for(self, job: JobSpec) -> int:
+        if not job.is_vqa:
+            return job.num_executions
+        explore = int(round(job.num_executions * self.explore_fraction))
+        explore = max(explore, 1)
+        fine_tune = job.num_executions - explore
+        kept = int(round(fine_tune * self.keep_fraction))
+        return explore + kept
+
+    def _explore_pool(self, devices) -> List[CloudDevice]:
+        ordered = sorted(devices, key=lambda d: d.fidelity)
+        half = max(1, len(ordered) // 2)
+        return ordered[:half]
+
+    def _fine_tune_pool(self, devices) -> List[CloudDevice]:
+        fidelities = sorted(d.fidelity for d in devices)
+        cut = fidelities[int(self.high_tier_quantile * (len(fidelities) - 1))]
+        return [d for d in devices if d.fidelity >= cut]
+
+    def select_device(self, job, execution_index, total_executions, devices, now, rng):
+        if not job.is_vqa:
+            return min(devices, key=lambda d: d.queue_delay(now))
+        explore = max(1, int(round(job.num_executions * self.explore_fraction)))
+        if execution_index < explore:
+            pool = self._explore_pool(devices)
+        else:
+            pool = self._fine_tune_pool(devices)
+        return min(pool, key=lambda d: d.queue_delay(now))
+
+
+def standard_policies() -> List[SchedulingPolicy]:
+    """The Fig 12 policy line-up."""
+    return [
+        LeastBusyPolicy(),
+        LoadWeightedPolicy(),
+        FidelityWeightedPolicy(),
+        BestFidelityPolicy(),
+        EQCPolicy(),
+        QoncordPolicy(),
+    ]

@@ -1,0 +1,131 @@
+"""Published provider data and cost modelling (paper Tables I and II).
+
+Table I compares fidelity vs queueing delay across providers; Table II
+lists Amazon Braket pricing.  These tables motivate the whole paper: the
+high-fidelity devices carry order-of-magnitude longer waits and higher
+per-shot prices.  The module reproduces both tables and provides the task
+cost model used in cost-aware examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import SchedulingError
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+@dataclass(frozen=True)
+class ProviderDeviceInfo:
+    """One row of Table I / Table II."""
+
+    provider: str
+    device: str
+    gate_fidelity_percent: float
+    algorithmic_qubits: Optional[int]
+    wait_time_seconds: float
+    #: Time per (2-qubit) gate in seconds (Table II column).
+    execution_time_per_gate: float
+    price_per_task_usd: float
+    price_per_shot_usd: float
+
+
+#: Tables I & II of the paper, merged per device.
+PROVIDER_DATA: List[ProviderDeviceInfo] = [
+    ProviderDeviceInfo(
+        provider="Rigetti", device="Aspen-M-3",
+        gate_fidelity_percent=94.6, algorithmic_qubits=None,
+        wait_time_seconds=4 * HOUR,
+        execution_time_per_gate=169e-9,
+        price_per_task_usd=0.3, price_per_shot_usd=0.00035,
+    ),
+    ProviderDeviceInfo(
+        provider="IonQ", device="Harmony",
+        gate_fidelity_percent=97.1, algorithmic_qubits=25,
+        wait_time_seconds=1.9 * DAY,
+        execution_time_per_gate=200e-6,
+        price_per_task_usd=0.3, price_per_shot_usd=0.01,
+    ),
+    ProviderDeviceInfo(
+        provider="IonQ", device="Aria",
+        gate_fidelity_percent=98.9, algorithmic_qubits=25,
+        wait_time_seconds=10.7 * DAY,
+        execution_time_per_gate=600e-6,
+        price_per_task_usd=0.3, price_per_shot_usd=0.03,
+    ),
+    ProviderDeviceInfo(
+        provider="IonQ", device="Forte",
+        gate_fidelity_percent=99.4, algorithmic_qubits=29,
+        wait_time_seconds=7 * DAY,
+        execution_time_per_gate=970e-6,
+        price_per_task_usd=0.3, price_per_shot_usd=0.03,
+    ),
+]
+
+
+def table1_rows() -> List[dict]:
+    """Table I: fidelity and wait times per device."""
+    return [
+        {
+            "provider": d.provider,
+            "device": d.device,
+            "gate_fidelity_percent": d.gate_fidelity_percent,
+            "algorithmic_qubits": d.algorithmic_qubits,
+            "wait_time_hours": d.wait_time_seconds / HOUR,
+        }
+        for d in PROVIDER_DATA
+    ]
+
+
+def table2_rows() -> List[dict]:
+    """Table II: Braket pricing per device."""
+    return [
+        {
+            "provider": d.provider,
+            "device": d.device,
+            "execution_time_per_gate_us": d.execution_time_per_gate * 1e6,
+            "price_per_task_usd": d.price_per_task_usd,
+            "price_per_shot_usd": d.price_per_shot_usd,
+        }
+        for d in PROVIDER_DATA
+    ]
+
+
+def wait_time_ratio(slow_device: str, fast_device: str) -> float:
+    """Ratio of wait times between two named devices (Sec III-A's 10.9-61.3x)."""
+    by_name = {d.device: d for d in PROVIDER_DATA}
+    try:
+        slow = by_name[slow_device]
+        fast = by_name[fast_device]
+    except KeyError as exc:
+        raise SchedulingError(f"unknown device {exc.args[0]!r}")
+    if fast.wait_time_seconds == 0:
+        raise SchedulingError("fast device has zero wait")
+    return slow.wait_time_seconds / fast.wait_time_seconds
+
+
+def task_cost(
+    device_name: str, shots: int, num_tasks: int = 1
+) -> float:
+    """Braket cost model: per-task access fee plus per-shot charges."""
+    by_name = {d.device: d for d in PROVIDER_DATA}
+    if device_name not in by_name:
+        raise SchedulingError(f"unknown device {device_name!r}")
+    if shots < 1 or num_tasks < 1:
+        raise SchedulingError("shots and tasks must be positive")
+    d = by_name[device_name]
+    return num_tasks * (d.price_per_task_usd + shots * d.price_per_shot_usd)
+
+
+def per_shot_price_ratio(expensive: str, cheap: str) -> float:
+    """Sec III-B1's 28.6-85.7x Rigetti-vs-IonQ pricing spread."""
+    by_name = {d.device: d for d in PROVIDER_DATA}
+    try:
+        e = by_name[expensive]
+        c = by_name[cheap]
+    except KeyError as exc:
+        raise SchedulingError(f"unknown device {exc.args[0]!r}")
+    return e.price_per_shot_usd / c.price_per_shot_usd

@@ -1,0 +1,258 @@
+"""Discrete-event quantum-cloud queue simulation (paper Section V-F, Fig 12).
+
+Simulates 1000-job workloads over a device fleet under a scheduling
+policy.  Each job submits its executions one at a time (runtime sessions
+insert classical think-time between submissions, letting other queued work
+through — Section II-E); devices serve their queues in fair-share order;
+execution times vary 3x.
+
+Outputs the two Fig 12 axes per policy: mean VQA fidelity relative to the
+best device, and throughput (Eq 2: executions per unit time).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.device import CloudDevice
+from repro.cloud.fair_share import FairShareQueue
+from repro.cloud.policies import SchedulingPolicy
+from repro.cloud.workload import JobSpec, Workload
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One completed circuit execution."""
+
+    job_id: int
+    execution_index: int
+    device_name: str
+    device_fidelity: float
+    queued_at: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def wait_seconds(self) -> float:
+        return self.started_at - self.queued_at
+
+
+@dataclass
+class JobResult:
+    """Execution history of one job."""
+
+    job: JobSpec
+    records: List[ExecutionRecord] = field(default_factory=list)
+
+    @property
+    def completed_at(self) -> float:
+        return max(r.finished_at for r in self.records)
+
+    @property
+    def turnaround_seconds(self) -> float:
+        return self.completed_at - self.job.arrival_time
+
+    def relative_fidelity(self, best_fidelity: float, tail_fraction: float = 0.25) -> float:
+        """Quality proxy: mean device fidelity of the final executions.
+
+        Late (fine-tuning) executions determine VQA solution quality
+        (paper Section IV-B), so the score averages the last
+        ``tail_fraction`` of this job's executions, normalized by the best
+        device in the fleet.
+        """
+        if not self.records:
+            raise SchedulingError("job has no executions")
+        k = max(1, int(round(len(self.records) * tail_fraction)))
+        tail = sorted(self.records, key=lambda r: r.execution_index)[-k:]
+        return float(np.mean([r.device_fidelity for r in tail]) / best_fidelity)
+
+
+@dataclass
+class SimulationResult:
+    """Everything Fig 12 needs for one (policy, workload) pair."""
+
+    policy_name: str
+    vqa_ratio: float
+    job_results: Dict[int, JobResult]
+    makespan: float
+    total_executions: int
+    devices: List[CloudDevice]
+
+    @property
+    def throughput(self) -> float:
+        """Eq 2: completed circuit executions per second."""
+        if self.makespan <= 0:
+            raise SchedulingError("empty simulation")
+        return self.total_executions / self.makespan
+
+    def mean_relative_fidelity(self, vqa_only: bool = True) -> float:
+        best = max(d.fidelity for d in self.devices)
+        scores = [
+            jr.relative_fidelity(best)
+            for jr in self.job_results.values()
+            if jr.records and (jr.job.is_vqa or not vqa_only)
+        ]
+        if not scores:
+            raise SchedulingError("no jobs matched the fidelity filter")
+        return float(np.mean(scores))
+
+    def mean_turnaround(self, vqa_only: bool = False) -> float:
+        times = [
+            jr.turnaround_seconds
+            for jr in self.job_results.values()
+            if jr.records and (jr.job.is_vqa or not vqa_only)
+        ]
+        return float(np.mean(times))
+
+    def device_utilization(self) -> Dict[str, float]:
+        if self.makespan <= 0:
+            return {d.name: 0.0 for d in self.devices}
+        return {d.name: d.busy_seconds / self.makespan for d in self.devices}
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: object = field(compare=False)
+
+
+@dataclass
+class _PendingExecution:
+    job: JobSpec
+    execution_index: int
+    queued_at: float
+
+
+class QueueSimulator:
+    """Event-driven simulation of a device fleet under one policy."""
+
+    def __init__(
+        self,
+        devices: Sequence[CloudDevice],
+        policy: SchedulingPolicy,
+        seed: int = 0,
+    ):
+        if not devices:
+            raise SchedulingError("need at least one device")
+        self.devices = list(devices)
+        self.policy = policy
+        self.seed = seed
+
+    def run(self, workload: Workload) -> SimulationResult:
+        rng = np.random.default_rng(self.seed)
+        self.policy.reset()
+        for device in self.devices:
+            device.reset()
+        queues: Dict[str, FairShareQueue] = {
+            d.name: FairShareQueue() for d in self.devices
+        }
+        device_by_name = {d.name: d for d in self.devices}
+        device_free_at: Dict[str, float] = {d.name: 0.0 for d in self.devices}
+        results: Dict[int, JobResult] = {
+            job.job_id: JobResult(job=job) for job in workload.jobs
+        }
+        totals: Dict[int, int] = {
+            job.job_id: self.policy.executions_for(job) for job in workload.jobs
+        }
+        events: List[_Event] = []
+        counter = itertools.count()
+
+        def push_event(time: float, kind: str, payload) -> None:
+            heapq.heappush(events, _Event(time, next(counter), kind, payload))
+
+        def try_start(device: CloudDevice, now: float) -> None:
+            queue = queues[device.name]
+            if queue.is_empty or device_free_at[device.name] > now:
+                return
+            pending: _PendingExecution = queue.pop()
+            duration = device.execution_time(
+                pending.job.base_execution_seconds, rng
+            )
+            start = now
+            end = start + duration
+            device_free_at[device.name] = end
+            device.busy_until = end
+            device.busy_seconds += duration
+            device.completed_executions += 1
+            queue.record_usage(pending.job.user_id, duration)
+            record = ExecutionRecord(
+                job_id=pending.job.job_id,
+                execution_index=pending.execution_index,
+                device_name=device.name,
+                device_fidelity=device.fidelity,
+                queued_at=pending.queued_at,
+                started_at=start,
+                finished_at=end,
+            )
+            results[pending.job.job_id].records.append(record)
+            push_event(end, "finish", (device.name, pending))
+
+        for job in workload.jobs:
+            push_event(job.arrival_time, "submit", (job, 0))
+
+        makespan = 0.0
+        while events:
+            event = heapq.heappop(events)
+            now = event.time
+            makespan = max(makespan, now)
+            if event.kind == "submit":
+                job, execution_index = event.payload
+                device = self.policy.select_device(
+                    job, execution_index, totals[job.job_id],
+                    self.devices, now, rng,
+                )
+                queues[device.name].push(
+                    _PendingExecution(job, execution_index, now), job.user_id
+                )
+                try_start(device, now)
+            elif event.kind == "finish":
+                device_name, pending = event.payload
+                job = pending.job
+                next_index = pending.execution_index + 1
+                if next_index < totals[job.job_id]:
+                    push_event(
+                        now + job.inter_submission_seconds,
+                        "submit",
+                        (job, next_index),
+                    )
+                try_start(device_by_name[device_name], now)
+            else:
+                raise SchedulingError(f"unknown event kind {event.kind!r}")
+            # A device may have become free exactly now with queued work
+            # (e.g. work arrived while busy): start anything startable.
+            for device in self.devices:
+                if device_free_at[device.name] <= now:
+                    try_start(device, now)
+
+        total_execs = sum(len(jr.records) for jr in results.values())
+        return SimulationResult(
+            policy_name=self.policy.name,
+            vqa_ratio=workload.vqa_ratio,
+            job_results=results,
+            makespan=makespan,
+            total_executions=total_execs,
+            devices=self.devices,
+        )
+
+
+def sweep_policies(
+    policies: Sequence[SchedulingPolicy],
+    workload: Workload,
+    devices_factory,
+    seed: int = 0,
+) -> Dict[str, SimulationResult]:
+    """Run every policy on identical (freshly built) fleets and workload."""
+    out: Dict[str, SimulationResult] = {}
+    for policy in policies:
+        devices = devices_factory()
+        sim = QueueSimulator(devices, policy, seed=seed)
+        out[policy.name] = sim.run(workload)
+    return out

@@ -1,0 +1,114 @@
+"""Pseudo-workload generation (paper Section V-F).
+
+The queue-simulation study uses 1000 quantum jobs: a mix of *independent
+tasks* (one circuit execution) and *runtime jobs* (VQA training sessions
+that submit a stream of circuit executions separated by variable classical
+think-time delays).  The VQA/runtime share sweeps from 10% to 90%.
+Execution times vary 3x between their minimum and maximum, reflecting
+empirical hardware behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+
+
+@dataclass
+class JobSpec:
+    """One cloud job: a task (1 execution) or a runtime VQA session."""
+
+    job_id: int
+    user_id: int
+    arrival_time: float
+    is_vqa: bool
+    #: Number of circuit executions this job will submit in total.
+    num_executions: int
+    #: Base execution time of one circuit (seconds); the simulator applies
+    #: the 3x min-max variation around this per execution.
+    base_execution_seconds: float
+    #: Classical think-time between consecutive runtime submissions.
+    inter_submission_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.num_executions < 1:
+            raise SchedulingError("a job needs at least one execution")
+
+
+@dataclass
+class Workload:
+    """A full simulation workload."""
+
+    jobs: List[JobSpec]
+    vqa_ratio: float
+    seed: int
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def total_executions(self) -> int:
+        return sum(j.num_executions for j in self.jobs)
+
+    @property
+    def vqa_jobs(self) -> List[JobSpec]:
+        return [j for j in self.jobs if j.is_vqa]
+
+
+def generate_workload(
+    num_jobs: int = 1000,
+    vqa_ratio: float = 0.5,
+    num_users: int = 50,
+    mean_interarrival_seconds: float = 6.0,
+    task_execution_seconds: Tuple[float, float] = (5.0, 15.0),
+    vqa_executions_range: Tuple[int, int] = (10, 40),
+    vqa_think_seconds: Tuple[float, float] = (2.0, 10.0),
+    seed: int = 0,
+) -> Workload:
+    """Sample the Section V-F pseudo-workload.
+
+    Args:
+        num_jobs: total jobs (paper: 1000).
+        vqa_ratio: fraction of jobs that are runtime VQA sessions
+            (paper sweeps 0.1-0.9).
+        num_users: distinct users for fair-share accounting.
+        mean_interarrival_seconds: exponential arrival spacing.
+        task_execution_seconds: base circuit-time range for plain tasks.
+        vqa_executions_range: executions per VQA session (inclusive).
+        vqa_think_seconds: classical optimizer think-time range between
+            consecutive VQA submissions.
+    """
+    if not 0.0 <= vqa_ratio <= 1.0:
+        raise SchedulingError("vqa_ratio must be in [0, 1]")
+    if num_jobs < 1:
+        raise SchedulingError("need at least one job")
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(mean_interarrival_seconds, size=num_jobs))
+    is_vqa_flags = rng.random(num_jobs) < vqa_ratio
+    jobs: List[JobSpec] = []
+    for i in range(num_jobs):
+        base_exec = rng.uniform(*task_execution_seconds)
+        if is_vqa_flags[i]:
+            executions = int(rng.integers(vqa_executions_range[0],
+                                          vqa_executions_range[1] + 1))
+            think = rng.uniform(*vqa_think_seconds)
+        else:
+            executions = 1
+            think = 0.0
+        jobs.append(
+            JobSpec(
+                job_id=i,
+                user_id=int(rng.integers(num_users)),
+                arrival_time=float(arrivals[i]),
+                is_vqa=bool(is_vqa_flags[i]),
+                num_executions=executions,
+                base_execution_seconds=float(base_exec),
+                inter_submission_seconds=float(think),
+            )
+        )
+    return Workload(jobs=jobs, vqa_ratio=vqa_ratio, seed=seed)

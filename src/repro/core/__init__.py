@@ -1,0 +1,35 @@
+"""Qoncord core: the paper's primary contribution."""
+
+from repro.core.convergence import ConvergenceChecker
+from repro.core.fidelity_estimator import (
+    MIN_FIDELITY_THRESHOLD,
+    CircuitStats,
+    ExecutionFidelityEstimator,
+    p_correct,
+)
+from repro.core.job import VQAJob
+from repro.core.qoncord import Qoncord
+from repro.core.restart_filter import FilterDecision, RestartFilter, detect_clusters
+from repro.core.scheduler import (
+    QoncordResult,
+    QoncordScheduler,
+    RestartTrace,
+    StageTrace,
+)
+
+__all__ = [
+    "ConvergenceChecker",
+    "MIN_FIDELITY_THRESHOLD",
+    "CircuitStats",
+    "ExecutionFidelityEstimator",
+    "p_correct",
+    "VQAJob",
+    "Qoncord",
+    "FilterDecision",
+    "RestartFilter",
+    "detect_clusters",
+    "QoncordResult",
+    "QoncordScheduler",
+    "RestartTrace",
+    "StageTrace",
+]

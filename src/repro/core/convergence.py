@@ -1,0 +1,128 @@
+"""Adaptive convergence checking (paper Sections IV-F and IV-G).
+
+Qoncord terminates a training stage only when *both* the expectation value
+and the Shannon entropy of the output distribution have stabilized: the
+expectation alone can plateau in a noise floor while entropy still trends
+downward (or vice versa, Fig 10), and stopping on a single signal causes
+premature termination.
+
+Two-tier strictness (Section IV-G): intermediate (non-final) devices use a
+*relaxed* checker — roughly half the patience — because any residual
+progress can still be recovered downstream; only the final, highest-
+fidelity device applies the strict criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import ConvergenceError
+
+
+@dataclass
+class ConvergenceChecker:
+    """Joint expectation + entropy saturation detector.
+
+    The stage is converged when, over the last ``patience`` updates:
+
+    * the best (lowest) energy improved by less than ``energy_tol``, and
+    * the entropy span (max - min within the window) is below
+      ``entropy_tol``.
+
+    ``min_iterations`` guards against declaring convergence before the
+    optimizer has produced a meaningful trend.
+    """
+
+    patience: int = 10
+    energy_tol: float = 1e-3
+    entropy_tol: float = 0.1
+    min_iterations: int = 8
+    use_entropy: bool = True
+
+    _energies: List[float] = field(default_factory=list, repr=False)
+    _entropies: List[float] = field(default_factory=list, repr=False)
+    _best: Optional[float] = field(default=None, repr=False)
+    _stall: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        if self.patience < 1:
+            raise ConvergenceError("patience must be at least 1")
+        if self.energy_tol < 0 or self.entropy_tol < 0:
+            raise ConvergenceError("tolerances must be non-negative")
+
+    # -- state ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self._energies.clear()
+        self._entropies.clear()
+        self._best = None
+        self._stall = 0
+
+    @property
+    def iterations_seen(self) -> int:
+        return len(self._energies)
+
+    @property
+    def best_energy(self) -> Optional[float]:
+        return self._best
+
+    @property
+    def energy_history(self) -> List[float]:
+        return list(self._energies)
+
+    @property
+    def entropy_history(self) -> List[float]:
+        return list(self._entropies)
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(self, energy: float, entropy: Optional[float] = None) -> bool:
+        """Record one iteration; returns True when the stage has converged."""
+        if self.use_entropy and entropy is None:
+            raise ConvergenceError(
+                "checker is configured to use entropy but none was provided"
+            )
+        self._energies.append(float(energy))
+        if entropy is not None:
+            self._entropies.append(float(entropy))
+        if self._best is None or energy < self._best - self.energy_tol:
+            self._best = min(energy, self._best if self._best is not None else energy)
+            self._stall = 0
+        else:
+            self._stall += 1
+        if self.iterations_seen < self.min_iterations:
+            return False
+        if self._stall < self.patience:
+            return False
+        if self.use_entropy:
+            window = self._entropies[-self.patience:]
+            if len(window) < self.patience:
+                return False
+            if max(window) - min(window) > self.entropy_tol:
+                return False
+        return True
+
+    # -- factories ---------------------------------------------------------------
+
+    def relaxed(self, factor: float = 0.5) -> "ConvergenceChecker":
+        """The intermediate-device variant: reduced patience (Sec IV-G)."""
+        if not 0.0 < factor <= 1.0:
+            raise ConvergenceError("relaxation factor must be in (0, 1]")
+        return ConvergenceChecker(
+            patience=max(1, int(round(self.patience * factor))),
+            energy_tol=self.energy_tol,
+            entropy_tol=self.entropy_tol * (2.0 - factor),
+            min_iterations=max(1, int(round(self.min_iterations * factor))),
+            use_entropy=self.use_entropy,
+        )
+
+    def fresh(self) -> "ConvergenceChecker":
+        """A clean copy with the same thresholds."""
+        return ConvergenceChecker(
+            patience=self.patience,
+            energy_tol=self.energy_tol,
+            entropy_tol=self.entropy_tol,
+            min_iterations=self.min_iterations,
+            use_entropy=self.use_entropy,
+        )

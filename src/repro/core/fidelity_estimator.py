@@ -1,0 +1,139 @@
+"""Execution fidelity estimation (paper Section IV-E, Eq 1).
+
+PCorrect estimates the probability that a circuit executes without error on
+a device:
+
+    PCorrect = exp(-CD * (mu_tG1 + mu_tG2)/2 / sqrt(T1*T2))
+               * (1-gamma)^G1 * (1-beta)^G2 * (1-omega)^M
+
+where CD is circuit depth, mu_tG1/mu_tG2 are mean 1q/2q gate latencies,
+gamma/beta/omega are 1q/2q/readout error rates, and G1/G2/M count the
+gates and measurements.  (The paper's typography leaves the coherence
+denominator ambiguous; we use the geometric mean sqrt(T1*T2), the only
+dimensionally consistent single-time-scale choice, and document it here.)
+
+Qoncord uses PCorrect twice: to *rank* devices into the fidelity hierarchy
+and to *filter out* device/task combinations below a minimum threshold
+(0.1 in the paper — Fig 8's plateau point).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import SchedulingError
+from repro.noise.devices import DeviceProfile
+
+#: The paper's minimum acceptable estimated fidelity (Section IV-E).
+MIN_FIDELITY_THRESHOLD = 0.1
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """The circuit features Eq 1 consumes."""
+
+    depth: int
+    num_1q_gates: int
+    num_2q_gates: int
+    num_measurements: int
+
+    @classmethod
+    def from_circuit(
+        cls, circuit: QuantumCircuit, assume_full_measurement: bool = True
+    ) -> "CircuitStats":
+        measured = circuit.num_measurements
+        if measured == 0 and assume_full_measurement:
+            measured = circuit.num_qubits
+        return cls(
+            depth=circuit.depth(count_measurements=False),
+            num_1q_gates=circuit.num_1q_gates,
+            num_2q_gates=circuit.num_2q_gates,
+            num_measurements=measured,
+        )
+
+
+def p_correct(stats: CircuitStats, device: DeviceProfile) -> float:
+    """Eq 1: estimated execution fidelity of a circuit on a device."""
+    gamma = device.error_1q
+    beta = device.error_2q
+    omega = device.readout_error
+    gate_term = (
+        (1.0 - gamma) ** stats.num_1q_gates
+        * (1.0 - beta) ** stats.num_2q_gates
+        * (1.0 - omega) ** stats.num_measurements
+    )
+    if device.t1 > 0.0 and device.t2 > 0.0:
+        mean_gate_time = 0.5 * (device.duration_1q + device.duration_2q)
+        coherence = math.sqrt(device.t1 * device.t2)
+        decoherence_term = math.exp(-stats.depth * mean_gate_time / coherence)
+    else:
+        decoherence_term = 1.0
+    return decoherence_term * gate_term
+
+
+class ExecutionFidelityEstimator:
+    """Ranks and filters candidate devices for a VQA task (Fig 7, step 1)."""
+
+    def __init__(self, min_fidelity: float = MIN_FIDELITY_THRESHOLD):
+        if not 0.0 <= min_fidelity < 1.0:
+            raise SchedulingError("min_fidelity must be in [0, 1)")
+        self.min_fidelity = min_fidelity
+
+    def estimate(
+        self, circuit: QuantumCircuit, device: DeviceProfile
+    ) -> float:
+        """PCorrect of (transpiled) ``circuit`` on ``device``.
+
+        The circuit should already reflect the device's basis/topology;
+        use :meth:`estimate_transpiled` to do both steps at once.
+        """
+        return p_correct(CircuitStats.from_circuit(circuit), device)
+
+    def estimate_transpiled(
+        self, circuit: QuantumCircuit, device: DeviceProfile
+    ) -> float:
+        """Transpile onto the device first, then estimate (realistic counts)."""
+        from repro.transpile.basis import IBM_BASIS, IONQ_BASIS
+        from repro.transpile.passes import transpile
+
+        basis = IONQ_BASIS if device.technology == "trapped_ion" else IBM_BASIS
+        bound = circuit
+        if circuit.num_parameters:
+            # Any binding works: gate counts are parameter-independent.
+            bound = circuit.bind([0.1] * circuit.num_parameters)
+        result = transpile(bound, coupling=device.coupling_map(), basis=basis)
+        return self.estimate(result.circuit, device)
+
+    def rank_devices(
+        self,
+        circuit: QuantumCircuit,
+        devices: Sequence[DeviceProfile],
+        transpiled: bool = True,
+    ) -> List[Tuple[DeviceProfile, float]]:
+        """Eligible devices sorted by ascending estimated fidelity.
+
+        Ascending order is the execution hierarchy: exploration starts on
+        the *lowest*-fidelity eligible device and fine-tuning ends on the
+        highest.  Devices below ``min_fidelity`` are dropped.
+
+        Raises:
+            SchedulingError: when no device clears the threshold.
+        """
+        scored = []
+        for device in devices:
+            fidelity = (
+                self.estimate_transpiled(circuit, device)
+                if transpiled
+                else self.estimate(circuit, device)
+            )
+            if fidelity >= self.min_fidelity:
+                scored.append((device, fidelity))
+        if not scored:
+            raise SchedulingError(
+                f"no device reaches the minimum estimated fidelity "
+                f"{self.min_fidelity}; the task is too deep/noisy for this fleet"
+            )
+        return sorted(scored, key=lambda pair: pair[1])

@@ -1,0 +1,49 @@
+"""VQA job abstractions shared by Qoncord and the cloud simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.exceptions import SchedulingError
+
+
+@dataclass
+class VQAJob:
+    """One VQA task: ansatz + observable + training budget.
+
+    ``ansatz`` must expose ``template``, ``parameter_order``,
+    ``num_parameters``, ``bind`` and ``random_parameters`` (see
+    :mod:`repro.vqa`).  ``ground_energy`` enables approximation-ratio
+    reporting; leave ``None`` when unknown.
+    """
+
+    ansatz: object
+    hamiltonian: Hamiltonian
+    ground_energy: Optional[float] = None
+    num_restarts: int = 10
+    max_iterations_per_stage: int = 100
+    shots: int = 0
+    name: str = "vqa-job"
+
+    def __post_init__(self):
+        if self.num_restarts < 1:
+            raise SchedulingError("need at least one restart")
+        if self.max_iterations_per_stage < 1:
+            raise SchedulingError("need at least one iteration per stage")
+
+    def initial_points(self, seed: int) -> list:
+        rng = np.random.default_rng(seed)
+        return [
+            self.ansatz.random_parameters(rng) for _ in range(self.num_restarts)
+        ]
+
+    def approximation_ratio(self, energy: float) -> Optional[float]:
+        if self.ground_energy is None:
+            return None
+        from repro.vqa.metrics import approximation_ratio
+
+        return approximation_ratio(energy, self.ground_energy)

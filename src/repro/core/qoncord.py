@@ -1,0 +1,107 @@
+"""Top-level Qoncord facade.
+
+``Qoncord`` bundles the estimator, convergence checker, restart filter and
+scheduler behind one call, and provides the single-device baseline runner
+used in every paper comparison.
+
+Example::
+
+    from repro.core import Qoncord, VQAJob
+    from repro.noise import ibmq_toronto, ibmq_kolkata
+    from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+    problem = MaxCutProblem.random(7, seed=1)
+    job = VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=2),
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=10,
+    )
+    result = Qoncord(seed=0).run(job, [ibmq_toronto(), ibmq_kolkata()])
+    print(result.best_energy, result.circuits_per_device)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceChecker
+from repro.core.fidelity_estimator import ExecutionFidelityEstimator
+from repro.core.job import VQAJob
+from repro.core.restart_filter import RestartFilter
+from repro.core.scheduler import QoncordResult, QoncordScheduler
+from repro.noise.devices import DeviceProfile
+from repro.vqa.optimizers import SPSA, StepwiseOptimizer
+from repro.vqa.restart import MultiRestartResult, MultiRestartRunner
+
+
+class Qoncord:
+    """The automated multi-device job-scheduling framework."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        min_fidelity: float = 0.1,
+        patience: int = 10,
+        energy_tol: float = 1e-3,
+        entropy_tol: float = 0.1,
+        cluster_width: float = 0.25,
+        min_keep: int = 2,
+        optimizer_factory: Optional[Callable[[int], StepwiseOptimizer]] = None,
+        check_entropy_on_switch: bool = True,
+    ):
+        self.seed = seed
+        self.estimator = ExecutionFidelityEstimator(min_fidelity=min_fidelity)
+        self.checker = ConvergenceChecker(
+            patience=patience, energy_tol=energy_tol, entropy_tol=entropy_tol
+        )
+        self.restart_filter = RestartFilter(
+            cluster_width=cluster_width, min_keep=min_keep
+        )
+        self.scheduler = QoncordScheduler(
+            estimator=self.estimator,
+            restart_filter=self.restart_filter,
+            checker=self.checker,
+            optimizer_factory=optimizer_factory,
+            seed=seed,
+            check_entropy_on_switch=check_entropy_on_switch,
+        )
+
+    def run(
+        self,
+        job: VQAJob,
+        devices: Sequence[DeviceProfile],
+        initial_points: Optional[Sequence[np.ndarray]] = None,
+    ) -> QoncordResult:
+        """Schedule and train ``job`` across ``devices`` (any order)."""
+        return self.scheduler.run(job, devices, initial_points=initial_points)
+
+    def run_single_device_baseline(
+        self,
+        job: VQAJob,
+        device: Optional[DeviceProfile],
+        initial_points: Optional[Sequence[np.ndarray]] = None,
+        use_convergence_checker: bool = True,
+    ) -> MultiRestartResult:
+        """The paper's baseline: all iterations of all restarts on one device.
+
+        Uses the same strict convergence checker as Qoncord's final stage,
+        so baseline-vs-Qoncord comparisons differ only in scheduling.
+        """
+        runner = MultiRestartRunner(
+            job.ansatz,
+            job.hamiltonian,
+            device,
+            optimizer_factory=lambda r: SPSA(seed=self.seed * 7919 + r),
+            max_iterations=job.max_iterations_per_stage,
+            shots=job.shots,
+            seed=self.seed,
+            convergence_checker_factory=(
+                self.checker.fresh if use_convergence_checker else None
+            ),
+        )
+        if initial_points is None:
+            initial_points = job.initial_points(self.seed)
+        return runner.run(job.num_restarts, initial_points=initial_points)

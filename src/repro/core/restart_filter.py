@@ -1,0 +1,132 @@
+"""Restart quality filtering (paper Sections IV-C and IV-H).
+
+After the exploration stage, Qoncord compares the intermediate expectation
+values of all restarts.  High-quality restarts cluster near the best value
+(Fig 6); the rest are on course for local optima and are terminated before
+they consume high-fidelity device time.
+
+Two detection modes:
+
+* ``"span"`` (default): keep restarts within ``cluster_width`` of the way
+  from the best to the worst intermediate value.
+* ``"gap"``: 1-D cluster detection — sort values and cut at the largest
+  gap, keeping the leading (best) cluster.
+
+``min_keep`` guarantees progress even when the spread is degenerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Which restarts survive a filtering round."""
+
+    kept_indices: Tuple[int, ...]
+    dropped_indices: Tuple[int, ...]
+    threshold: float
+
+    @property
+    def num_kept(self) -> int:
+        return len(self.kept_indices)
+
+    @property
+    def num_dropped(self) -> int:
+        return len(self.dropped_indices)
+
+
+class RestartFilter:
+    """Selects the top-performing cluster of restarts for promotion."""
+
+    def __init__(
+        self,
+        cluster_width: float = 0.25,
+        min_keep: int = 2,
+        mode: str = "span",
+        gap_factor: float = 2.0,
+    ):
+        if not 0.0 < cluster_width <= 1.0:
+            raise SchedulingError("cluster_width must be in (0, 1]")
+        if min_keep < 1:
+            raise SchedulingError("min_keep must be at least 1")
+        if mode not in ("span", "gap"):
+            raise SchedulingError(f"unknown filter mode {mode!r}")
+        self.cluster_width = cluster_width
+        self.min_keep = min_keep
+        self.mode = mode
+        self.gap_factor = gap_factor
+
+    def select(self, intermediate_energies: Sequence[float]) -> FilterDecision:
+        """Decide which restarts to promote.
+
+        Args:
+            intermediate_energies: one value per restart (lower = better).
+        """
+        energies = np.asarray(intermediate_energies, dtype=float)
+        if energies.ndim != 1 or energies.size == 0:
+            raise SchedulingError("need a 1-D non-empty energy list")
+        n = energies.size
+        if n <= self.min_keep:
+            return FilterDecision(tuple(range(n)), (), float(energies.max()))
+        if self.mode == "span":
+            threshold = self._span_threshold(energies)
+        else:
+            threshold = self._gap_threshold(energies)
+        kept = [i for i, e in enumerate(energies) if e <= threshold]
+        if len(kept) < self.min_keep:
+            order = np.argsort(energies)
+            kept = sorted(int(i) for i in order[: self.min_keep])
+            threshold = float(energies[order[self.min_keep - 1]])
+        dropped = [i for i in range(n) if i not in set(kept)]
+        return FilterDecision(tuple(kept), tuple(dropped), float(threshold))
+
+    def _span_threshold(self, energies: np.ndarray) -> float:
+        best = float(energies.min())
+        worst = float(energies.max())
+        if np.isclose(best, worst):
+            return worst
+        return best + self.cluster_width * (worst - best)
+
+    def _gap_threshold(self, energies: np.ndarray) -> float:
+        """Cut at the largest inter-value gap (if it dominates the median gap)."""
+        ordered = np.sort(energies)
+        gaps = np.diff(ordered)
+        if gaps.size == 0 or gaps.max() <= 0:
+            return float(ordered[-1])
+        median_gap = float(np.median(gaps[gaps > 0])) if (gaps > 0).any() else 0.0
+        largest = int(np.argmax(gaps))
+        if median_gap > 0 and gaps[largest] < self.gap_factor * median_gap:
+            # No dominant gap: values form one cluster; keep everyone.
+            return float(ordered[-1])
+        return float(ordered[largest])
+
+
+def detect_clusters(
+    values: Sequence[float], gap_factor: float = 2.0
+) -> List[List[int]]:
+    """Group indices of 1-D values into clusters split at dominant gaps.
+
+    Used by the Fig 6 analysis to show that good restarts' intermediate
+    values cluster together.
+    """
+    vals = np.asarray(values, dtype=float)
+    order = np.argsort(vals)
+    ordered = vals[order]
+    gaps = np.diff(ordered)
+    if gaps.size == 0:
+        return [[int(i) for i in order]]
+    positive = gaps[gaps > 0]
+    median_gap = float(np.median(positive)) if positive.size else 0.0
+    clusters: List[List[int]] = [[int(order[0])]]
+    for i, gap in enumerate(gaps):
+        if median_gap > 0 and gap >= gap_factor * median_gap:
+            clusters.append([])
+        clusters[-1].append(int(order[i + 1]))
+    return clusters

@@ -1,0 +1,316 @@
+"""The Qoncord multi-device optimization driver (paper Section IV-D, Fig 7).
+
+Flow:
+
+1. Rank the device fleet by estimated execution fidelity (Eq 1) and drop
+   devices below the minimum threshold.
+2. Run the *exploration* stage of every restart on the lowest-fidelity
+   eligible device, iterating until the relaxed convergence checker
+   reports joint expectation/entropy saturation.
+3. Filter restarts: only the top-performing intermediate cluster survives.
+4. Move the survivors to the next device in the hierarchy and continue the
+   *same* optimizer state (progressive fine-tuning); intermediate devices
+   keep the relaxed checker, the final device uses the strict checker.
+5. Optionally verify on arrival that entropy actually decreased on the
+   higher-fidelity device (Section IV-F's device-switch check); if it did
+   not, the tier is recorded as not beneficial.
+
+The scheduler accounts circuit executions and estimated hardware seconds
+per device — the raw material of Figs 13-22 — plus queueing delay charged
+once per (restart, stage) session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceChecker
+from repro.core.fidelity_estimator import ExecutionFidelityEstimator
+from repro.core.job import VQAJob
+from repro.core.restart_filter import FilterDecision, RestartFilter
+from repro.exceptions import SchedulingError
+from repro.noise.devices import DeviceProfile
+from repro.vqa.execution import EnergyEvaluator
+from repro.vqa.optimizers import SPSA, StepwiseOptimizer
+
+
+@dataclass
+class StageTrace:
+    """What one restart did during one stage on one device."""
+
+    device_name: str
+    iterations: int
+    energies: List[float]
+    entropies: List[float]
+    circuits: int
+    hardware_seconds: float
+    queue_seconds: float
+    converged: bool
+    entropy_decreased_on_switch: Optional[bool] = None
+    #: Best iterate observed during the stage (the hand-off point).
+    best_params: Optional[np.ndarray] = None
+    best_value: Optional[float] = None
+
+
+@dataclass
+class RestartTrace:
+    """Per-restart record across the whole device hierarchy."""
+
+    restart_index: int
+    initial_params: np.ndarray
+    stages: List[StageTrace] = field(default_factory=list)
+    final_params: Optional[np.ndarray] = None
+    final_energy: Optional[float] = None
+    terminated_at_stage: Optional[int] = None
+
+    @property
+    def survived(self) -> bool:
+        return self.terminated_at_stage is None
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.iterations for s in self.stages)
+
+
+@dataclass
+class QoncordResult:
+    """Full outcome of a Qoncord-scheduled multi-restart VQA run."""
+
+    job_name: str
+    device_order: List[str]
+    device_fidelities: Dict[str, float]
+    restarts: List[RestartTrace]
+    filter_decisions: List[FilterDecision]
+    circuits_per_device: Dict[str, int]
+    seconds_per_device: Dict[str, float]
+    queue_seconds_per_device: Dict[str, float]
+
+    @property
+    def surviving_restarts(self) -> List[RestartTrace]:
+        return [r for r in self.restarts if r.survived]
+
+    @property
+    def best(self) -> RestartTrace:
+        survivors = [r for r in self.restarts if r.final_energy is not None]
+        if not survivors:
+            raise SchedulingError("no restart completed")
+        return min(survivors, key=lambda r: r.final_energy)
+
+    @property
+    def best_energy(self) -> float:
+        return self.best.final_energy
+
+    @property
+    def final_energies(self) -> np.ndarray:
+        return np.array(
+            [r.final_energy for r in self.restarts if r.final_energy is not None]
+        )
+
+    @property
+    def total_circuits(self) -> int:
+        return sum(self.circuits_per_device.values())
+
+    @property
+    def total_seconds(self) -> float:
+        """Hardware + queueing seconds across all devices."""
+        return sum(self.seconds_per_device.values()) + sum(
+            self.queue_seconds_per_device.values()
+        )
+
+
+class QoncordScheduler:
+    """Dynamic multi-device scheduler for multi-restart VQA training."""
+
+    def __init__(
+        self,
+        estimator: Optional[ExecutionFidelityEstimator] = None,
+        restart_filter: Optional[RestartFilter] = None,
+        checker: Optional[ConvergenceChecker] = None,
+        optimizer_factory: Optional[Callable[[int], StepwiseOptimizer]] = None,
+        seed: int = 0,
+        charge_queue_per_stage: bool = True,
+        check_entropy_on_switch: bool = True,
+    ):
+        self.estimator = estimator or ExecutionFidelityEstimator()
+        self.restart_filter = restart_filter or RestartFilter()
+        self.checker = checker or ConvergenceChecker()
+        self.seed = seed
+        self.charge_queue_per_stage = charge_queue_per_stage
+        self.check_entropy_on_switch = check_entropy_on_switch
+        self._optimizer_factory = optimizer_factory or (
+            lambda restart: SPSA(seed=seed * 7919 + restart)
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        job: VQAJob,
+        devices: Sequence[DeviceProfile],
+        initial_points: Optional[Sequence[np.ndarray]] = None,
+    ) -> QoncordResult:
+        if not devices:
+            raise SchedulingError("empty device fleet")
+        ranked = self.estimator.rank_devices(job.ansatz.template, list(devices))
+        order = [d for d, _ in ranked]
+        fidelities = {d.name: f for d, f in ranked}
+
+        if initial_points is None:
+            initial_points = job.initial_points(self.seed)
+        elif len(initial_points) != job.num_restarts:
+            raise SchedulingError("initial_points length must match num_restarts")
+
+        evaluators = {
+            device.name: EnergyEvaluator(
+                job.ansatz,
+                job.hamiltonian,
+                device,
+                shots=job.shots,
+                seed=self.seed + 101 + i,
+            )
+            for i, device in enumerate(order)
+        }
+
+        restarts = [
+            RestartTrace(restart_index=i, initial_params=np.asarray(p))
+            for i, p in enumerate(initial_points)
+        ]
+        optimizers: Dict[int, StepwiseOptimizer] = {}
+        for trace in restarts:
+            opt = self._optimizer_factory(trace.restart_index)
+            opt.reset(trace.initial_params)
+            optimizers[trace.restart_index] = opt
+
+        circuits_per_device = {d.name: 0 for d in order}
+        seconds_per_device = {d.name: 0.0 for d in order}
+        queue_per_device = {d.name: 0.0 for d in order}
+        filter_decisions: List[FilterDecision] = []
+        active = list(range(len(restarts)))
+        stage_energy: Dict[int, float] = {}
+
+        for stage_index, device in enumerate(order):
+            is_final = stage_index == len(order) - 1
+            checker_proto = (
+                self.checker.fresh() if is_final else self.checker.relaxed()
+            )
+            evaluator = evaluators[device.name]
+            for restart_index in active:
+                trace = restarts[restart_index]
+                optimizer = optimizers[restart_index]
+                stage = self._run_stage(
+                    trace,
+                    optimizer,
+                    evaluator,
+                    device,
+                    checker_proto.fresh(),
+                    job.max_iterations_per_stage,
+                    previous_stage=trace.stages[-1] if trace.stages else None,
+                )
+                trace.stages.append(stage)
+                circuits_per_device[device.name] += stage.circuits
+                seconds_per_device[device.name] += stage.hardware_seconds
+                queue_per_device[device.name] += stage.queue_seconds
+                stage_energy[restart_index] = (
+                    min(stage.energies) if stage.energies else np.inf
+                )
+            if not is_final and len(active) > 1:
+                decision = self.restart_filter.select(
+                    [stage_energy[i] for i in active]
+                )
+                filter_decisions.append(decision)
+                dropped = [active[i] for i in decision.dropped_indices]
+                for restart_index in dropped:
+                    restarts[restart_index].terminated_at_stage = stage_index
+                active = [active[i] for i in decision.kept_indices]
+
+        # Finalize survivors on the last device's evaluator.
+        final_evaluator = evaluators[order[-1].name]
+        for restart_index in active:
+            trace = restarts[restart_index]
+            optimizer = optimizers[restart_index]
+            final_eval = final_evaluator.evaluate(optimizer.params)
+            circuits_per_device[order[-1].name] += final_eval.circuits
+            seconds_per_device[order[-1].name] += final_eval.hardware_seconds
+            trace.final_params = optimizer.params.copy()
+            trace.final_energy = final_eval.energy
+
+        return QoncordResult(
+            job_name=job.name,
+            device_order=[d.name for d in order],
+            device_fidelities=fidelities,
+            restarts=restarts,
+            filter_decisions=filter_decisions,
+            circuits_per_device=circuits_per_device,
+            seconds_per_device=seconds_per_device,
+            queue_seconds_per_device=queue_per_device,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _run_stage(
+        self,
+        trace: RestartTrace,
+        optimizer: StepwiseOptimizer,
+        evaluator: EnergyEvaluator,
+        device: DeviceProfile,
+        checker: ConvergenceChecker,
+        max_iterations: int,
+        previous_stage: Optional[StageTrace],
+    ) -> StageTrace:
+        energies: List[float] = []
+        entropies: List[float] = []
+        circuits_before = evaluator.num_circuits
+        seconds_before = evaluator.hardware_seconds
+        entropy_decreased: Optional[bool] = None
+        if (
+            self.check_entropy_on_switch
+            and previous_stage is not None
+            and previous_stage.entropies
+        ):
+            arrival = evaluator.evaluate(optimizer.params)
+            entropy_decreased = arrival.entropy < previous_stage.entropies[-1]
+        # Note: the previous stage already reset the optimizer onto its
+        # best iterate; with auto-calibrating SPSA that also re-sizes the
+        # gain schedule against this (sharper) device's gradients.
+        converged = False
+        best_value: Optional[float] = None
+        best_params: Optional[np.ndarray] = None
+        for _ in range(max_iterations):
+            record = optimizer.step(evaluator)
+            entropy = (
+                evaluator.last_evaluation.entropy
+                if evaluator.last_evaluation is not None
+                else None
+            )
+            energies.append(record.value)
+            entropies.append(entropy)
+            if best_value is None or record.value < best_value:
+                best_value = record.value
+                best_params = record.params.copy()
+            if checker.update(record.value, entropy):
+                converged = True
+                break
+        queue_seconds = (
+            device.expected_wait_seconds if self.charge_queue_per_stage else 0.0
+        )
+        # Hand the *best* iterate (not the possibly-wandering last one)
+        # to the next stage: SPSA's step at iteration k can overshoot
+        # right after a recalibration.
+        if best_params is not None:
+            optimizer.reset(best_params)
+        return StageTrace(
+            device_name=device.name,
+            iterations=len(energies),
+            energies=energies,
+            entropies=entropies,
+            circuits=evaluator.num_circuits - circuits_before,
+            hardware_seconds=evaluator.hardware_seconds - seconds_before,
+            queue_seconds=queue_seconds,
+            converged=converged,
+            entropy_decreased_on_switch=entropy_decreased,
+            best_params=best_params,
+            best_value=best_value,
+        )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit construction or manipulation."""
+
+
+class ParameterError(CircuitError):
+    """Unknown, unbound, or incompatible circuit parameters."""
+
+
+class SimulationError(ReproError):
+    """A simulator was asked to do something it cannot do."""
+
+
+class NoiseModelError(ReproError):
+    """Inconsistent or unphysical noise-model specification."""
+
+
+class TranspilerError(ReproError):
+    """Circuit could not be mapped onto the target device."""
+
+
+class SchedulingError(ReproError):
+    """Cloud/Qoncord scheduling failure (e.g. no eligible device)."""
+
+
+class ConvergenceError(ReproError):
+    """Optimization loop misconfiguration (not a failure to converge)."""

@@ -1,0 +1,30 @@
+"""Error mitigation: DD, TREX readout mitigation, Pauli twirling, ZNE."""
+
+from repro.mitigation.dd import (
+    apply_dynamical_decoupling,
+    circuit_duration,
+    schedule_idle_delays,
+)
+from repro.mitigation.trex import ReadoutMitigator
+from repro.mitigation.twirling import twirl_circuit, twirled_expectation
+from repro.mitigation.zne import (
+    fold_global,
+    linear_extrapolate,
+    richardson_extrapolate,
+    zne_expectation,
+    zne_latency_factor,
+)
+
+__all__ = [
+    "apply_dynamical_decoupling",
+    "circuit_duration",
+    "schedule_idle_delays",
+    "ReadoutMitigator",
+    "twirl_circuit",
+    "twirled_expectation",
+    "fold_global",
+    "linear_extrapolate",
+    "richardson_extrapolate",
+    "zne_expectation",
+    "zne_latency_factor",
+]

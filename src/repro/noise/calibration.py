@@ -1,0 +1,104 @@
+"""Calibration snapshots and drift detection (paper Section IV-I).
+
+Full device calibrations are expensive and infrequent, so Eq 1's inputs
+go stale.  The paper suggests providers keep a rolling sample of benchmark
+outcomes and compare fresh outcomes against them to detect drift without
+dedicated calibration jobs.  :class:`CalibrationTracker` implements that:
+it stores reference outcome samples for a benchmark circuit and flags a
+device whose new outcomes deviate beyond a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import NoiseModelError
+from repro.sim.result import hellinger_distance
+
+
+@dataclass
+class CalibrationSnapshot:
+    """Reference outcome distribution for one (device, benchmark) pair."""
+
+    device_name: str
+    benchmark_name: str
+    probabilities: np.ndarray
+    recorded_at: float
+
+    def distance_to(self, probabilities: np.ndarray) -> float:
+        return hellinger_distance(self.probabilities, probabilities)
+
+
+class CalibrationTracker:
+    """Detects device drift by comparing fresh benchmark outcomes to
+    stored snapshots."""
+
+    def __init__(self, drift_threshold: float = 0.08, history: int = 8):
+        if not 0.0 < drift_threshold < 1.0:
+            raise NoiseModelError("drift threshold must be in (0, 1)")
+        if history < 1:
+            raise NoiseModelError("history must be at least 1")
+        self.drift_threshold = drift_threshold
+        self.history = history
+        self._snapshots: Dict[str, List[CalibrationSnapshot]] = {}
+
+    @staticmethod
+    def _key(device_name: str, benchmark_name: str) -> str:
+        return f"{device_name}::{benchmark_name}"
+
+    def record(
+        self,
+        device_name: str,
+        benchmark_name: str,
+        probabilities: np.ndarray,
+        timestamp: float,
+    ) -> None:
+        """Store a fresh benchmark outcome as a reference sample."""
+        key = self._key(device_name, benchmark_name)
+        snapshots = self._snapshots.setdefault(key, [])
+        snapshots.append(
+            CalibrationSnapshot(
+                device_name=device_name,
+                benchmark_name=benchmark_name,
+                probabilities=np.asarray(probabilities, dtype=float).copy(),
+                recorded_at=timestamp,
+            )
+        )
+        del snapshots[: -self.history]
+
+    def reference(
+        self, device_name: str, benchmark_name: str
+    ) -> Optional[CalibrationSnapshot]:
+        key = self._key(device_name, benchmark_name)
+        snapshots = self._snapshots.get(key)
+        return snapshots[-1] if snapshots else None
+
+    def drift_detected(
+        self,
+        device_name: str,
+        benchmark_name: str,
+        probabilities: np.ndarray,
+    ) -> bool:
+        """Does the fresh outcome deviate beyond the drift threshold from
+        the *mean* stored reference distribution?"""
+        key = self._key(device_name, benchmark_name)
+        snapshots = self._snapshots.get(key)
+        if not snapshots:
+            raise NoiseModelError(
+                f"no calibration reference for {device_name}/{benchmark_name}"
+            )
+        mean_ref = np.mean([s.probabilities for s in snapshots], axis=0)
+        distance = hellinger_distance(mean_ref, np.asarray(probabilities, dtype=float))
+        return distance > self.drift_threshold
+
+    def staleness(
+        self, device_name: str, benchmark_name: str, now: float
+    ) -> float:
+        """Seconds since the most recent snapshot."""
+        ref = self.reference(device_name, benchmark_name)
+        if ref is None:
+            raise NoiseModelError("no snapshot recorded")
+        return now - ref.recorded_at

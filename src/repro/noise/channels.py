@@ -1,0 +1,194 @@
+"""Standard noise channels used by the device models.
+
+All constructors return :class:`repro.sim.kraus.KrausChannel` objects, so
+they compose and apply uniformly.  The channels here are the ones the paper's
+noisy simulations rely on: depolarizing (gate errors), thermal relaxation
+(T1/T2 decay over gate/idle durations), and bit/phase flips (twirled
+coherent errors).  Readout error is handled separately as classical
+confusion matrices in :mod:`repro.sim.sampling`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import NoiseModelError
+from repro.sim.kraus import KrausChannel
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_PAULIS_1Q = [_I, _X, _Y, _Z]
+
+
+class DepolarizingChannel(KrausChannel):
+    """Depolarizing channel with an analytic density-matrix fast path.
+
+    The Kraus representation (uniform non-identity Paulis) is kept for
+    composition and diagnostics, but ``apply_to_density`` uses the closed
+    form  E(rho) = (1-p) rho + p/(d^2-1) (d^2 Phi(rho) - rho)  where
+    ``Phi`` replaces the support subsystem with the maximally mixed state.
+    This turns the 16-term 2-qubit Kraus sum into one partial trace.
+    """
+
+    def __init__(self, p: float, num_qubits: int = 1):
+        if not 0.0 <= p <= 1.0:
+            raise NoiseModelError(f"depolarizing probability {p} outside [0, 1]")
+        if num_qubits not in (1, 2):
+            raise NoiseModelError("only 1- and 2-qubit depolarizing supported")
+        if num_qubits == 1:
+            paulis = _PAULIS_1Q
+        else:
+            paulis = [np.kron(a, b) for a in _PAULIS_1Q for b in _PAULIS_1Q]
+        n_err = len(paulis) - 1
+        ops = [math.sqrt(1.0 - p) * paulis[0]]
+        ops += [math.sqrt(p / n_err) * m for m in paulis[1:]]
+        super().__init__(ops)
+        self.p = float(p)
+
+    def apply_to_density(self, rho, qubits, num_qubits: int):
+        if len(qubits) != self.num_qubits:
+            raise NoiseModelError(
+                f"channel acts on {self.num_qubits} qubits, got {len(qubits)}"
+            )
+        if self.p == 0.0:
+            return rho
+        d_sub = self.dim
+        d2 = d_sub * d_sub
+        mixed = _replace_with_mixed(rho, qubits, num_qubits)
+        weight = self.p / (d2 - 1)
+        return (1.0 - self.p - weight) * rho + weight * d2 * mixed
+
+
+def _replace_with_mixed(rho, qubits, num_qubits: int):
+    """(I/d ⊗ tr_S rho) computed with reshapes (no einsum string limits)."""
+    n = num_qubits
+    full = rho.reshape((2,) * (2 * n))
+    k = len(qubits)
+    row_axes = [n - 1 - q for q in qubits]
+    col_axes = [2 * n - 1 - q for q in qubits]
+    # Move support row axes to front, support col axes right after.
+    rest_rows = [ax for ax in range(n) if ax not in row_axes]
+    rest_cols = [ax for ax in range(n, 2 * n) if ax not in col_axes]
+    perm = row_axes + rest_rows + col_axes + rest_cols
+    moved = np.transpose(full, perm)
+    d_sub = 1 << k
+    d_rest = 1 << (n - k)
+    moved = moved.reshape(d_sub, d_rest, d_sub, d_rest)
+    reduced = np.einsum("abad->bd", moved) / d_sub  # trace + normalize
+    # Re-tensor identity on the support and invert the permutation.
+    out = np.zeros((d_sub, d_rest, d_sub, d_rest), dtype=rho.dtype)
+    idx = np.arange(d_sub)
+    out[idx, :, idx, :] = reduced
+    out = out.reshape((2,) * (2 * n))
+    inv = np.argsort(perm)
+    out = np.transpose(out, inv)
+    dim = 1 << n
+    return np.ascontiguousarray(out).reshape(dim, dim)
+
+
+def depolarizing_channel(p: float, num_qubits: int = 1) -> DepolarizingChannel:
+    """Depolarizing channel: with probability ``p`` apply a uniform
+    non-identity Pauli on the ``num_qubits`` support.
+
+    rho -> (1-p) rho + p/(4^n - 1) * sum_{P != I} P rho P
+    """
+    return DepolarizingChannel(p, num_qubits)
+
+
+def bit_flip_channel(p: float) -> KrausChannel:
+    """X error with probability p."""
+    if not 0.0 <= p <= 1.0:
+        raise NoiseModelError(f"flip probability {p} outside [0, 1]")
+    return KrausChannel([math.sqrt(1 - p) * _I, math.sqrt(p) * _X])
+
+
+def phase_flip_channel(p: float) -> KrausChannel:
+    """Z error with probability p."""
+    if not 0.0 <= p <= 1.0:
+        raise NoiseModelError(f"flip probability {p} outside [0, 1]")
+    return KrausChannel([math.sqrt(1 - p) * _I, math.sqrt(p) * _Z])
+
+
+def pauli_channel(px: float, py: float, pz: float) -> KrausChannel:
+    """General single-qubit Pauli channel."""
+    p_id = 1.0 - px - py - pz
+    if min(px, py, pz, p_id) < -1e-12:
+        raise NoiseModelError("Pauli probabilities must be in [0, 1] and sum <= 1")
+    return KrausChannel(
+        [
+            math.sqrt(max(p_id, 0.0)) * _I,
+            math.sqrt(px) * _X,
+            math.sqrt(py) * _Y,
+            math.sqrt(pz) * _Z,
+        ]
+    )
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """T1 decay: |1> relaxes to |0> with probability gamma."""
+    if not 0.0 <= gamma <= 1.0:
+        raise NoiseModelError(f"gamma {gamma} outside [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return KrausChannel([k0, k1])
+
+
+def phase_damping_channel(lam: float) -> KrausChannel:
+    """Pure dephasing with probability lam."""
+    if not 0.0 <= lam <= 1.0:
+        raise NoiseModelError(f"lambda {lam} outside [0, 1]")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return KrausChannel([k0, k1])
+
+
+def thermal_relaxation_channel(t1: float, t2: float, duration: float) -> KrausChannel:
+    """Combined T1/T2 relaxation over ``duration`` seconds.
+
+    Valid for t2 <= 2*t1 (we additionally require t2 <= t1 so the channel
+    factors as amplitude damping followed by pure dephasing, which is the
+    regime real superconducting devices sit in).
+    """
+    if t1 <= 0 or t2 <= 0:
+        raise NoiseModelError("T1 and T2 must be positive")
+    if t2 > 2 * t1 + 1e-15:
+        raise NoiseModelError("unphysical relaxation: T2 > 2*T1")
+    if duration < 0:
+        raise NoiseModelError("duration must be non-negative")
+    gamma = 1.0 - math.exp(-duration / t1)
+    # Total dephasing rate 1/T2 includes the T1 contribution 1/(2 T1);
+    # the pure-dephasing remainder is 1/Tphi = 1/T2 - 1/(2 T1).
+    rate_phi = 1.0 / t2 - 1.0 / (2.0 * t1)
+    if rate_phi < 0:
+        rate_phi = 0.0
+    exp_phi = math.exp(-2.0 * duration * rate_phi)
+    lam = 1.0 - exp_phi
+    return amplitude_damping_channel(gamma).compose(phase_damping_channel(lam))
+
+
+def coherent_overrotation_channel(theta: float, axis: str = "z") -> KrausChannel:
+    """A coherent error: small unitary overrotation about ``axis``.
+
+    Used to test twirling, which converts this into a stochastic Pauli
+    channel with the same average fidelity.
+    """
+    axis = axis.lower()
+    gen = {"x": _X, "y": _Y, "z": _Z}.get(axis)
+    if gen is None:
+        raise NoiseModelError(f"axis must be x, y or z, got {axis!r}")
+    u = math.cos(theta / 2) * _I - 1j * math.sin(theta / 2) * gen
+    return KrausChannel([u])
+
+
+def two_qubit_tensor_channel(a: KrausChannel, b: KrausChannel) -> KrausChannel:
+    """Tensor product channel a⊗b on (qubit0, qubit1)."""
+    if a.num_qubits != 1 or b.num_qubits != 1:
+        raise NoiseModelError("tensor construction expects single-qubit channels")
+    # Little-endian: first qubit argument is the low matrix bit.
+    ops = [np.kron(kb, ka) for ka in a.operators for kb in b.operators]
+    return KrausChannel(ops)

@@ -1,0 +1,294 @@
+"""Device profiles used throughout the paper's evaluation.
+
+Each :class:`DeviceProfile` bundles everything the framework needs to treat
+a quantum computer as a schedulable resource: its noise model (for
+simulation and for Eq 1's fidelity estimate), its topology (for
+transpilation), and its cloud-side characteristics (load and speed, for the
+queue simulator and for Fig 1's wait-time analysis).
+
+The error rates for ibmq_toronto / ibmq_kolkata / IonQ-Forte are the ones
+the paper states in Section V-D.  The remaining IBMQ profiles (Fig 8) use
+representative calibration values; the hypothetical devices of the 14-qubit
+study (Fig 17) use the paper's depolarization rates of 0.1/0.5/1.0 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import NoiseModelError
+from repro.noise.model import GateErrorSpec, NoiseModel
+from repro.transpile.coupling import CouplingMap
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A quantum device as seen by Qoncord and by the cloud simulator."""
+
+    name: str
+    num_qubits: int
+    #: 2-qubit gate error rate (average, as published in calibrations).
+    error_2q: float
+    #: 1-qubit gate error rate.
+    error_1q: float
+    #: Readout (measurement) error rate.
+    readout_error: float
+    #: T1 / T2 coherence times in seconds.
+    t1: float
+    t2: float
+    #: Gate/readout durations in seconds.
+    duration_1q: float
+    duration_2q: float
+    duration_readout: float
+    #: Topology family: "heavy_hex_27" | "heavy_hex_16" | "heavy_hex_7" |
+    #: "all_to_all" | "line".
+    topology: str = "all_to_all"
+    #: Cloud-side queue state: number of jobs typically pending.
+    pending_jobs: int = 0
+    #: Mean wall-clock seconds one queued job occupies the device.
+    seconds_per_job: float = 30.0
+    #: Fixed per-job-submission overhead (compilation, control-electronics
+    #: arming, result readback) added to every circuit execution.
+    job_overhead_seconds: float = 3.0
+    #: Technology tag ("superconducting" | "trapped_ion"), used by the
+    #: pricing tables and by per-shot latency estimates.
+    technology: str = "superconducting"
+
+    def __post_init__(self):
+        if self.num_qubits < 1:
+            raise NoiseModelError("device needs at least one qubit")
+        for rate in (self.error_2q, self.error_1q, self.readout_error):
+            if not 0.0 <= rate <= 1.0:
+                raise NoiseModelError(f"error rate {rate} outside [0, 1]")
+
+    # -- derived views -----------------------------------------------------------
+
+    def noise_model(self) -> NoiseModel:
+        return NoiseModel(
+            name=self.name,
+            spec_1q=GateErrorSpec(self.error_1q, self.duration_1q),
+            spec_2q=GateErrorSpec(self.error_2q, self.duration_2q),
+            t1=self.t1,
+            t2=self.t2,
+            readout_error=self.readout_error,
+            readout_duration=self.duration_readout,
+        )
+
+    def coupling_map(self) -> CouplingMap:
+        builders: Dict[str, Callable[[], CouplingMap]] = {
+            "heavy_hex_27": CouplingMap.heavy_hex_27,
+            "heavy_hex_16": CouplingMap.heavy_hex_16,
+            "heavy_hex_7": CouplingMap.heavy_hex_7,
+            "all_to_all": lambda: CouplingMap.all_to_all(self.num_qubits),
+            "line": lambda: CouplingMap.line(self.num_qubits),
+        }
+        try:
+            return builders[self.topology]()
+        except KeyError:
+            raise NoiseModelError(f"unknown topology {self.topology!r}")
+
+    @property
+    def expected_wait_seconds(self) -> float:
+        """Queueing delay a newly submitted job sees (Fig 1's load axis)."""
+        return self.pending_jobs * self.seconds_per_job
+
+    def with_load(self, pending_jobs: int) -> "DeviceProfile":
+        return replace(self, pending_jobs=pending_jobs)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_qubits}q, 2q-err {self.error_2q:.3%}, "
+            f"RO-err {self.readout_error:.3%}, pending {self.pending_jobs}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Paper devices (Section V-D)
+# ---------------------------------------------------------------------------
+
+def ibmq_toronto() -> DeviceProfile:
+    """Low-fidelity 27-qubit device: 2.083 % 2q error, 4.48 % readout."""
+    return DeviceProfile(
+        name="ibmq_toronto",
+        num_qubits=27,
+        error_2q=0.02083,
+        error_1q=0.0005,
+        readout_error=0.0448,
+        t1=100e-6,
+        t2=80e-6,
+        duration_1q=35e-9,
+        duration_2q=450e-9,
+        duration_readout=750e-9,
+        topology="heavy_hex_27",
+        pending_jobs=20,
+        seconds_per_job=30.0,
+    )
+
+
+def ibmq_kolkata() -> DeviceProfile:
+    """High-fidelity 27-qubit device: 1.091 % 2q error, 1.22 % readout."""
+    return DeviceProfile(
+        name="ibmq_kolkata",
+        num_qubits=27,
+        error_2q=0.01091,
+        error_1q=0.0003,
+        readout_error=0.0122,
+        t1=120e-6,
+        t2=100e-6,
+        duration_1q=35e-9,
+        duration_2q=370e-9,
+        duration_readout=700e-9,
+        topology="heavy_hex_27",
+        pending_jobs=60,  # 3x the load of toronto (Fig 1)
+        seconds_per_job=30.0,
+    )
+
+
+def ionq_forte() -> DeviceProfile:
+    """36-qubit trapped-ion device: all-to-all, 0.74 % 2q, 0.5 % readout.
+
+    Trapped-ion gates are ~1000x slower (Table II: 970 us per gate) but
+    coherence times are seconds.
+    """
+    return DeviceProfile(
+        name="ionq_forte",
+        num_qubits=36,
+        error_2q=0.0074,
+        error_1q=0.0002,
+        readout_error=0.005,
+        t1=10.0,
+        t2=1.0,
+        duration_1q=135e-6,
+        duration_2q=970e-6,
+        duration_readout=300e-6,
+        topology="all_to_all",
+        pending_jobs=120,
+        seconds_per_job=60.0,
+        technology="trapped_ion",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 8 device sweep (six IBMQ profiles)
+# ---------------------------------------------------------------------------
+
+def ibmq_guadalupe() -> DeviceProfile:
+    return DeviceProfile(
+        name="ibmq_guadalupe", num_qubits=16,
+        error_2q=0.0118, error_1q=0.0004, readout_error=0.0215,
+        t1=95e-6, t2=90e-6,
+        duration_1q=35e-9, duration_2q=420e-9, duration_readout=750e-9,
+        topology="heavy_hex_16", pending_jobs=15,
+    )
+
+
+def ibmq_hanoi() -> DeviceProfile:
+    return DeviceProfile(
+        name="ibmq_hanoi", num_qubits=27,
+        error_2q=0.0092, error_1q=0.0002, readout_error=0.0105,
+        t1=140e-6, t2=120e-6,
+        duration_1q=35e-9, duration_2q=360e-9, duration_readout=700e-9,
+        topology="heavy_hex_27", pending_jobs=70,
+    )
+
+
+def ibmq_mumbai() -> DeviceProfile:
+    return DeviceProfile(
+        name="ibmq_mumbai", num_qubits=27,
+        error_2q=0.0125, error_1q=0.0004, readout_error=0.0190,
+        t1=110e-6, t2=95e-6,
+        duration_1q=35e-9, duration_2q=400e-9, duration_readout=720e-9,
+        topology="heavy_hex_27", pending_jobs=30,
+    )
+
+
+def ibm_nairobi() -> DeviceProfile:
+    return DeviceProfile(
+        name="ibm_nairobi", num_qubits=7,
+        error_2q=0.0100, error_1q=0.0003, readout_error=0.0170,
+        t1=115e-6, t2=100e-6,
+        duration_1q=35e-9, duration_2q=380e-9, duration_readout=700e-9,
+        topology="heavy_hex_7", pending_jobs=25,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothetical devices of the 14-qubit study (Fig 17/18)
+# ---------------------------------------------------------------------------
+
+def hypothetical_device(
+    name: str,
+    depolarizing_2q: float,
+    readout_error: Optional[float] = None,
+    num_qubits: int = 20,
+    pending_jobs: int = 0,
+) -> DeviceProfile:
+    """All-to-all device with uniform depolarizing + readout error.
+
+    The paper's 14-qubit study uses 0.1 % (HF), 0.5 % (MF), 1 % (LF)
+    depolarization rates for both 2-qubit gates and readout.
+    """
+    ro = depolarizing_2q if readout_error is None else readout_error
+    return DeviceProfile(
+        name=name,
+        num_qubits=num_qubits,
+        error_2q=depolarizing_2q,
+        error_1q=depolarizing_2q / 10.0,
+        readout_error=ro,
+        t1=0.0,
+        t2=0.0,
+        duration_1q=35e-9,
+        duration_2q=400e-9,
+        duration_readout=700e-9,
+        topology="all_to_all",
+        pending_jobs=pending_jobs,
+    )
+
+
+def hypothetical_hf() -> DeviceProfile:
+    return hypothetical_device("hypothetical_hf", 0.001, pending_jobs=90)
+
+
+def hypothetical_mf() -> DeviceProfile:
+    return hypothetical_device("hypothetical_mf", 0.005, pending_jobs=45)
+
+
+def hypothetical_lf() -> DeviceProfile:
+    return hypothetical_device("hypothetical_lf", 0.010, pending_jobs=10)
+
+
+#: Registry of named profiles for CLI/config lookup.
+DEVICE_REGISTRY: Dict[str, Callable[[], DeviceProfile]] = {
+    "ibmq_toronto": ibmq_toronto,
+    "ibmq_kolkata": ibmq_kolkata,
+    "ionq_forte": ionq_forte,
+    "ibmq_guadalupe": ibmq_guadalupe,
+    "ibmq_hanoi": ibmq_hanoi,
+    "ibmq_mumbai": ibmq_mumbai,
+    "ibm_nairobi": ibm_nairobi,
+    "hypothetical_hf": hypothetical_hf,
+    "hypothetical_mf": hypothetical_mf,
+    "hypothetical_lf": hypothetical_lf,
+}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device profile by name."""
+    try:
+        return DEVICE_REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_REGISTRY))
+        raise NoiseModelError(f"unknown device {name!r}; known: {known}")
+
+
+def fig8_devices() -> Tuple[DeviceProfile, ...]:
+    """The six devices of the Fig 8 layer/fidelity sweep."""
+    return (
+        ibmq_guadalupe(),
+        ibmq_hanoi(),
+        ibmq_kolkata(),
+        ibmq_mumbai(),
+        ibm_nairobi(),
+        ibmq_toronto(),
+    )

@@ -1,0 +1,222 @@
+"""Device noise models.
+
+A :class:`NoiseModel` attaches error processes to circuit instructions the
+way Qiskit Aer's device models do:
+
+* every gate gets a depolarizing error with the gate's reported error rate
+  on the qubits it touches,
+* every involved qubit additionally suffers thermal relaxation (T1/T2) for
+  the gate's duration,
+* ``delay`` instructions suffer relaxation only, and
+* measurement is corrupted by a per-qubit classical confusion matrix.
+
+The model also exposes the aggregate quantities Eq 1 (PCorrect) consumes:
+mean gate errors, durations, coherence times, and readout error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits import gates as gatedefs
+from repro.circuits.circuit import Instruction
+from repro.exceptions import NoiseModelError
+from repro.noise.channels import depolarizing_channel, thermal_relaxation_channel
+from repro.sim.kraus import KrausChannel
+
+
+@dataclass(frozen=True)
+class GateErrorSpec:
+    """Error rate and duration for one gate type."""
+
+    error: float
+    duration: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.error <= 1.0:
+            raise NoiseModelError(f"gate error {self.error} outside [0, 1]")
+        if self.duration < 0.0:
+            raise NoiseModelError("gate duration must be non-negative")
+
+
+@dataclass
+class NoiseModel:
+    """Aggregate noise description of one device.
+
+    Parameters are device-wide averages; per-qubit overrides are supported
+    through ``readout_overrides`` (and would extend naturally to gates).
+    """
+
+    name: str = "noise_model"
+    #: Error/duration for 1-qubit gates (applied to every 1q gate name).
+    spec_1q: GateErrorSpec = field(default_factory=lambda: GateErrorSpec(0.0, 0.0))
+    #: Error/duration for 2-qubit gates.
+    spec_2q: GateErrorSpec = field(default_factory=lambda: GateErrorSpec(0.0, 0.0))
+    #: T1 relaxation time in seconds (0 disables relaxation).
+    t1: float = 0.0
+    #: T2 dephasing time in seconds.
+    t2: float = 0.0
+    #: Symmetric readout flip probability applied to every measured qubit.
+    readout_error: float = 0.0
+    #: Measurement duration in seconds (relaxation accrues during readout).
+    readout_duration: float = 0.0
+    #: Optional per-qubit (p10, p01) overrides.
+    readout_overrides: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    #: Quasi-static Z-phase drift accumulated during idle windows (rad/s).
+    #: This is the *coherent* dephasing component that dynamical decoupling
+    #: refocuses (Markovian T2 decay is memoryless and cannot be undone).
+    static_phase_drift: float = 0.0
+    #: Coherent ZZ over-rotation after every 2-qubit gate (radians).  This
+    #: is the calibration-error component that Pauli twirling converts into
+    #: stochastic noise.
+    coherent_2q_angle: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.readout_error <= 1.0:
+            raise NoiseModelError("readout error outside [0, 1]")
+        if (self.t1 > 0) != (self.t2 > 0):
+            raise NoiseModelError("set both T1 and T2, or neither")
+        if self.t1 > 0 and self.t2 > 2 * self.t1:
+            raise NoiseModelError("unphysical coherence: T2 > 2*T1")
+        # Channel construction (CPTP validation included) is expensive;
+        # cache per gate-kind since specs are immutable after creation.
+        self._channel_cache: Dict[str, List[Tuple[KrausChannel, int]]] = {}
+
+    # -- instruction-level channels ------------------------------------------
+
+    @property
+    def has_relaxation(self) -> bool:
+        return self.t1 > 0.0
+
+    def gate_duration(self, inst: Instruction) -> float:
+        """Wall-clock duration of an instruction on this device."""
+        if inst.name == "delay":
+            return float(inst.metadata.get("duration", 0.0))
+        if inst.is_measurement:
+            return self.readout_duration
+        if not inst.is_gate:
+            return 0.0
+        if gatedefs.GATE_ARITY[inst.name] == 1:
+            # Virtual RZ is free on IBM hardware.
+            if inst.name == "rz":
+                return 0.0
+            return self.spec_1q.duration
+        return self.spec_2q.duration
+
+    def channels_for(
+        self, inst: Instruction
+    ) -> List[Tuple[KrausChannel, Tuple[int, ...]]]:
+        """Noise channels to apply *after* executing ``inst``."""
+        channels: List[Tuple[KrausChannel, Tuple[int, ...]]] = []
+        if inst.name == "barrier" or inst.is_measurement:
+            return channels
+        if inst.name == "delay":
+            dur = float(inst.metadata.get("duration", 0.0))
+            if dur > 0 and (self.has_relaxation or self.static_phase_drift):
+                key = f"delay:{dur!r}"
+                if key not in self._channel_cache:
+                    cached: List[Tuple[KrausChannel, int]] = []
+                    if self.has_relaxation:
+                        cached.append(
+                            (thermal_relaxation_channel(self.t1, self.t2, dur), -1)
+                        )
+                    if self.static_phase_drift:
+                        from repro.circuits.gates import rz_matrix
+
+                        drift = KrausChannel([rz_matrix(self.static_phase_drift * dur)])
+                        cached.append((drift, -1))
+                    self._channel_cache[key] = cached
+                for channel, _ in self._channel_cache[key]:
+                    channels.append((channel, inst.qubits))
+            return channels
+        if not inst.is_gate:
+            return channels
+        # Virtual RZ: noiseless and instantaneous.
+        if inst.name == "rz":
+            return channels
+        arity = gatedefs.GATE_ARITY[inst.name]
+        kind = f"gate{arity}q"
+        if kind not in self._channel_cache:
+            spec = self.spec_1q if arity == 1 else self.spec_2q
+            cached: List[Tuple[KrausChannel, int]] = []
+            if arity == 2 and self.coherent_2q_angle:
+                from repro.circuits.gates import rzz_matrix
+
+                cached.append(
+                    (KrausChannel([rzz_matrix(self.coherent_2q_angle)]), -1)
+                )
+            if spec.error > 0.0:
+                # arity marker -1 means "all gate qubits".
+                cached.append((depolarizing_channel(spec.error, arity), -1))
+            if self.has_relaxation and spec.duration > 0.0:
+                relax = thermal_relaxation_channel(self.t1, self.t2, spec.duration)
+                for slot in range(arity):
+                    cached.append((relax, slot))
+            self._channel_cache[kind] = cached
+        for channel, slot in self._channel_cache[kind]:
+            if slot == -1:
+                channels.append((channel, inst.qubits))
+            else:
+                channels.append((channel, (inst.qubits[slot],)))
+        return channels
+
+    def readout_flip_probabilities(
+        self, num_qubits: int
+    ) -> List[Tuple[float, float]]:
+        """Per-qubit (p10, p01) confusion parameters."""
+        default = (self.readout_error, self.readout_error)
+        return [
+            self.readout_overrides.get(q, default) for q in range(num_qubits)
+        ]
+
+    # -- aggregates for the fidelity estimator -----------------------------------
+
+    @property
+    def avg_error_1q(self) -> float:
+        return self.spec_1q.error
+
+    @property
+    def avg_error_2q(self) -> float:
+        return self.spec_2q.error
+
+    @property
+    def avg_readout_error(self) -> float:
+        if self.readout_overrides:
+            vals = list(self.readout_overrides.values())
+            avg_override = sum((a + b) / 2 for a, b in vals) / len(vals)
+            return avg_override
+        return self.readout_error
+
+    def scaled(self, factor: float) -> "NoiseModel":
+        """A copy with all stochastic error rates scaled by ``factor``.
+
+        Durations and coherence times are unchanged except that relaxation
+        is amplified by shortening T1/T2 by the same factor.  This is the
+        noise-scaling primitive that zero-noise extrapolation relies on.
+        """
+        if factor < 0:
+            raise NoiseModelError("scale factor must be non-negative")
+
+        def cap(p: float) -> float:
+            return min(p * factor, 1.0)
+
+        return NoiseModel(
+            name=f"{self.name}_x{factor:g}",
+            spec_1q=GateErrorSpec(cap(self.spec_1q.error), self.spec_1q.duration),
+            spec_2q=GateErrorSpec(cap(self.spec_2q.error), self.spec_2q.duration),
+            t1=self.t1 / factor if factor > 0 and self.t1 > 0 else self.t1,
+            t2=self.t2 / factor if factor > 0 and self.t2 > 0 else self.t2,
+            readout_error=cap(self.readout_error),
+            readout_duration=self.readout_duration,
+            readout_overrides={
+                q: (cap(a), cap(b)) for q, (a, b) in self.readout_overrides.items()
+            },
+            static_phase_drift=self.static_phase_drift * factor,
+            coherent_2q_angle=self.coherent_2q_angle * factor,
+        )
+
+
+def ideal_noise_model() -> NoiseModel:
+    """A no-op noise model (useful as a noise-free reference backend)."""
+    return NoiseModel(name="ideal")

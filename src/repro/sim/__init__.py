@@ -1,0 +1,29 @@
+"""Simulators: statevector (ideal), density matrix (noisy), trajectory (scalable)."""
+
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.kraus import KrausChannel, identity_channel, unitary_channel
+from repro.sim.result import (
+    Result,
+    hellinger_distance,
+    hellinger_fidelity,
+    shannon_entropy,
+)
+from repro.sim.sampling import sample_counts
+from repro.sim.statevector import StatevectorSimulator, run_statevector, zero_state
+from repro.sim.trajectory import TrajectorySimulator
+
+__all__ = [
+    "DensityMatrixSimulator",
+    "KrausChannel",
+    "identity_channel",
+    "unitary_channel",
+    "Result",
+    "hellinger_distance",
+    "hellinger_fidelity",
+    "shannon_entropy",
+    "sample_counts",
+    "StatevectorSimulator",
+    "run_statevector",
+    "zero_state",
+    "TrajectorySimulator",
+]

@@ -1,0 +1,269 @@
+"""Noisy density-matrix simulation.
+
+This is the workhorse backend for the paper's 7/9-qubit QAOA and 4-qubit
+VQE studies: exact CPTP evolution under a device noise model.
+
+Performance design: every (gate unitary + attached noise channels) pair is
+compiled once into a small *superoperator* — 4x4 for single-qubit gates,
+16x16 for two-qubit gates — acting on the vectorized reduced block of the
+density matrix.  Applying it is one transpose + one BLAS matmul over the
+full matrix, so a 7-qubit, 150-gate QAOA circuit evolves in milliseconds.
+Diagonal unitaries (rz, cz, rzz) additionally use an elementwise phase
+path.  Readout error is folded into the outcome distribution analytically,
+so expectation values are noise-exact without shot noise (shots can still
+be sampled on top).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.exceptions import SimulationError
+from repro.sim.result import Result
+from repro.sim.sampling import (
+    apply_readout_error_probabilities,
+    sample_counts,
+)
+
+if False:  # pragma: no cover - import cycle guard (sim <-> noise)
+    from repro.noise.model import NoiseModel
+
+#: Guard rail: a dense density matrix at n qubits costs 16 * 4**n bytes.
+MAX_DM_QUBITS = 12
+
+
+def zero_density(num_qubits: int) -> np.ndarray:
+    dim = 1 << num_qubits
+    rho = np.zeros((dim, dim), dtype=complex)
+    rho[0, 0] = 1.0
+    return rho
+
+
+def _diagonal_of(matrix: np.ndarray) -> Optional[np.ndarray]:
+    """The diagonal of ``matrix`` if it is diagonal, else ``None``."""
+    off = matrix - np.diag(np.diag(matrix))
+    if np.abs(off).max() < 1e-15:
+        return np.diag(matrix).copy()
+    return None
+
+
+def channel_superop(operators: Sequence[np.ndarray]) -> np.ndarray:
+    """Superoperator S = sum_k K_k ⊗ conj(K_k) (row-major vectorization)."""
+    ops = list(operators)
+    d = ops[0].shape[0]
+    s = np.zeros((d * d, d * d), dtype=complex)
+    for k in ops:
+        s += np.kron(k, k.conj())
+    return s
+
+
+def _embed_1q_ops(ops: Sequence[np.ndarray], slot: int) -> List[np.ndarray]:
+    """Embed 1-qubit operators at bit position ``slot`` of a 2-qubit space."""
+    eye = np.eye(2, dtype=complex)
+    if slot == 0:
+        return [np.kron(eye, k) for k in ops]
+    return [np.kron(k, eye) for k in ops]
+
+
+def apply_superop(
+    rho: np.ndarray, superop: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a 1- or 2-qubit superoperator to the density matrix.
+
+    The combined (row, column) bits of the target qubits are permuted to
+    the front, flattened to one axis of size d^2, and contracted with the
+    superoperator in a single matmul.
+    """
+    n = num_qubits
+    dim = 1 << n
+    k = len(qubits)
+    d2 = 1 << (2 * k)
+    full = rho.reshape((2,) * (2 * n))
+    # Row axis of qubit q is n-1-q; column axis is 2n-1-q.  The superop
+    # index packs (row bits desc, col bits desc) with qubits[-1] as the
+    # high bit — matching kron(K, conj(K)) with little-endian gate matrices.
+    front = [n - 1 - q for q in reversed(qubits)] + [
+        2 * n - 1 - q for q in reversed(qubits)
+    ]
+    rest = [ax for ax in range(2 * n) if ax not in front]
+    perm = front + rest
+    moved = np.transpose(full, perm).reshape(d2, -1)
+    out = superop @ moved
+    out = out.reshape([2] * (2 * k) + [2] * (2 * n - 2 * k))
+    out = np.transpose(out, np.argsort(perm))
+    return np.ascontiguousarray(out).reshape(dim, dim)
+
+
+class DensityMatrixSimulator:
+    """Exact noisy simulator: CPTP channel evolution of the density matrix."""
+
+    name = "density_matrix"
+
+    def __init__(
+        self,
+        noise_model=None,
+        seed: Optional[int] = None,
+    ):
+        if noise_model is None:
+            from repro.noise.model import ideal_noise_model
+
+            noise_model = ideal_noise_model()
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+        #: Compiled superoperators: noise-only (per kind) and gate+noise.
+        self._noise_superops: Dict[str, Optional[np.ndarray]] = {}
+        self._gate_superops: Dict[Tuple, np.ndarray] = {}
+
+    # -- superoperator compilation -------------------------------------------
+
+    def _noise_superop(self, inst: Instruction) -> Optional[np.ndarray]:
+        """Superoperator of all noise channels attached to ``inst`` (or None)."""
+        arity = len(inst.qubits)
+        if inst.name == "delay":
+            key = f"delay:{inst.metadata.get('duration', 0.0)!r}"
+        else:
+            # Per gate *name*: rz is virtual/noiseless while other 1q gates
+            # are not, so an arity-level key would conflate them.
+            key = f"gate:{inst.name}"
+        if key not in self._noise_superops:
+            channels = self.noise_model.channels_for(inst)
+            if not channels:
+                self._noise_superops[key] = None
+            else:
+                d2 = 1 << (2 * arity)
+                total = np.eye(d2, dtype=complex)
+                for channel, qubits in channels:
+                    ops = channel.operators
+                    if len(qubits) < arity:
+                        # Single-qubit channel inside a 2-qubit gate: embed
+                        # at the right slot of the instruction's qubits.
+                        slot = inst.qubits.index(qubits[0])
+                        ops = _embed_1q_ops(ops, slot)
+                    total = channel_superop(ops) @ total
+                self._noise_superops[key] = total
+        return self._noise_superops[key]
+
+    def _gate_superop(self, inst: Instruction, noise: Optional[np.ndarray]) -> np.ndarray:
+        """Combined (noise ∘ unitary) superoperator for a non-diagonal gate."""
+        key = (inst.name, tuple(float(p) for p in inst.params))
+        if key not in self._gate_superops:
+            u = inst.matrix()
+            s = channel_superop([u])
+            if noise is not None:
+                s = noise @ s
+            self._gate_superops[key] = s
+        return self._gate_superops[key]
+
+    # -- evolution ----------------------------------------------------------------
+
+    def evolve(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Final density matrix after the circuit's unitary+noise dynamics."""
+        n = circuit.num_qubits
+        if n > MAX_DM_QUBITS:
+            raise SimulationError(
+                f"{n} qubits exceeds the density-matrix limit of "
+                f"{MAX_DM_QUBITS}; use TrajectorySimulator"
+            )
+        rho = zero_density(n)
+        dim = 1 << n
+        basis_index = np.arange(dim)
+        for inst in circuit:
+            if inst.is_gate:
+                noise = self._noise_superop(inst)
+                u = inst.matrix()
+                diag = _diagonal_of(u)
+                if diag is not None:
+                    # Diagonal unitaries act elementwise: rho -> D rho D†.
+                    key = np.zeros(dim, dtype=np.int64)
+                    for slot, q in enumerate(inst.qubits):
+                        key |= ((basis_index >> q) & 1) << slot
+                    dfull = diag[key]
+                    rho = (dfull[:, None] * rho) * dfull.conj()[None, :]
+                    if noise is not None:
+                        rho = apply_superop(rho, noise, inst.qubits, n)
+                else:
+                    s = self._gate_superop(inst, noise)
+                    rho = apply_superop(rho, s, inst.qubits, n)
+            elif inst.name == "reset":
+                raise SimulationError("reset is not supported")
+            else:
+                noise = (
+                    self._noise_superop(inst) if inst.name == "delay" else None
+                )
+                if noise is not None:
+                    for q in inst.qubits:
+                        rho = apply_superop(rho, noise, (q,), n)
+        return rho
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        apply_readout_error: bool = True,
+    ) -> Result:
+        """Execute and return exact noisy probabilities (plus counts if asked).
+
+        Readout error enters the probability vector analytically; sampled
+        counts are then drawn from the corrupted distribution.
+        """
+        rho = self.evolve(circuit)
+        probs = np.real(np.diag(rho)).clip(min=0.0)
+        probs /= probs.sum()
+        if apply_readout_error and self.noise_model.avg_readout_error > 0:
+            flips = self.noise_model.readout_flip_probabilities(circuit.num_qubits)
+            probs = apply_readout_error_probabilities(probs, flips)
+        counts = None
+        if shots:
+            counts = sample_counts(probs, shots, rng or self._rng)
+        return Result(
+            num_qubits=circuit.num_qubits,
+            shots=shots,
+            counts=counts,
+            density_matrix=rho,
+            exact_probabilities=probs,
+        )
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        hamiltonian: Hamiltonian,
+        include_readout_error: bool = True,
+    ) -> float:
+        """Noisy <H>.
+
+        Diagonal Hamiltonians are evaluated from the readout-corrupted
+        distribution (what a real sampled estimate converges to).
+        Off-diagonal Hamiltonians are evaluated per qubit-wise-commuting
+        measurement group: the group's basis-change circuit is appended,
+        then the diagonalized terms are read from the corrupted
+        distribution of that rotated circuit.
+        """
+        bare = circuit.remove_measurements()
+        if hamiltonian.is_diagonal:
+            result = self.run(bare, apply_readout_error=include_readout_error)
+            diag = hamiltonian.diagonal()
+            return float(np.dot(result.probabilities(), diag))
+        total = hamiltonian.constant()
+        for group in hamiltonian.grouped_terms():
+            basis = Hamiltonian.measurement_basis_circuit(group, bare.num_qubits)
+            rotated = bare.compose(basis)
+            result = self.run(rotated, apply_readout_error=include_readout_error)
+            probs = result.probabilities()
+            for coeff, zpauli in Hamiltonian.diagonalized_group(group):
+                sub = Hamiltonian(bare.num_qubits, [(coeff, zpauli)])
+                total += float(np.dot(probs, sub.diagonal()))
+        return total
+
+    def probabilities(
+        self, circuit: QuantumCircuit, apply_readout_error: bool = True
+    ) -> np.ndarray:
+        return self.run(
+            circuit.remove_measurements(), apply_readout_error=apply_readout_error
+        ).probabilities()

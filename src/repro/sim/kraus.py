@@ -1,0 +1,168 @@
+"""Kraus-operator quantum channels.
+
+A :class:`KrausChannel` is a CPTP map given by operators {K_i} with
+``sum_i K_i† K_i = I``.  Channels are applied to density matrices by tensor
+contraction at arbitrary qubit positions, mirroring how
+:func:`repro.sim.statevector.apply_unitary` embeds gate unitaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import NoiseModelError
+
+
+class KrausChannel:
+    """A quantum channel in Kraus form acting on ``num_qubits`` qubits."""
+
+    def __init__(self, operators: Sequence[np.ndarray], atol: float = 1e-8):
+        ops = [np.asarray(k, dtype=complex) for k in operators]
+        if not ops:
+            raise NoiseModelError("a channel needs at least one Kraus operator")
+        dim = ops[0].shape[0]
+        if dim & (dim - 1) or dim < 2:
+            raise NoiseModelError(f"Kraus operator dimension {dim} is not a power of 2")
+        for k in ops:
+            if k.shape != (dim, dim):
+                raise NoiseModelError("Kraus operators must share a square shape")
+        total = sum(k.conj().T @ k for k in ops)
+        if not np.allclose(total, np.eye(dim), atol=atol):
+            raise NoiseModelError("Kraus operators do not satisfy sum K†K = I")
+        # Prune vanishing operators (e.g. produced by compose()) — they
+        # contribute nothing but cost a full tensor contraction each.
+        pruned = [k for k in ops if np.abs(k).max() > atol]
+        self.operators: List[np.ndarray] = pruned or ops[:1]
+        self.num_qubits = dim.bit_length() - 1
+        self._stacked: Optional[np.ndarray] = None
+
+    @property
+    def dim(self) -> int:
+        return 1 << self.num_qubits
+
+    @property
+    def is_unitary(self) -> bool:
+        return len(self.operators) == 1
+
+    def __repr__(self) -> str:
+        return f"KrausChannel(qubits={self.num_qubits}, ops={len(self.operators)})"
+
+    # -- algebra -----------------------------------------------------------------
+
+    def compose(self, other: "KrausChannel") -> "KrausChannel":
+        """``other`` after ``self`` (both on the same qubits)."""
+        if other.num_qubits != self.num_qubits:
+            raise NoiseModelError("cannot compose channels of different sizes")
+        ops = [b @ a for a in self.operators for b in other.operators]
+        return KrausChannel(ops)
+
+    def apply_to_density(
+        self, rho: np.ndarray, qubits: Sequence[int], num_qubits: int
+    ) -> np.ndarray:
+        """rho -> sum_i K_i rho K_i† with K_i embedded at ``qubits``."""
+        if len(qubits) != self.num_qubits:
+            raise NoiseModelError(
+                f"channel acts on {self.num_qubits} qubits, got {len(qubits)}"
+            )
+        if self.num_qubits <= 2:
+            if self._stacked is None:
+                self._stacked = np.stack(self.operators)
+            return apply_channel_stacked(rho, self._stacked, qubits, num_qubits)
+        out = np.zeros_like(rho)
+        for k in self.operators:
+            out += _embed_apply(rho, k, qubits, num_qubits)
+        return out
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def average_fidelity(self) -> float:
+        """Average gate fidelity of the channel w.r.t. identity.
+
+        Uses F_avg = (sum_i |tr K_i|^2 / d + 1) / (d + 1) — exact for any
+        channel; equals 1 for the identity.
+        """
+        d = self.dim
+        entanglement_fid = sum(abs(np.trace(k)) ** 2 for k in self.operators) / d**2
+        return float((d * entanglement_fid + 1) / (d + 1))
+
+    def choi_matrix(self) -> np.ndarray:
+        """Choi matrix (column-stacking convention); PSD for CPTP maps."""
+        d = self.dim
+        choi = np.zeros((d * d, d * d), dtype=complex)
+        for k in self.operators:
+            vec = k.reshape(-1, order="F")
+            choi += np.outer(vec, vec.conj())
+        return choi
+
+
+def apply_channel_stacked(
+    rho: np.ndarray, ops: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """sum_m K_m rho K_m† for stacked 1- or 2-qubit operators ``ops``.
+
+    Batches all Kraus operators into two einsum contractions — much faster
+    than looping :func:`_embed_apply` for the small channels device noise
+    models produce.
+    """
+    n = num_qubits
+    dim = 1 << n
+    k = len(qubits)
+    if k == 1:
+        q = qubits[0]
+        a = 1 << (n - 1 - q)
+        b = 1 << q
+        r1 = rho.reshape(a, 2, b, dim)
+        # Rows: t[m, a, p, b, R] = ops[m, p, x] rho[a, x, b, R]
+        t = np.einsum("mpx,axbR->mapbR", ops, r1)
+        t2 = t.reshape(len(ops), dim, a, 2, b)
+        out = np.einsum("mPX,mraXb->raPb", ops.conj(), t2)
+        return out.reshape(dim, dim)
+    if k == 2:
+        hi, lo = max(qubits), min(qubits)
+        a = 1 << (n - 1 - hi)
+        b = 1 << (hi - lo - 1)
+        c = 1 << lo
+        ops5 = ops.reshape(len(ops), 2, 2, 2, 2)
+        if qubits[0] == hi:
+            # Matrix bit 0 belongs to qubits[0] = hi; swap slots so the
+            # high einsum index is the high qubit.
+            ops5 = ops5.transpose(0, 2, 1, 4, 3)
+        r1 = rho.reshape(a, 2, b, 2, c, dim)
+        t = np.einsum("mpqxy,axbycR->mapbqcR", ops5, r1)
+        t2 = t.reshape(len(ops), dim, a, 2, b, 2, c)
+        out = np.einsum("mPQXY,mraXbYc->raPbQc", ops5.conj(), t2)
+        return out.reshape(dim, dim)
+    raise NoiseModelError("stacked application supports 1- and 2-qubit channels")
+
+
+def _embed_apply(
+    rho: np.ndarray, op: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Compute (K ⊗ I) rho (K ⊗ I)† with K placed at ``qubits``."""
+    k = len(qubits)
+    tensor = op.reshape((2,) * (2 * k))
+    t_conj = op.conj().reshape((2,) * (2 * k))
+    # Row indices of rho are axes [0, n); column indices are [n, 2n).
+    full = rho.reshape((2,) * (2 * num_qubits))
+    row_axes = [num_qubits - 1 - q for q in reversed(qubits)]
+    col_axes = [2 * num_qubits - 1 - q for q in reversed(qubits)]
+    # K acting on row indices.
+    full = np.moveaxis(full, row_axes, range(k))
+    full = np.tensordot(tensor, full, axes=(list(range(k, 2 * k)), list(range(k))))
+    full = np.moveaxis(full, range(k), row_axes)
+    # K† acting on column indices: (rho K†)_{ab} = rho_{ac} conj(K_{bc}).
+    full = np.moveaxis(full, col_axes, range(k))
+    full = np.tensordot(t_conj, full, axes=(list(range(k, 2 * k)), list(range(k))))
+    full = np.moveaxis(full, range(k), col_axes)
+    dim = 1 << num_qubits
+    return np.ascontiguousarray(full).reshape(dim, dim)
+
+
+def identity_channel(num_qubits: int = 1) -> KrausChannel:
+    return KrausChannel([np.eye(1 << num_qubits, dtype=complex)])
+
+
+def unitary_channel(matrix: np.ndarray) -> KrausChannel:
+    return KrausChannel([np.asarray(matrix, dtype=complex)])

@@ -1,0 +1,125 @@
+"""Execution results: counts, states, and derived metrics.
+
+The :class:`Result` container is what every simulator returns.  It carries
+whichever representations the backend produced (counts, statevector,
+density matrix, exact probabilities) and computes the quantities the rest
+of the framework consumes: expectation values, Shannon entropy of the
+output distribution (Qoncord's second convergence signal), and Hellinger
+fidelity between distributions (Fig 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.exceptions import SimulationError
+
+
+@dataclass
+class Result:
+    """Outcome of one circuit execution on some backend."""
+
+    num_qubits: int
+    shots: int = 0
+    counts: Optional[Dict[int, int]] = None
+    statevector: Optional[np.ndarray] = None
+    density_matrix: Optional[np.ndarray] = None
+    #: Exact outcome probabilities (noise included) when the backend can
+    #: produce them analytically; preferred over counts when present.
+    exact_probabilities: Optional[np.ndarray] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    # -- distributions -------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Outcome distribution over the 2**n basis states."""
+        if self.exact_probabilities is not None:
+            return self.exact_probabilities
+        if self.counts is not None:
+            dim = 1 << self.num_qubits
+            probs = np.zeros(dim)
+            total = sum(self.counts.values())
+            if total == 0:
+                raise SimulationError("result has empty counts")
+            for bits, c in self.counts.items():
+                probs[bits] = c / total
+            return probs
+        if self.statevector is not None:
+            return np.abs(self.statevector) ** 2
+        if self.density_matrix is not None:
+            return np.real(np.diag(self.density_matrix)).clip(min=0.0)
+        raise SimulationError("result carries no distribution information")
+
+    def counts_as_bitstrings(self) -> Dict[str, int]:
+        """Counts keyed by bitstring labels, qubit 0 rightmost."""
+        if self.counts is None:
+            raise SimulationError("result has no counts")
+        return {
+            format(bits, f"0{self.num_qubits}b"): c
+            for bits, c in sorted(self.counts.items())
+        }
+
+    # -- derived metrics ---------------------------------------------------------
+
+    def expectation(self, hamiltonian: Hamiltonian) -> float:
+        """<H> using the best representation available."""
+        if self.statevector is not None:
+            return hamiltonian.expectation_statevector(self.statevector)
+        if self.density_matrix is not None:
+            return hamiltonian.expectation_density(self.density_matrix)
+        if hamiltonian.is_diagonal:
+            if self.exact_probabilities is not None:
+                diag = hamiltonian.diagonal()
+                return float(np.dot(self.exact_probabilities, diag))
+            if self.counts is not None:
+                return hamiltonian.expectation_counts(self.counts)
+        raise SimulationError(
+            "cannot evaluate off-diagonal Hamiltonian from counts alone"
+        )
+
+    def shannon_entropy(self) -> float:
+        """Shannon entropy (bits) of the output distribution."""
+        return shannon_entropy(self.probabilities())
+
+    def hellinger_fidelity(self, other: "Result") -> float:
+        return hellinger_fidelity(self.probabilities(), other.probabilities())
+
+
+def shannon_entropy(probs: np.ndarray) -> float:
+    """H(p) = -sum p log2 p, ignoring zero entries."""
+    p = np.asarray(probs, dtype=float)
+    p = p[p > 0.0]
+    if p.size == 0:
+        raise SimulationError("empty distribution")
+    return float(-(p * np.log2(p)).sum())
+
+
+def hellinger_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Hellinger distance between two distributions, in [0, 1]."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise SimulationError("distribution shapes differ")
+    return float(np.sqrt(0.5 * ((np.sqrt(p) - np.sqrt(q)) ** 2).sum()))
+
+
+def hellinger_fidelity(p: np.ndarray, q: np.ndarray) -> float:
+    """Hellinger fidelity (1 - H^2)^2, matching qiskit's definition."""
+    h2 = hellinger_distance(p, q) ** 2
+    return float((1.0 - h2) ** 2)
+
+
+def counts_from_mapping(raw: Mapping[str, int], num_qubits: int) -> Dict[int, int]:
+    """Convert bitstring-keyed counts to integer-keyed counts."""
+    out: Dict[int, int] = {}
+    for key, c in raw.items():
+        bits = int(key, 2)
+        if bits >= (1 << num_qubits):
+            raise SimulationError(f"bitstring {key!r} too long for {num_qubits} qubits")
+        out[bits] = out.get(bits, 0) + int(c)
+    return out

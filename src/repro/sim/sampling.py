@@ -1,0 +1,113 @@
+"""Shot sampling and readout-error application.
+
+Separating sampling from state evolution lets every simulator share one
+tested implementation, and lets the TREX mitigation module manipulate the
+same confusion-matrix representation the noise models use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+def sample_counts(
+    probabilities: np.ndarray, shots: int, rng: np.random.Generator
+) -> Dict[int, int]:
+    """Draw ``shots`` outcomes from a distribution over basis states."""
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    p = np.asarray(probabilities, dtype=float).clip(min=0.0)
+    total = p.sum()
+    if total <= 0:
+        raise SimulationError("probabilities sum to zero")
+    p = p / total
+    draws = rng.multinomial(shots, p)
+    return {int(i): int(c) for i, c in enumerate(draws) if c}
+
+
+def apply_readout_error_counts(
+    counts: Dict[int, int],
+    flip_probabilities: Sequence[Sequence[float]],
+    rng: np.random.Generator,
+) -> Dict[int, int]:
+    """Stochastically corrupt sampled counts with per-qubit readout flips.
+
+    ``flip_probabilities[q] = (p10, p01)`` where ``p10`` is P(read 1 | true 0)
+    and ``p01`` is P(read 0 | true 1).
+    """
+    out: Dict[int, int] = {}
+    num_qubits = len(flip_probabilities)
+    for bits, c in counts.items():
+        # Expand into individual shots only per distinct outcome.
+        reads = np.full(c, bits, dtype=np.int64)
+        for q, (p10, p01) in enumerate(flip_probabilities):
+            mask = 1 << q
+            is_one = (reads & mask) != 0
+            p_flip = np.where(is_one, p01, p10)
+            flips = rng.random(c) < p_flip
+            reads = np.where(flips, reads ^ mask, reads)
+        for r in reads:
+            out[int(r)] = out.get(int(r), 0) + 1
+    return out
+
+
+def apply_readout_error_probabilities(
+    probabilities: np.ndarray, flip_probabilities: Sequence[Sequence[float]]
+) -> np.ndarray:
+    """Exactly propagate a distribution through per-qubit confusion matrices.
+
+    The full confusion matrix is ``⊗_q M_q`` with
+    ``M_q = [[1-p10, p01], [p10, 1-p01]]`` (columns = true value).
+    """
+    num_qubits = len(flip_probabilities)
+    dim = 1 << num_qubits
+    p = np.asarray(probabilities, dtype=float)
+    if p.shape[0] != dim:
+        raise SimulationError("probability vector dimension mismatch")
+    tensor = p.reshape((2,) * num_qubits)
+    for q, (p10, p01) in enumerate(flip_probabilities):
+        m = np.array([[1.0 - p10, p01], [p10, 1.0 - p01]])
+        axis = num_qubits - 1 - q
+        tensor = np.moveaxis(
+            np.tensordot(m, np.moveaxis(tensor, axis, 0), axes=(1, 0)), 0, axis
+        )
+    return tensor.reshape(-1)
+
+
+def confusion_matrix_1q(p10: float, p01: float) -> np.ndarray:
+    """2x2 column-stochastic readout confusion matrix for one qubit."""
+    for p in (p10, p01):
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"flip probability {p} outside [0, 1]")
+    return np.array([[1.0 - p10, p01], [p10, 1.0 - p01]])
+
+
+def marginal_counts(
+    counts: Dict[int, int], qubits: Sequence[int]
+) -> Dict[int, int]:
+    """Marginalize counts onto a subset of qubits (new bit i = old qubits[i])."""
+    out: Dict[int, int] = {}
+    for bits, c in counts.items():
+        key = 0
+        for i, q in enumerate(qubits):
+            if bits & (1 << q):
+                key |= 1 << i
+        out[key] = out.get(key, 0) + c
+    return out
+
+
+def expected_value_of_bits(counts: Dict[int, int], num_qubits: int) -> np.ndarray:
+    """Per-qubit marginal probability of reading 1."""
+    total = sum(counts.values())
+    if total == 0:
+        raise SimulationError("empty counts")
+    probs = np.zeros(num_qubits)
+    for bits, c in counts.items():
+        for q in range(num_qubits):
+            if bits & (1 << q):
+                probs[q] += c
+    return probs / total

@@ -1,0 +1,117 @@
+"""Exact statevector simulation.
+
+This is the noise-free reference simulator: it applies gate unitaries to a
+``2**n`` statevector by tensor contraction (never building the full
+``2**n x 2**n`` unitary), samples measurement counts, and evaluates
+Hamiltonian expectations analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.exceptions import SimulationError
+from repro.sim.result import Result
+from repro.sim.sampling import sample_counts
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """|0...0> statevector."""
+    state = np.zeros(1 << num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def apply_unitary(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit unitary to ``qubits`` of an n-qubit statevector.
+
+    The matrix row index packs the qubit arguments little-endian: bit ``i``
+    of the index is the value of ``qubits[i]``.
+    """
+    k = len(qubits)
+    if matrix.shape != (1 << k, 1 << k):
+        raise SimulationError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    tensor = matrix.reshape((2,) * (2 * k))
+    st = state.reshape((2,) * num_qubits)
+    # Tensor axis of qubit q is n-1-q (C-order: axis 0 = most significant).
+    # The matrix's most significant index bit is the *last* qubit argument,
+    # so bring axes [qubits[k-1], ..., qubits[0]] to the front.
+    src = [num_qubits - 1 - q for q in reversed(qubits)]
+    st = np.moveaxis(st, src, range(k))
+    st = np.tensordot(tensor, st, axes=(list(range(k, 2 * k)), list(range(k))))
+    st = np.moveaxis(st, range(k), src)
+    return np.ascontiguousarray(st).reshape(-1)
+
+
+def run_statevector(circuit: QuantumCircuit, initial: Optional[np.ndarray] = None) -> np.ndarray:
+    """Evolve the circuit's unitary part; measurements/directives are skipped."""
+    n = circuit.num_qubits
+    state = zero_state(n) if initial is None else np.asarray(initial, dtype=complex).copy()
+    if state.shape[0] != (1 << n):
+        raise SimulationError("initial state dimension mismatch")
+    for inst in circuit:
+        if inst.is_gate:
+            state = apply_unitary(state, inst.matrix(), inst.qubits, n)
+        elif inst.name == "reset":
+            raise SimulationError("reset is not supported in pure-state evolution")
+        # measure / barrier / delay are no-ops for the ideal statevector
+    return state
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a (small) circuit, built column by column."""
+    n = circuit.num_qubits
+    if n > 12:
+        raise SimulationError("dense unitary beyond 12 qubits is not supported")
+    dim = 1 << n
+    u = np.zeros((dim, dim), dtype=complex)
+    for col in range(dim):
+        basis = np.zeros(dim, dtype=complex)
+        basis[col] = 1.0
+        u[:, col] = run_statevector(circuit, initial=basis)
+    return u
+
+
+class StatevectorSimulator:
+    """Noise-free backend with the common ``run`` / ``expectation`` API."""
+
+    name = "statevector"
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Result:
+        """Execute ``circuit``; with ``shots > 0`` also sample counts."""
+        state = run_statevector(circuit)
+        counts = None
+        if shots:
+            probs = np.abs(state) ** 2
+            counts = sample_counts(probs, shots, rng or self._rng)
+        return Result(
+            num_qubits=circuit.num_qubits,
+            shots=shots,
+            counts=counts,
+            statevector=state,
+        )
+
+    def expectation(self, circuit: QuantumCircuit, hamiltonian: Hamiltonian) -> float:
+        """Exact <H> after running ``circuit`` (measurements ignored)."""
+        state = run_statevector(circuit.remove_measurements())
+        return hamiltonian.expectation_statevector(state)
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        state = run_statevector(circuit.remove_measurements())
+        return np.abs(state) ** 2

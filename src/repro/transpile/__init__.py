@@ -1,0 +1,25 @@
+"""Transpiler: coupling maps, basis translation, routing, optimization."""
+
+from repro.transpile.basis import IBM_BASIS, IONQ_BASIS, decompose_to_basis
+from repro.transpile.coupling import CouplingMap
+from repro.transpile.passes import (
+    TranspileResult,
+    optimize,
+    permute_hamiltonian,
+    transpile,
+)
+from repro.transpile.routing import RoutedCircuit, route, route_onto_device
+
+__all__ = [
+    "IBM_BASIS",
+    "IONQ_BASIS",
+    "decompose_to_basis",
+    "CouplingMap",
+    "TranspileResult",
+    "optimize",
+    "permute_hamiltonian",
+    "transpile",
+    "RoutedCircuit",
+    "route",
+    "route_onto_device",
+]

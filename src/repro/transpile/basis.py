@@ -1,0 +1,265 @@
+"""Basis-gate decomposition.
+
+IBM devices execute {RZ, SX, X, CX} (RZ is a free virtual frame change);
+IonQ devices execute single-qubit rotations plus an XX-type entangler.  We
+translate the full gate vocabulary into a chosen basis so the noise model's
+per-gate error rates attach to what the hardware really runs.
+
+All decompositions are exact up to global phase.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.exceptions import TranspilerError
+
+#: IBM superconducting basis.
+IBM_BASIS = frozenset({"rz", "sx", "x", "cx"})
+#: IonQ trapped-ion basis (rxx is the Mølmer–Sørensen interaction).
+IONQ_BASIS = frozenset({"rz", "sx", "x", "rxx"})
+
+GateSpec = Tuple[str, Tuple[float, ...]]
+
+
+def u_angles(name: str, params: Sequence[float]) -> Tuple[float, float, float]:
+    """(theta, phi, lambda) of the U-gate equivalent of a 1q gate."""
+    p = [float(x) for x in params]
+    table = {
+        "id": (0.0, 0.0, 0.0),
+        "x": (math.pi, 0.0, math.pi),
+        "y": (math.pi, math.pi / 2, math.pi / 2),
+        "z": (0.0, 0.0, math.pi),
+        "h": (math.pi / 2, 0.0, math.pi),
+        "s": (0.0, 0.0, math.pi / 2),
+        "sdg": (0.0, 0.0, -math.pi / 2),
+        "t": (0.0, 0.0, math.pi / 4),
+        "tdg": (0.0, 0.0, -math.pi / 4),
+        "sx": (math.pi / 2, -math.pi / 2, math.pi / 2),
+        "sxdg": (math.pi / 2, math.pi / 2, -math.pi / 2),
+    }
+    if name in table:
+        return table[name]
+    if name == "rx":
+        return (p[0], -math.pi / 2, math.pi / 2)
+    if name == "ry":
+        return (p[0], 0.0, 0.0)
+    if name in ("rz", "p"):
+        return (0.0, 0.0, p[0])
+    if name == "u":
+        return (p[0], p[1], p[2])
+    raise TranspilerError(f"no U-equivalent for gate {name!r}")
+
+
+def decompose_1q(name: str, params: Sequence[float]) -> List[GateSpec]:
+    """Rewrite a single-qubit gate as an RZ/SX/X sequence (circuit order).
+
+    Uses U(theta, phi, lam) = RZ(phi+pi) SX RZ(theta+pi) SX RZ(lam)
+    (up to global phase), with shortcuts for diagonal and native gates.
+    """
+    if name in ("x", "sx"):
+        return [(name, ())]
+    theta, phi, lam = u_angles(name, params)
+    theta = _wrap(theta)
+    if abs(theta) < 1e-12:
+        angle = _wrap(phi + lam)
+        return [] if abs(angle) < 1e-12 else [("rz", (angle,))]
+    if abs(theta - math.pi / 2) < 1e-12:
+        # U(pi/2, phi, lam) = RZ(phi + pi/2) SX RZ(lam - pi/2) — one SX.
+        return _compress_rz(
+            [("rz", (lam - math.pi / 2,)), ("sx", ()), ("rz", (phi + math.pi / 2,))]
+        )
+    return _compress_rz(
+        [
+            ("rz", (lam,)),
+            ("sx", ()),
+            ("rz", (theta + math.pi,)),
+            ("sx", ()),
+            ("rz", (phi + math.pi,)),
+        ]
+    )
+
+
+def _wrap(angle: float) -> float:
+    """Wrap to (-pi, pi]."""
+    a = math.fmod(angle + math.pi, 2 * math.pi)
+    if a <= 0:
+        a += 2 * math.pi
+    return a - math.pi
+
+
+def _compress_rz(seq: List[GateSpec]) -> List[GateSpec]:
+    out: List[GateSpec] = []
+    for name, params in seq:
+        if name == "rz":
+            angle = _wrap(params[0])
+            if abs(angle) < 1e-12:
+                continue
+            if out and out[-1][0] == "rz":
+                merged = _wrap(out[-1][1][0] + angle)
+                out.pop()
+                if abs(merged) > 1e-12:
+                    out.append(("rz", (merged,)))
+                continue
+            out.append(("rz", (angle,)))
+        else:
+            out.append((name, params))
+    return out
+
+
+def decompose_to_basis(
+    circuit: QuantumCircuit, basis: frozenset = IBM_BASIS
+) -> QuantumCircuit:
+    """Translate every gate into ``basis``; directives pass through."""
+    out = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_t")
+    for inst in circuit:
+        if not inst.is_gate:
+            out.append(inst.name, inst.qubits, inst.params, inst.metadata)
+            continue
+        _emit(out, inst, basis)
+    return out
+
+
+def _emit(out: QuantumCircuit, inst: Instruction, basis: frozenset) -> None:
+    name = inst.name
+    qs = inst.qubits
+    if inst.is_parameterized:
+        _emit_symbolic(out, inst, basis)
+        return
+    params = tuple(float(p) for p in inst.params)
+    if name in basis:
+        out.append(name, qs, params)
+        return
+    if len(qs) == 1:
+        for g, p in decompose_1q(name, params):
+            out.append(g, [qs[0]], p)
+        return
+    a, b = qs
+    if name == "cz":
+        _emit_many(out, [("h", (b,), ()), ("cx", (a, b), ()), ("h", (b,), ())], basis)
+    elif name == "swap":
+        _emit_many(
+            out,
+            [("cx", (a, b), ()), ("cx", (b, a), ()), ("cx", (a, b), ())],
+            basis,
+        )
+    elif name == "rzz":
+        theta = params[0]
+        _emit_many(
+            out,
+            [("cx", (a, b), ()), ("rz", (b,), (theta,)), ("cx", (a, b), ())],
+            basis,
+        )
+    elif name == "rxx":
+        theta = params[0]
+        seq = [("h", (a,), ()), ("h", (b,), ()),
+               ("rzz", (a, b), (theta,)),
+               ("h", (a,), ()), ("h", (b,), ())]
+        _emit_many(out, seq, basis)
+    elif name == "ryy":
+        theta = params[0]
+        seq = (
+            [("sdg", (q,), ()) for q in (a, b)]
+            + [("h", (q,), ()) for q in (a, b)]
+            + [("rzz", (a, b), (theta,))]
+            + [("h", (q,), ()) for q in (a, b)]
+            + [("s", (q,), ()) for q in (a, b)]
+        )
+        _emit_many(out, seq, basis)
+    elif name == "crz":
+        theta = params[0]
+        seq = [
+            ("rz", (b,), (theta / 2,)),
+            ("cx", (a, b), ()),
+            ("rz", (b,), (-theta / 2,)),
+            ("cx", (a, b), ()),
+        ]
+        _emit_many(out, seq, basis)
+    elif name == "cx" and "rxx" in basis:
+        # CX from the Mølmer–Sørensen interaction (IonQ-style):
+        # CX(a,b) = RY(pi/2)_a RXX(pi/2) RX(-pi/2)_a RX(-pi/2)_b RY(-pi/2)_a
+        seq = [
+            ("ry", (a,), (math.pi / 2,)),
+            ("rxx", (a, b), (math.pi / 2,)),
+            ("rx", (a,), (-math.pi / 2,)),
+            ("rx", (b,), (-math.pi / 2,)),
+            ("ry", (a,), (-math.pi / 2,)),
+        ]
+        _emit_many(out, seq, basis)
+    else:
+        raise TranspilerError(f"cannot decompose {name!r} into {sorted(basis)}")
+
+
+def _emit_many(out: QuantumCircuit, seq, basis: frozenset) -> None:
+    for name, qs, params in seq:
+        _emit(out, Instruction(name, tuple(qs), tuple(params)), basis)
+
+
+def _emit_symbolic(out: QuantumCircuit, inst: Instruction, basis: frozenset) -> None:
+    """Decompose gates whose angles are still symbolic parameters.
+
+    Symbolic angles survive only in RZ-type positions, so each rotation is
+    rewritten as fixed Cliffords around a symbolic RZ.  This lets an ansatz
+    template be transpiled once and bound cheaply per optimizer iteration.
+    """
+    name = inst.name
+    qs = inst.qubits
+    theta = inst.params[0]
+    if name in ("rz", "p"):
+        out.append("rz", qs, (theta,))
+        return
+    if name == "rx":
+        # RX(t) = H RZ(t) H
+        _emit(out, Instruction("h", qs, ()), basis)
+        out.append("rz", qs, (theta,))
+        _emit(out, Instruction("h", qs, ()), basis)
+        return
+    if name == "ry":
+        # RY(t) = (S H) RZ(t) (H Sdg): circuit order sdg, h, rz, h, s
+        _emit(out, Instruction("sdg", qs, ()), basis)
+        _emit(out, Instruction("h", qs, ()), basis)
+        out.append("rz", qs, (theta,))
+        _emit(out, Instruction("h", qs, ()), basis)
+        _emit(out, Instruction("s", qs, ()), basis)
+        return
+    a, b = qs if len(qs) == 2 else (qs[0], None)
+    if name == "rzz":
+        if "cx" in basis:
+            _emit(out, Instruction("cx", (a, b), ()), basis)
+            out.append("rz", (b,), (theta,))
+            _emit(out, Instruction("cx", (a, b), ()), basis)
+        else:
+            # IonQ basis: RZZ from RXX by H conjugation on both qubits.
+            for q in (a, b):
+                _emit(out, Instruction("h", (q,), ()), basis)
+            out.append("rxx", (a, b), (theta,))
+            for q in (a, b):
+                _emit(out, Instruction("h", (q,), ()), basis)
+        return
+    if name == "rxx":
+        for q in (a, b):
+            _emit(out, Instruction("h", (q,), ()), basis)
+        _emit_symbolic(out, Instruction("rzz", (a, b), (theta,)), basis)
+        for q in (a, b):
+            _emit(out, Instruction("h", (q,), ()), basis)
+        return
+    if name == "ryy":
+        for q in (a, b):
+            _emit(out, Instruction("sdg", (q,), ()), basis)
+            _emit(out, Instruction("h", (q,), ()), basis)
+        _emit_symbolic(out, Instruction("rzz", (a, b), (theta,)), basis)
+        for q in (a, b):
+            _emit(out, Instruction("h", (q,), ()), basis)
+            _emit(out, Instruction("s", (q,), ()), basis)
+        return
+    if name == "crz":
+        out.append("rz", (b,), (theta * 0.5,))
+        _emit(out, Instruction("cx", (a, b), ()), basis)
+        out.append("rz", (b,), (theta * (-0.5),))
+        _emit(out, Instruction("cx", (a, b), ()), basis)
+        return
+    raise TranspilerError(f"cannot symbolically decompose {name!r}")

@@ -1,0 +1,160 @@
+"""Device coupling maps.
+
+The paper's IBM devices (ibmq_toronto, ibmq_kolkata — Fig 11) share the
+27-qubit Falcon heavy-hex topology; IonQ devices are all-to-all.  A
+:class:`CouplingMap` wraps an undirected networkx graph and provides the
+distance/neighbour queries the router needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TranspilerError
+
+#: Edge list of the 27-qubit IBM Falcon processor (Fig 11 coupling map).
+HEAVY_HEX_27_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+)
+
+#: Edge list of the 16-qubit Falcon r4 (ibmq_guadalupe).
+HEAVY_HEX_16_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14),
+)
+
+#: Edge list of the 7-qubit Falcon r5.11H (ibm_nairobi).
+HEAVY_HEX_7_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6),
+)
+
+
+class CouplingMap:
+    """Undirected qubit connectivity graph with cached distances."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Tuple[int, int]]):
+        self.num_qubits = int(num_qubits)
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.num_qubits))
+        for a, b in edges:
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise TranspilerError(f"edge ({a}, {b}) outside qubit range")
+            if a == b:
+                raise TranspilerError(f"self-loop on qubit {a}")
+            self.graph.add_edge(int(a), int(b))
+        self._dist: Optional[Dict[int, Dict[int, int]]] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def all_to_all(cls, num_qubits: int) -> "CouplingMap":
+        edges = [
+            (a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)
+        ]
+        return cls(num_qubits, edges)
+
+    @classmethod
+    def line(cls, num_qubits: int) -> "CouplingMap":
+        return cls(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "CouplingMap":
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+        return cls(num_qubits, edges)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(rows * cols, edges)
+
+    @classmethod
+    def heavy_hex_27(cls) -> "CouplingMap":
+        """The ibmq_toronto / ibmq_kolkata topology (Fig 11)."""
+        return cls(27, HEAVY_HEX_27_EDGES)
+
+    @classmethod
+    def heavy_hex_16(cls) -> "CouplingMap":
+        return cls(16, HEAVY_HEX_16_EDGES)
+
+    @classmethod
+    def heavy_hex_7(cls) -> "CouplingMap":
+        return cls(7, HEAVY_HEX_7_EDGES)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(min(a, b), max(a, b)) for a, b in self.graph.edges]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, q: int) -> List[int]:
+        return sorted(self.graph.neighbors(q))
+
+    def degree(self, q: int) -> int:
+        return self.graph.degree[q]
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance in the coupling graph."""
+        if self._dist is None:
+            self._dist = dict(nx.all_pairs_shortest_path_length(self.graph))
+        try:
+            return self._dist[a][b]
+        except KeyError:
+            raise TranspilerError(f"qubits {a} and {b} are disconnected")
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        try:
+            return nx.shortest_path(self.graph, a, b)
+        except nx.NetworkXNoPath:
+            raise TranspilerError(f"qubits {a} and {b} are disconnected")
+
+    def connected_subset(self, size: int, seed: int = 0) -> List[int]:
+        """A connected set of ``size`` physical qubits (BFS from a dense node).
+
+        Used by the layout pass to place a small logical circuit on a larger
+        device.
+        """
+        if size > self.num_qubits:
+            raise TranspilerError(
+                f"requested {size} qubits from a {self.num_qubits}-qubit map"
+            )
+        # Start from the highest-degree node for a compact region.
+        nodes_by_degree = sorted(
+            self.graph.nodes, key=lambda n: (-self.graph.degree[n], n)
+        )
+        start = nodes_by_degree[seed % len(nodes_by_degree)]
+        order = list(nx.bfs_tree(self.graph, start))
+        if len(order) < size:
+            raise TranspilerError("coupling graph is too disconnected")
+        return sorted(order[:size])
+
+    def subgraph(self, qubits: Sequence[int]) -> "CouplingMap":
+        """Coupling restricted to ``qubits``, relabelled 0..k-1."""
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self.graph.edges
+            if a in index and b in index
+        ]
+        return CouplingMap(len(qubits), edges)
+
+    def __repr__(self) -> str:
+        return f"CouplingMap(qubits={self.num_qubits}, edges={self.graph.number_of_edges()})"

@@ -1,0 +1,192 @@
+"""Transpilation pipeline: basis translation, routing, peephole optimization.
+
+``transpile()`` mirrors the paper's methodology ("all circuits are
+transpiled with O3"): translate to the device basis, route onto the
+coupling map, then run cancellation/fusion passes until fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.circuits.pauli import PauliString
+from repro.exceptions import TranspilerError
+from repro.transpile.basis import IBM_BASIS, IONQ_BASIS, _wrap, decompose_to_basis
+from repro.transpile.coupling import CouplingMap
+from repro.transpile.routing import RoutedCircuit, route_onto_device
+
+
+@dataclass
+class TranspileResult:
+    """Physical circuit plus everything needed to interpret its outputs."""
+
+    circuit: QuantumCircuit
+    final_layout: Dict[int, int]
+    initial_layout: Dict[int, int]
+    swaps_inserted: int = 0
+
+    def logical_hamiltonian_to_physical(self, h: Hamiltonian) -> Hamiltonian:
+        """Re-index an observable from logical wires to physical wires."""
+        return permute_hamiltonian(h, self.final_layout)
+
+    def permute_bits(self, bits: int) -> int:
+        out = 0
+        for logical, physical in self.final_layout.items():
+            if bits & (1 << physical):
+                out |= 1 << logical
+        return out
+
+
+def permute_hamiltonian(h: Hamiltonian, layout: Dict[int, int]) -> Hamiltonian:
+    """Relabel each Pauli factor from logical qubit q to ``layout[q]``."""
+    out = Hamiltonian(h.num_qubits)
+    for coeff, pauli in h.terms:
+        sparse = {}
+        for q in pauli.support():
+            sparse[layout[q]] = pauli.char_at(q)
+        out.add_term(coeff, PauliString.from_sparse(h.num_qubits, sparse))
+    return out
+
+
+# -- peephole optimization ----------------------------------------------------
+
+def _cancel_pairs(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, bool]:
+    """Cancel adjacent self-inverse pairs (cx·cx, x·x, h·h, swap·swap)."""
+    self_inverse = {"cx", "cz", "x", "h", "swap", "z", "y"}
+    out: List[Instruction] = []
+    changed = False
+    # Track the last pending op per qubit frontier.
+    for inst in circuit:
+        if (
+            inst.is_gate
+            and inst.name in self_inverse
+            and out
+            and out[-1].name == inst.name
+            and out[-1].qubits == inst.qubits
+        ):
+            out.pop()
+            changed = True
+            continue
+        # Allow cancellation across ops on disjoint qubits.
+        if inst.is_gate and inst.name in self_inverse:
+            j = len(out) - 1
+            blocked = False
+            while j >= 0:
+                prev = out[j]
+                if prev.name == inst.name and prev.qubits == inst.qubits:
+                    if not blocked:
+                        out.pop(j)
+                        changed = True
+                    break
+                if set(prev.qubits) & set(inst.qubits) or prev.name == "barrier":
+                    blocked = True
+                    break
+                j -= 1
+            if not blocked and j >= 0:
+                continue
+        out.append(inst)
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    result._instructions = out
+    return result, changed
+
+
+def _merge_rz(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, bool]:
+    """Merge consecutive rz gates per qubit; drop rz(0)."""
+    out: List[Instruction] = []
+    changed = False
+    for inst in circuit:
+        if inst.is_gate and inst.name == "rz" and not inst.is_parameterized:
+            angle = _wrap(float(inst.params[0]))
+            if abs(angle) < 1e-12:
+                changed = True
+                continue
+            j = len(out) - 1
+            merged = False
+            while j >= 0:
+                prev = out[j]
+                if (
+                    prev.name == "rz"
+                    and prev.qubits == inst.qubits
+                    and not prev.is_parameterized
+                ):
+                    total = _wrap(float(prev.params[0]) + angle)
+                    out.pop(j)
+                    if abs(total) > 1e-12:
+                        out.insert(j, Instruction("rz", inst.qubits, (total,)))
+                    changed = True
+                    merged = True
+                    break
+                if set(prev.qubits) & set(inst.qubits) or prev.name == "barrier":
+                    break
+                j -= 1
+            if merged:
+                continue
+            out.append(Instruction("rz", inst.qubits, (angle,)))
+        else:
+            out.append(inst)
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    result._instructions = out
+    return result, changed
+
+
+def optimize(circuit: QuantumCircuit, max_rounds: int = 10) -> QuantumCircuit:
+    """Run cancellation + rz-merge passes until nothing changes."""
+    current = circuit
+    for _ in range(max_rounds):
+        current, c1 = _cancel_pairs(current)
+        current, c2 = _merge_rz(current)
+        if not (c1 or c2):
+            break
+    return current
+
+
+# -- top-level pipeline ----------------------------------------------------------
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling: Optional[CouplingMap] = None,
+    basis: frozenset = IBM_BASIS,
+    optimization_level: int = 3,
+    layout_seed: int = 0,
+) -> TranspileResult:
+    """Full pipeline: basis translation → routing → peephole optimization.
+
+    Args:
+        circuit: fully-bound logical circuit.
+        coupling: device connectivity; ``None`` (or all-to-all) skips routing.
+        basis: target gate set (:data:`IBM_BASIS` or :data:`IONQ_BASIS`).
+        optimization_level: 0 = translate/route only; >=1 adds peephole
+            optimization (levels 1-3 currently share the same fixpoint
+            passes, matching how the paper only distinguishes O0 vs O3).
+        layout_seed: which dense region of the device to start placement at.
+    """
+    identity = {q: q for q in range(circuit.num_qubits)}
+    if coupling is None:
+        translated = decompose_to_basis(circuit, basis)
+        if optimization_level >= 1:
+            translated = optimize(translated)
+        return TranspileResult(translated, identity, identity)
+
+    needs_routing = any(
+        not coupling.has_edge(a, b) for a, b in circuit.two_qubit_pairs()
+    ) or coupling.num_qubits > circuit.num_qubits
+    if not needs_routing:
+        translated = decompose_to_basis(circuit, basis)
+        if optimization_level >= 1:
+            translated = optimize(translated)
+        return TranspileResult(translated, identity, identity)
+
+    # Route first on the raw 2q structure, then translate swaps into the basis.
+    routed: RoutedCircuit = route_onto_device(circuit, coupling, seed=layout_seed)
+    translated = decompose_to_basis(routed.circuit, basis)
+    if optimization_level >= 1:
+        translated = optimize(translated)
+    return TranspileResult(
+        circuit=translated,
+        final_layout=routed.final_layout,
+        initial_layout=routed.initial_layout,
+        swaps_inserted=routed.swaps_inserted,
+    )

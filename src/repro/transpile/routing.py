@@ -1,0 +1,262 @@
+"""Layout selection and SWAP routing.
+
+Small VQA circuits must be mapped onto a device's restricted connectivity.
+We (1) pick a compact connected region of the device graph, (2) choose an
+initial logical→physical placement that greedily maximizes adjacent
+interaction pairs, then (3) route every non-adjacent two-qubit gate by
+inserting SWAPs along a shortest path (moving one operand next to the
+other).  This is a lean, deterministic SABRE-style router — enough to give
+realistic SWAP overheads on heavy-hex topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpile.coupling import CouplingMap
+
+
+@dataclass
+class RoutedCircuit:
+    """Routing output: the physical circuit plus layout bookkeeping.
+
+    ``circuit`` acts on *compact physical* indices 0..n-1 (a relabelled
+    connected region of the device).  ``final_layout[q]`` gives the compact
+    physical wire holding logical qubit ``q`` at the end of the circuit —
+    needed to reinterpret measured bits and observables.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: Dict[int, int]
+    final_layout: Dict[int, int]
+    #: Physical device qubits backing compact indices (compact -> device).
+    region: Tuple[int, ...] = ()
+    swaps_inserted: int = 0
+
+    def permute_bits(self, bits: int) -> int:
+        """Map a measured physical bitstring back to logical qubit order."""
+        out = 0
+        for logical, physical in self.final_layout.items():
+            if bits & (1 << physical):
+                out |= 1 << logical
+        return out
+
+
+def _greedy_initial_layout(
+    circuit: QuantumCircuit, coupling: CouplingMap
+) -> Dict[int, int]:
+    """Place frequently-interacting logical pairs on adjacent physical qubits."""
+    n = circuit.num_qubits
+    # Interaction frequencies between logical qubits.
+    weights: Dict[Tuple[int, int], int] = {}
+    for inst in circuit:
+        if inst.is_gate and inst.num_qubits == 2:
+            key = (min(inst.qubits), max(inst.qubits))
+            weights[key] = weights.get(key, 0) + 1
+    order = sorted(weights, key=lambda k: -weights[k])
+    layout: Dict[int, int] = {}
+    used: set = set()
+
+    def place(logical: int, physical: int) -> None:
+        layout[logical] = physical
+        used.add(physical)
+
+    for a, b in order:
+        if a in layout and b in layout:
+            continue
+        if a not in layout and b not in layout:
+            # Find a free edge.
+            for pa, pb in coupling.edges:
+                if pa not in used and pb not in used:
+                    place(a, pa)
+                    place(b, pb)
+                    break
+        else:
+            anchored, free = (a, b) if a in layout else (b, a)
+            for neighbor in coupling.neighbors(layout[anchored]):
+                if neighbor not in used:
+                    place(free, neighbor)
+                    break
+    # Any stragglers (including idle qubits) go to the nearest free slots.
+    free_slots = [q for q in range(coupling.num_qubits) if q not in used]
+    for logical in range(n):
+        if logical not in layout:
+            if not free_slots:
+                raise TranspilerError("not enough physical qubits for layout")
+            place(logical, free_slots.pop(0))
+    return layout
+
+
+def route(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Dict[int, int]] = None,
+) -> RoutedCircuit:
+    """Insert SWAPs so every 2-qubit gate acts on coupled physical qubits.
+
+    The output circuit has ``coupling.num_qubits`` wires.  Callers that
+    simulate the result should restrict the coupling map to a compact
+    region first (see :func:`route_onto_device`).
+    """
+    n_logical = circuit.num_qubits
+    if n_logical > coupling.num_qubits:
+        raise TranspilerError(
+            f"{n_logical} logical qubits exceed {coupling.num_qubits} physical"
+        )
+    layout = dict(initial_layout or _greedy_initial_layout(circuit, coupling))
+    if len(set(layout.values())) != len(layout):
+        raise TranspilerError("initial layout maps two logical qubits together")
+    out = QuantumCircuit(coupling.num_qubits, name=f"{circuit.name}_routed")
+    state = _RoutingState(out, coupling, dict(layout))
+    instructions = list(circuit)
+    i = 0
+    while i < len(instructions):
+        inst = instructions[i]
+        if inst.is_gate and inst.num_qubits == 2 and inst.name in _COMMUTING_2Q:
+            # Maximal run of mutually commuting diagonal 2q gates (a QAOA
+            # cost layer): free to reorder, so greedily execute the
+            # currently-closest pair first — large SWAP savings.
+            block = []
+            j = i
+            while (
+                j < len(instructions)
+                and instructions[j].is_gate
+                and instructions[j].num_qubits == 2
+                and instructions[j].name in _COMMUTING_2Q
+            ):
+                block.append(instructions[j])
+                j += 1
+            state.emit_commuting_block(block)
+            i = j
+        elif inst.is_gate and inst.num_qubits == 2:
+            state.emit_2q(inst)
+            i += 1
+        else:
+            state.emit_simple(inst)
+            i += 1
+    return RoutedCircuit(
+        circuit=out,
+        initial_layout=layout,
+        final_layout=dict(state.phys_of),
+        swaps_inserted=state.swaps,
+    )
+
+
+#: Diagonal two-qubit gates — all mutually commuting, hence reorderable.
+_COMMUTING_2Q = frozenset({"rzz", "cz", "crz"})
+
+
+class _RoutingState:
+    """Mutable routing context: output circuit, layout, swap accounting."""
+
+    def __init__(self, out: QuantumCircuit, coupling: CouplingMap, phys_of: Dict[int, int]):
+        self.out = out
+        self.coupling = coupling
+        self.phys_of = phys_of
+        self.swaps = 0
+
+    def emit_simple(self, inst) -> None:
+        self.out.append(
+            inst.name,
+            tuple(self.phys_of[q] for q in inst.qubits),
+            inst.params,
+            inst.metadata,
+        )
+
+    def _swap_towards(self, a: int, b: int) -> None:
+        """Insert SWAPs until logical ``a`` and ``b`` are adjacent.
+
+        Both endpoints walk towards each other along a shortest path, which
+        keeps displaced qubits nearer their likely partners than dragging
+        one endpoint the whole way.
+        """
+        while True:
+            pa, pb = self.phys_of[a], self.phys_of[b]
+            if self.coupling.has_edge(pa, pb):
+                return
+            path = self.coupling.shortest_path(pa, pb)
+            self._swap_wires(pa, path[1])
+            pa = self.phys_of[a]
+            pb = self.phys_of[b]
+            if self.coupling.has_edge(pa, pb):
+                return
+            path = self.coupling.shortest_path(pb, pa)
+            self._swap_wires(pb, path[1])
+
+    def _swap_wires(self, wire_a: int, wire_b: int) -> None:
+        self.out.swap(wire_a, wire_b)
+        self.swaps += 1
+        la = _logical_on(self.phys_of, wire_a)
+        lb = _logical_on(self.phys_of, wire_b)
+        if la is not None:
+            self.phys_of[la] = wire_b
+        if lb is not None:
+            self.phys_of[lb] = wire_a
+
+    def emit_2q(self, inst) -> None:
+        a, b = inst.qubits
+        self._swap_towards(a, b)
+        self.out.append(
+            inst.name,
+            (self.phys_of[a], self.phys_of[b]),
+            inst.params,
+            inst.metadata,
+        )
+
+    def emit_commuting_block(self, block) -> None:
+        pending = list(block)
+        while pending:
+            # Execute every currently-adjacent gate, then route the closest.
+            progressed = True
+            while progressed:
+                progressed = False
+                for inst in list(pending):
+                    pa, pb = self.phys_of[inst.qubits[0]], self.phys_of[inst.qubits[1]]
+                    if self.coupling.has_edge(pa, pb):
+                        self.out.append(
+                            inst.name,
+                            (pa, pb),
+                            inst.params,
+                            inst.metadata,
+                        )
+                        pending.remove(inst)
+                        progressed = True
+            if not pending:
+                break
+            nearest = min(
+                pending,
+                key=lambda g: self.coupling.distance(
+                    self.phys_of[g.qubits[0]], self.phys_of[g.qubits[1]]
+                ),
+            )
+            a, b = nearest.qubits
+            # One swap step towards adjacency, then re-scan for freed gates.
+            pa, pb = self.phys_of[a], self.phys_of[b]
+            path = self.coupling.shortest_path(pa, pb)
+            self._swap_wires(pa, path[1])
+
+
+def _logical_on(phys_of: Dict[int, int], physical: int) -> Optional[int]:
+    for logical, p in phys_of.items():
+        if p == physical:
+            return logical
+    return None
+
+
+def route_onto_device(
+    circuit: QuantumCircuit, coupling: CouplingMap, seed: int = 0
+) -> RoutedCircuit:
+    """Route onto a compact connected region of a (possibly large) device.
+
+    Keeps the simulated wire count at the circuit's logical size even when
+    the device has 27+ qubits: a connected ``n``-qubit region is carved out
+    of the device graph, relabelled 0..n-1, and routing happens inside it.
+    """
+    region = coupling.connected_subset(circuit.num_qubits, seed=seed)
+    sub = coupling.subgraph(region)
+    routed = route(circuit, sub)
+    routed.region = tuple(region)
+    return routed

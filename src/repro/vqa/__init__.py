@@ -1,0 +1,72 @@
+"""VQA stack: problems, ansatz circuits, optimizers, executors, metrics."""
+
+from repro.vqa.ansatz import TwoLocalAnsatz, append_pauli_evolution
+from repro.vqa.execution import EnergyEvaluator, Evaluation
+from repro.vqa.h2 import (
+    h2_correlation_energy,
+    h2_ground_energy,
+    h2_hamiltonian,
+    h2_hartree_fock_bitstring,
+    h2_hartree_fock_energy,
+)
+from repro.vqa.maxcut import (
+    MaxCutProblem,
+    brute_force_maxcut,
+    cut_size,
+    erdos_renyi_graph,
+    maxcut_hamiltonian,
+)
+from repro.vqa.metrics import (
+    approximation_ratio,
+    best_so_far,
+    optimization_gain,
+    relative_improvement,
+    throughput,
+)
+from repro.vqa.optimizers import (
+    SPSA,
+    Adam,
+    GradientDescent,
+    OptimizeResult,
+    StepRecord,
+    StepwiseOptimizer,
+    nelder_mead,
+)
+from repro.vqa.qaoa import QAOAAnsatz
+from repro.vqa.restart import MultiRestartResult, MultiRestartRunner, RestartOutcome
+from repro.vqa.ucc import UCCSDAnsatz, hartree_fock_occupation
+
+__all__ = [
+    "TwoLocalAnsatz",
+    "append_pauli_evolution",
+    "EnergyEvaluator",
+    "Evaluation",
+    "h2_correlation_energy",
+    "h2_ground_energy",
+    "h2_hamiltonian",
+    "h2_hartree_fock_bitstring",
+    "h2_hartree_fock_energy",
+    "MaxCutProblem",
+    "brute_force_maxcut",
+    "cut_size",
+    "erdos_renyi_graph",
+    "maxcut_hamiltonian",
+    "approximation_ratio",
+    "best_so_far",
+    "optimization_gain",
+    "relative_improvement",
+    "throughput",
+    "SPSA",
+    "Adam",
+    "GradientDescent",
+    "OptimizeResult",
+    "StepRecord",
+    "StepwiseOptimizer",
+    "nelder_mead",
+    "QAOAAnsatz",
+    "MultiRestartResult",
+    "MultiRestartRunner",
+    "RestartOutcome",
+    "UCCSDAnsatz",
+    "hartree_fock_occupation",
+]

@@ -1,0 +1,125 @@
+"""Generic ansatz building blocks: Pauli evolution and TwoLocal circuits.
+
+:func:`append_pauli_evolution` implements exp(-i theta P) for an arbitrary
+Pauli string via the standard basis-change + CNOT-ladder + RZ construction;
+it is the primitive underneath UCCSD.  :class:`TwoLocalAnsatz` is the
+hardware-efficient RY + entangler circuit used for the Fig 3 mitigation
+study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter, ParameterExpression, ParameterVector
+from repro.circuits.pauli import PauliString
+from repro.exceptions import ReproError
+
+ParamValue = Union[float, ParameterExpression]
+
+
+def append_pauli_evolution(
+    circuit: QuantumCircuit, pauli: PauliString, angle: ParamValue
+) -> QuantumCircuit:
+    """Append exp(-i (angle/2) P) to ``circuit``.
+
+    The convention matches RZ: for P = Z on one qubit this is exactly
+    ``rz(angle)``.  X factors are conjugated by H, Y factors by (H Sdg).
+    """
+    support = pauli.support()
+    if not support:
+        return circuit  # global phase only
+    # Basis change into Z-basis on each support qubit.
+    for q in support:
+        c = pauli.char_at(q)
+        if c == "X":
+            circuit.h(q)
+        elif c == "Y":
+            circuit.sdg(q)
+            circuit.h(q)
+    # CNOT ladder onto the last support qubit, RZ, unladder.
+    for a, b in zip(support[:-1], support[1:]):
+        circuit.cx(a, b)
+    circuit.rz(angle, support[-1])
+    for a, b in reversed(list(zip(support[:-1], support[1:]))):
+        circuit.cx(a, b)
+    for q in support:
+        c = pauli.char_at(q)
+        if c == "X":
+            circuit.h(q)
+        elif c == "Y":
+            circuit.h(q)
+            circuit.s(q)
+    return circuit
+
+
+class TwoLocalAnsatz:
+    """Hardware-efficient ansatz: RY layers with linear CX entanglement.
+
+    Mirrors Qiskit's ``TwoLocal(ry, cx, reps)``: ``(reps + 1)`` rotation
+    layers interleaved with ``reps`` entangling layers.
+    """
+
+    def __init__(self, num_qubits: int, reps: int = 2, entanglement: str = "linear"):
+        if reps < 0:
+            raise ReproError("reps must be non-negative")
+        if entanglement not in ("linear", "ring", "full"):
+            raise ReproError(f"unknown entanglement {entanglement!r}")
+        self.num_qubits = num_qubits
+        self.reps = reps
+        self.entanglement = entanglement
+        self.thetas = ParameterVector("theta", num_qubits * (reps + 1))
+        self._template = self._build()
+
+    def _entangler_pairs(self) -> List[tuple]:
+        n = self.num_qubits
+        if self.entanglement == "linear":
+            return [(i, i + 1) for i in range(n - 1)]
+        if self.entanglement == "ring":
+            return [(i, (i + 1) % n) for i in range(n)]
+        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+    def _build(self) -> QuantumCircuit:
+        qc = QuantumCircuit(self.num_qubits, name=f"two_local_r{self.reps}")
+        k = 0
+        for rep in range(self.reps + 1):
+            for q in range(self.num_qubits):
+                qc.ry(self.thetas[k], q)
+                k += 1
+            if rep < self.reps:
+                for a, b in self._entangler_pairs():
+                    qc.cx(a, b)
+        return qc
+
+    @property
+    def template(self):
+        """The symbolic (unbound) ansatz circuit."""
+        return self._template
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.thetas)
+
+    @property
+    def parameter_order(self) -> List[Parameter]:
+        return list(self.thetas)
+
+    def bind(self, values: Sequence[float]) -> QuantumCircuit:
+        values = list(values)
+        if len(values) != self.num_parameters:
+            raise ReproError(
+                f"expected {self.num_parameters} parameters, got {len(values)}"
+            )
+        return self._template.bind(dict(zip(self.parameter_order, values)))
+
+    def random_parameters(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(-np.pi, np.pi, size=self.num_parameters)
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoLocalAnsatz(qubits={self.num_qubits}, reps={self.reps}, "
+            f"entanglement={self.entanglement!r})"
+        )

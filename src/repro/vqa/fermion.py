@@ -1,0 +1,119 @@
+"""Minimal fermionic-operator machinery for UCCSD.
+
+Rather than hard-coding excitation Pauli decompositions (easy to get sign
+conventions wrong), we build Jordan–Wigner creation/annihilation operators
+as dense matrices for small registers, form the anti-Hermitian UCC
+excitation generators, and project them back onto the Pauli basis.  At the
+4-qubit scale of the paper's H2 study this is exact and instantaneous.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.circuits.pauli import PauliString
+from repro.exceptions import ReproError
+
+_I = np.eye(2, dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+#: sigma^- = |0><1| lowers the occupation of a mode.
+_LOWER = np.array([[0, 1], [0, 0]], dtype=complex)
+_RAISE = _LOWER.conj().T
+
+
+def _kron_chain(factors: List[np.ndarray]) -> np.ndarray:
+    """Tensor product with factor index 0 on qubit 0 (little-endian)."""
+    m = np.array([[1.0 + 0.0j]])
+    for f in factors:  # qubit 0 is the least-significant (rightmost) kron slot
+        m = np.kron(f, m)
+    return m
+
+
+def annihilation_operator(num_modes: int, mode: int) -> np.ndarray:
+    """Jordan–Wigner a_mode = (prod_{j<mode} Z_j) ⊗ sigma^-_mode."""
+    if not 0 <= mode < num_modes:
+        raise ReproError(f"mode {mode} out of range")
+    factors = []
+    for j in range(num_modes):
+        if j < mode:
+            factors.append(_Z)
+        elif j == mode:
+            factors.append(_LOWER)
+        else:
+            factors.append(_I)
+    return _kron_chain(factors)
+
+
+def creation_operator(num_modes: int, mode: int) -> np.ndarray:
+    return annihilation_operator(num_modes, mode).conj().T
+
+
+def matrix_to_pauli_terms(
+    matrix: np.ndarray, num_qubits: int, tol: float = 1e-10
+) -> List[Tuple[complex, PauliString]]:
+    """Project a matrix onto the Pauli basis: c_P = tr(P M) / 2^n."""
+    dim = 1 << num_qubits
+    if matrix.shape != (dim, dim):
+        raise ReproError("matrix dimension mismatch")
+    terms: List[Tuple[complex, PauliString]] = []
+    for labels in itertools.product("IXYZ", repeat=num_qubits):
+        label = "".join(labels)
+        pauli = PauliString(label)
+        coeff = np.trace(pauli.to_matrix() @ matrix) / dim
+        if abs(coeff) > tol:
+            terms.append((complex(coeff), pauli))
+    return terms
+
+
+def single_excitation_generator(
+    num_modes: int, occupied: int, virtual: int
+) -> Hamiltonian:
+    """Hermitian generator H with exp(-i theta H) = exp(theta (a†_v a_o - h.c.)).
+
+    The UCC operator T - T† is anti-Hermitian; we return H = i (T - T†),
+    which has real Pauli coefficients, so the ansatz circuit is a product
+    of exp(-i theta c_P P) rotations.
+    """
+    t = creation_operator(num_modes, virtual) @ annihilation_operator(num_modes, occupied)
+    gen = 1j * (t - t.conj().T)
+    return _hermitian_pauli_sum(gen, num_modes)
+
+
+def double_excitation_generator(
+    num_modes: int, occupied: Tuple[int, int], virtual: Tuple[int, int]
+) -> Hamiltonian:
+    """Hermitian generator for the double excitation (o1,o2) -> (v1,v2)."""
+    o1, o2 = occupied
+    v1, v2 = virtual
+    t = (
+        creation_operator(num_modes, v1)
+        @ creation_operator(num_modes, v2)
+        @ annihilation_operator(num_modes, o2)
+        @ annihilation_operator(num_modes, o1)
+    )
+    gen = 1j * (t - t.conj().T)
+    return _hermitian_pauli_sum(gen, num_modes)
+
+
+def _hermitian_pauli_sum(matrix: np.ndarray, num_qubits: int) -> Hamiltonian:
+    terms = matrix_to_pauli_terms(matrix, num_qubits)
+    h = Hamiltonian(num_qubits)
+    for coeff, pauli in terms:
+        if abs(coeff.imag) > 1e-10:
+            raise ReproError("generator is not Hermitian")
+        h.add_term(coeff.real, pauli)
+    return h
+
+
+def number_operator(num_modes: int) -> np.ndarray:
+    """Total particle-number operator (diagnostics for particle conservation)."""
+    dim = 1 << num_modes
+    n_op = np.zeros((dim, dim), dtype=complex)
+    for mode in range(num_modes):
+        a = annihilation_operator(num_modes, mode)
+        n_op += a.conj().T @ a
+    return n_op

@@ -1,0 +1,65 @@
+"""Figures of merit (paper Section V-B).
+
+* Approximation ratio (Eq 3): optimized expectation over exact ground
+  truth; in [0, 1] for the negative-definite cost Hamiltonians used here,
+  higher is better.
+* Throughput (Eq 2): circuits completed per unit time.
+* Optimization gain (Fig 8): how much the approximation ratio improves
+  from the initial to the final iterate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def approximation_ratio(optimized_energy: float, ground_energy: float) -> float:
+    """Eq 3: E_optimized / E_ground_truth.
+
+    Both energies are negative for MaxCut/VQE cost Hamiltonians, so the
+    ratio lies in [0, 1] whenever the optimizer stays above the ground
+    state; values above 1 indicate an unphysical (noise-corrupted) readout
+    and are clipped by callers that need bounded metrics.
+    """
+    if ground_energy == 0.0:
+        raise ReproError("ground-truth energy must be non-zero")
+    if ground_energy > 0.0:
+        raise ReproError(
+            "approximation ratio assumes a negative ground-truth energy"
+        )
+    return float(optimized_energy) / float(ground_energy)
+
+
+def optimization_gain(
+    initial_energy: float, final_energy: float, ground_energy: float
+) -> float:
+    """Fig 8's metric: increase in approximation ratio over training."""
+    return approximation_ratio(final_energy, ground_energy) - approximation_ratio(
+        initial_energy, ground_energy
+    )
+
+
+def throughput(num_circuits: int, completion_time: float) -> float:
+    """Eq 2: circuits completed per unit time."""
+    if completion_time <= 0:
+        raise ReproError("completion time must be positive")
+    return num_circuits / completion_time
+
+
+def best_so_far(history: Sequence[float]) -> np.ndarray:
+    """Running minimum of an energy history (monotone view of progress)."""
+    h = np.asarray(history, dtype=float)
+    if h.size == 0:
+        raise ReproError("empty history")
+    return np.minimum.accumulate(h)
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """(improved - baseline) / |baseline| — the 'X % better' paper headline."""
+    if baseline == 0.0:
+        raise ReproError("baseline must be non-zero")
+    return (improved - baseline) / abs(baseline)

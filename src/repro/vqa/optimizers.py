@@ -1,0 +1,315 @@
+"""Classical optimizers for VQA training.
+
+The paper's experiments use SPSA (Simultaneous Perturbation Stochastic
+Approximation), which needs only two objective evaluations per iteration
+regardless of dimension — the right choice when every evaluation is a
+quantum circuit execution.  We implement SPSA with the standard Spall gain
+schedules plus gradient-descent/Adam baselines, all with a *step-wise* API:
+Qoncord drives iterations one at a time so it can swap the executing
+device (and hence the objective) mid-run while preserving optimizer state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizeResult:
+    """Summary of an optimization run."""
+
+    x: np.ndarray
+    fun: float
+    nit: int
+    nfev: int
+    history: List[float] = field(default_factory=list)
+    converged: bool = False
+
+
+@dataclass
+class StepRecord:
+    """One optimizer iteration: parameters and the value estimate at them."""
+
+    iteration: int
+    params: np.ndarray
+    value: float
+    nfev: int
+
+
+class StepwiseOptimizer:
+    """Common protocol: ``reset(x0)`` then repeated ``step(objective)``."""
+
+    def reset(self, x0: Sequence[float]) -> None:
+        raise NotImplementedError
+
+    def step(self, objective: Objective) -> StepRecord:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def minimize(
+        self,
+        objective: Objective,
+        x0: Sequence[float],
+        maxiter: int,
+        callback: Optional[Callable[[StepRecord], None]] = None,
+        should_stop: Optional[Callable[[StepRecord], bool]] = None,
+        final_evaluation: bool = True,
+    ) -> OptimizeResult:
+        """Run up to ``maxiter`` steps, optionally stopping early.
+
+        With ``final_evaluation`` (default) the returned ``fun`` is the
+        objective *at the final iterate* (one extra evaluation) — step
+        values are measured at perturbed points and systematically
+        overestimate the converged energy.
+        """
+        self.reset(x0)
+        history: List[float] = []
+        nfev = 0
+        record: Optional[StepRecord] = None
+        converged = False
+        for _ in range(maxiter):
+            record = self.step(objective)
+            nfev += record.nfev
+            history.append(record.value)
+            if callback is not None:
+                callback(record)
+            if should_stop is not None and should_stop(record):
+                converged = True
+                break
+        if record is None:
+            raise ConvergenceError("maxiter must be at least 1")
+        fun = record.value
+        if final_evaluation:
+            fun = float(objective(record.params))
+            nfev += 1
+        return OptimizeResult(
+            x=record.params.copy(),
+            fun=fun,
+            nit=record.iteration + 1,
+            nfev=nfev,
+            history=history,
+            converged=converged,
+        )
+
+
+class SPSA(StepwiseOptimizer):
+    """Spall's SPSA with power-law gain schedules.
+
+    a_k = a / (k + 1 + A)^alpha,  c_k = c / (k + 1)^gamma, Rademacher
+    perturbations.  ``value`` in each step record is the mean of the two
+    perturbed evaluations — the standard zero-extra-cost progress signal.
+    """
+
+    def __init__(
+        self,
+        a: Optional[float] = None,
+        c: float = 0.15,
+        alpha: float = 0.602,
+        gamma: float = 0.101,
+        stability: float = 10.0,
+        target_first_step: float = 0.3,
+        calibration_samples: int = 8,
+        seed: Optional[int] = None,
+    ):
+        if (a is not None and a <= 0) or c <= 0:
+            raise ConvergenceError("SPSA gains a and c must be positive")
+        self.a = a
+        self.c = c
+        self.alpha = alpha
+        self.gamma = gamma
+        self.stability = stability
+        self.target_first_step = target_first_step
+        self.calibration_samples = calibration_samples
+        self._rng = np.random.default_rng(seed)
+        self._x: Optional[np.ndarray] = None
+        self._k = 0
+        self._a_effective: Optional[float] = a
+
+    def reset(self, x0: Sequence[float]) -> None:
+        self._x = np.asarray(x0, dtype=float).copy()
+        self._k = 0
+        self._a_effective = self.a
+
+    def calibrate(self, objective: Objective) -> int:
+        """Qiskit-style gain calibration: size ``a`` so that the first
+        update moves parameters by roughly ``target_first_step`` radians.
+
+        Returns the number of objective evaluations spent.  Called
+        automatically on the first :meth:`step` when ``a`` was not given.
+        """
+        if self._x is None:
+            raise ConvergenceError("call reset() before calibrate()")
+        magnitudes = []
+        for _ in range(self.calibration_samples):
+            delta = self._rng.choice([-1.0, 1.0], size=self._x.shape)
+            f_plus = float(objective(self._x + self.c * delta))
+            f_minus = float(objective(self._x - self.c * delta))
+            magnitudes.append(abs(f_plus - f_minus) / (2.0 * self.c))
+        gradient_scale = float(np.mean(magnitudes))
+        if gradient_scale < 1e-10:
+            gradient_scale = 1e-10
+        self._a_effective = (
+            self.target_first_step
+            * (1 + self.stability) ** self.alpha
+            / gradient_scale
+        )
+        return 2 * self.calibration_samples
+
+    @property
+    def params(self) -> np.ndarray:
+        if self._x is None:
+            raise ConvergenceError("call reset() before reading params")
+        return self._x
+
+    def step(self, objective: Objective) -> StepRecord:
+        if self._x is None:
+            raise ConvergenceError("call reset() before step()")
+        extra_evals = 0
+        if self._a_effective is None:
+            extra_evals = self.calibrate(objective)
+        k = self._k
+        ak = self._a_effective / (k + 1 + self.stability) ** self.alpha
+        ck = self.c / (k + 1) ** self.gamma
+        delta = self._rng.choice([-1.0, 1.0], size=self._x.shape)
+        f_plus = float(objective(self._x + ck * delta))
+        f_minus = float(objective(self._x - ck * delta))
+        gradient = (f_plus - f_minus) / (2.0 * ck) * delta
+        self._x = self._x - ak * gradient
+        record = StepRecord(
+            iteration=k,
+            params=self._x.copy(),
+            value=0.5 * (f_plus + f_minus),
+            nfev=2 + extra_evals,
+        )
+        self._k += 1
+        return record
+
+
+class GradientDescent(StepwiseOptimizer):
+    """Central-difference gradient descent (2*dim evaluations per step)."""
+
+    def __init__(self, learning_rate: float = 0.1, epsilon: float = 1e-2):
+        if learning_rate <= 0:
+            raise ConvergenceError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.epsilon = epsilon
+        self._x: Optional[np.ndarray] = None
+        self._k = 0
+
+    def reset(self, x0: Sequence[float]) -> None:
+        self._x = np.asarray(x0, dtype=float).copy()
+        self._k = 0
+
+    @property
+    def params(self) -> np.ndarray:
+        if self._x is None:
+            raise ConvergenceError("call reset() before reading params")
+        return self._x
+
+    def _gradient(self, objective: Objective) -> tuple:
+        grad = np.zeros_like(self._x)
+        values = []
+        for i in range(len(self._x)):
+            e = np.zeros_like(self._x)
+            e[i] = self.epsilon
+            f_plus = float(objective(self._x + e))
+            f_minus = float(objective(self._x - e))
+            values += [f_plus, f_minus]
+            grad[i] = (f_plus - f_minus) / (2.0 * self.epsilon)
+        return grad, values
+
+    def step(self, objective: Objective) -> StepRecord:
+        if self._x is None:
+            raise ConvergenceError("call reset() before step()")
+        grad, values = self._gradient(objective)
+        self._x = self._x - self.learning_rate * grad
+        record = StepRecord(
+            iteration=self._k,
+            params=self._x.copy(),
+            value=float(np.mean(values)),
+            nfev=2 * len(self._x),
+        )
+        self._k += 1
+        return record
+
+
+class Adam(GradientDescent):
+    """Adam on central-difference gradients."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        epsilon: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps_hat: float = 1e-8,
+    ):
+        super().__init__(learning_rate, epsilon)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps_hat = eps_hat
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+
+    def reset(self, x0: Sequence[float]) -> None:
+        super().reset(x0)
+        self._m = np.zeros_like(self._x)
+        self._v = np.zeros_like(self._x)
+
+    def step(self, objective: Objective) -> StepRecord:
+        if self._x is None:
+            raise ConvergenceError("call reset() before step()")
+        grad, values = self._gradient(objective)
+        t = self._k + 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grad**2
+        m_hat = self._m / (1 - self.beta1**t)
+        v_hat = self._v / (1 - self.beta2**t)
+        self._x = self._x - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps_hat)
+        record = StepRecord(
+            iteration=self._k,
+            params=self._x.copy(),
+            value=float(np.mean(values)),
+            nfev=2 * len(self._x),
+        )
+        self._k += 1
+        return record
+
+
+def nelder_mead(
+    objective: Objective,
+    x0: Sequence[float],
+    maxiter: int = 200,
+) -> OptimizeResult:
+    """Scipy Nelder–Mead wrapped into our result type (batch-only baseline)."""
+    from scipy.optimize import minimize as scipy_minimize
+
+    history: List[float] = []
+
+    def wrapped(x):
+        v = float(objective(np.asarray(x)))
+        history.append(v)
+        return v
+
+    res = scipy_minimize(
+        wrapped, np.asarray(x0, dtype=float), method="Nelder-Mead",
+        options={"maxiter": maxiter, "xatol": 1e-6, "fatol": 1e-8},
+    )
+    return OptimizeResult(
+        x=np.asarray(res.x),
+        fun=float(res.fun),
+        nit=int(res.nit),
+        nfev=int(res.nfev),
+        history=history,
+        converged=bool(res.success),
+    )

@@ -1,0 +1,93 @@
+"""QAOA ansatz construction.
+
+Builds the standard p-layer Quantum Approximate Optimization Algorithm
+circuit for a MaxCut cost Hamiltonian: a uniform-superposition preparation,
+then alternating cost layers exp(-i gamma H_C) (RZZ per edge) and mixer
+layers exp(-i beta sum X) (RX per qubit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameter import Parameter, ParameterVector
+from repro.exceptions import ReproError
+
+
+class QAOAAnsatz:
+    """Parametric QAOA circuit for a MaxCut graph.
+
+    Parameter ordering follows the (gamma_1, beta_1, ..., gamma_p, beta_p)
+    convention.  ``num_parameters`` is ``2 * layers``.
+    """
+
+    def __init__(self, graph: nx.Graph, layers: int = 1):
+        if layers < 1:
+            raise ReproError("QAOA needs at least one layer")
+        self.graph = graph
+        self.layers = layers
+        self.num_qubits = graph.number_of_nodes()
+        self.gammas = ParameterVector("gamma", layers)
+        self.betas = ParameterVector("beta", layers)
+        self._template = self._build()
+
+    def _build(self) -> QuantumCircuit:
+        qc = QuantumCircuit(self.num_qubits, name=f"qaoa_p{self.layers}")
+        for q in range(self.num_qubits):
+            qc.h(q)
+        for layer in range(self.layers):
+            gamma = self.gammas[layer]
+            for u, v in self.graph.edges:
+                # H_C has coefficient 1/2 per ZZ term; exp(-i g (ZZ)/2) = RZZ(g).
+                qc.rzz(gamma, int(u), int(v))
+            beta = self.betas[layer]
+            for q in range(self.num_qubits):
+                qc.rx(2.0 * beta, q)
+        return qc
+
+    @property
+    def template(self):
+        """The symbolic (unbound) ansatz circuit."""
+        return self._template
+
+    @property
+    def num_parameters(self) -> int:
+        return 2 * self.layers
+
+    @property
+    def parameter_order(self) -> List[Parameter]:
+        """Interleaved (gamma_i, beta_i) ordering used by :meth:`bind`."""
+        order: List[Parameter] = []
+        for layer in range(self.layers):
+            order.append(self.gammas[layer])
+            order.append(self.betas[layer])
+        return order
+
+    def bind(self, values: Sequence[float]) -> QuantumCircuit:
+        """Bind (gamma_1, beta_1, ..., gamma_p, beta_p) values."""
+        values = list(values)
+        if len(values) != self.num_parameters:
+            raise ReproError(
+                f"expected {self.num_parameters} parameters, got {len(values)}"
+            )
+        mapping = dict(zip(self.parameter_order, values))
+        return self._template.bind(mapping)
+
+    def random_parameters(self, rng: np.random.Generator) -> np.ndarray:
+        """A standard random restart point: gamma in [0, pi), beta in [0, pi/2)."""
+        gammas = rng.uniform(0.0, np.pi, size=self.layers)
+        betas = rng.uniform(0.0, np.pi / 2.0, size=self.layers)
+        out = np.empty(2 * self.layers)
+        out[0::2] = gammas
+        out[1::2] = betas
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"QAOAAnsatz(qubits={self.num_qubits}, layers={self.layers}, "
+            f"edges={self.graph.number_of_edges()})"
+        )

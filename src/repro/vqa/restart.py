@@ -1,0 +1,171 @@
+"""Multi-restart VQA training (the single-device baseline).
+
+The paper's baseline runs the *entire* optimization, for every restart, on
+one device (Fig 1a).  :class:`MultiRestartRunner` implements that flow
+with per-restart execution accounting, so every Qoncord comparison (Figs
+13-21) has a faithful baseline to measure against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.exceptions import ReproError
+from repro.noise.devices import DeviceProfile
+from repro.vqa.execution import EnergyEvaluator
+from repro.vqa.optimizers import SPSA, StepwiseOptimizer
+
+
+@dataclass
+class RestartOutcome:
+    """Result of one end-to-end optimization restart."""
+
+    restart_index: int
+    initial_params: np.ndarray
+    final_params: np.ndarray
+    final_energy: float
+    history: List[float]
+    entropy_history: List[float]
+    circuits: int
+    hardware_seconds: float
+    device_name: str
+    terminated_early: bool = False
+    #: Queueing delay charged for this restart's (runtime) session.
+    queue_seconds: float = 0.0
+
+
+@dataclass
+class MultiRestartResult:
+    """All restarts of a VQA task plus the selected best outcome."""
+
+    outcomes: List[RestartOutcome]
+    circuits_per_device: dict
+    seconds_per_device: dict
+    queue_seconds_per_device: dict = field(default_factory=dict)
+
+    @property
+    def best(self) -> RestartOutcome:
+        if not self.outcomes:
+            raise ReproError("no restarts were run")
+        return min(self.outcomes, key=lambda o: o.final_energy)
+
+    @property
+    def energies(self) -> np.ndarray:
+        return np.array([o.final_energy for o in self.outcomes])
+
+    @property
+    def total_circuits(self) -> int:
+        return sum(self.circuits_per_device.values())
+
+    @property
+    def total_seconds(self) -> float:
+        """Hardware + queueing seconds across all devices."""
+        return sum(self.seconds_per_device.values()) + sum(
+            self.queue_seconds_per_device.values()
+        )
+
+
+class MultiRestartRunner:
+    """Run N independent restarts of a VQA on a single device."""
+
+    def __init__(
+        self,
+        ansatz,
+        hamiltonian: Hamiltonian,
+        device: Optional[DeviceProfile],
+        optimizer_factory: Optional[Callable[[int], StepwiseOptimizer]] = None,
+        max_iterations: int = 100,
+        shots: int = 0,
+        seed: int = 0,
+        convergence_checker_factory=None,
+    ):
+        self.ansatz = ansatz
+        self.hamiltonian = hamiltonian
+        self.device = device
+        self.max_iterations = max_iterations
+        self.shots = shots
+        self.seed = seed
+        self._optimizer_factory = optimizer_factory or (
+            lambda restart: SPSA(seed=self.seed * 7919 + restart)
+        )
+        self._checker_factory = convergence_checker_factory
+
+    def run(
+        self,
+        num_restarts: int,
+        initial_points: Optional[Sequence[np.ndarray]] = None,
+    ) -> MultiRestartResult:
+        rng = np.random.default_rng(self.seed)
+        if initial_points is None:
+            initial_points = [
+                self.ansatz.random_parameters(rng) for _ in range(num_restarts)
+            ]
+        elif len(initial_points) != num_restarts:
+            raise ReproError("initial_points length must equal num_restarts")
+        evaluator = EnergyEvaluator(
+            self.ansatz,
+            self.hamiltonian,
+            self.device,
+            shots=self.shots,
+            seed=self.seed + 1,
+        )
+        outcomes: List[RestartOutcome] = []
+        device_name = self.device.name if self.device else "ideal"
+        for index in range(num_restarts):
+            evaluator.reset_counters()
+            optimizer = self._optimizer_factory(index)
+            optimizer.reset(initial_points[index])
+            checker = (
+                self._checker_factory() if self._checker_factory else None
+            )
+            history: List[float] = []
+            entropies: List[float] = []
+            converged = False
+            for _ in range(self.max_iterations):
+                record = optimizer.step(evaluator)
+                # Reuse the step's value and the entropy of the optimizer's
+                # last objective call — no extra circuit executions, same
+                # accounting as Qoncord's stage loop.
+                history.append(record.value)
+                if checker is not None:
+                    entropy = (
+                        evaluator.last_evaluation.entropy
+                        if evaluator.last_evaluation is not None
+                        else None
+                    )
+                    entropies.append(entropy)
+                    if checker.update(record.value, entropy):
+                        converged = True
+                        break
+            final_energy = evaluator(optimizer.params)
+            queue_seconds = (
+                self.device.expected_wait_seconds if self.device else 0.0
+            )
+            outcomes.append(
+                RestartOutcome(
+                    restart_index=index,
+                    initial_params=np.asarray(initial_points[index]),
+                    final_params=optimizer.params.copy(),
+                    final_energy=final_energy,
+                    history=history,
+                    entropy_history=entropies,
+                    circuits=evaluator.num_circuits,
+                    hardware_seconds=evaluator.hardware_seconds,
+                    device_name=device_name,
+                    terminated_early=converged,
+                    queue_seconds=queue_seconds,
+                )
+            )
+        total_circuits = sum(o.circuits for o in outcomes)
+        total_seconds = sum(o.hardware_seconds for o in outcomes)
+        total_queue = sum(o.queue_seconds for o in outcomes)
+        return MultiRestartResult(
+            outcomes=outcomes,
+            circuits_per_device={device_name: total_circuits},
+            seconds_per_device={device_name: total_seconds},
+            queue_seconds_per_device={device_name: total_queue},
+        )

@@ -1,0 +1,139 @@
+"""UCCSD ansatz (unitary coupled cluster, singles and doubles).
+
+The paper's VQE study uses a 4-qubit UCCSD ansatz on H2.  We construct the
+generic trotterized UCCSD circuit: starting from the Hartree–Fock
+determinant, apply exp(-i theta_k H_k) for each excitation generator H_k
+(obtained exactly from Jordan–Wigner matrices in
+:mod:`repro.vqa.fermion`).  Each generator's Pauli terms mutually commute,
+so the single-step Trotterization is exact per excitation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.circuits.parameter import Parameter, ParameterVector
+from repro.exceptions import ReproError
+from repro.vqa.ansatz import append_pauli_evolution
+from repro.vqa.fermion import (
+    double_excitation_generator,
+    single_excitation_generator,
+)
+
+
+def hartree_fock_occupation(num_modes: int, num_particles: int) -> List[int]:
+    """Blocked spin layout: alpha modes first, then beta modes.
+
+    For (modes=4, particles=2) this occupies modes 0 and 2 — the same
+    layout :mod:`repro.vqa.h2` uses when building the H2 Hamiltonian, so
+    zero UCCSD angles prepare exactly its Hartree–Fock determinant.
+    """
+    if num_modes % 2:
+        raise ReproError("expect an even number of spin orbitals")
+    if num_particles % 2:
+        raise ReproError("only closed-shell (even particle) systems supported")
+    half = num_modes // 2
+    per_spin = num_particles // 2
+    alphas = list(range(per_spin))
+    betas = [half + i for i in range(per_spin)]
+    return sorted(alphas + betas)
+
+
+class UCCSDAnsatz:
+    """Trotterized UCCSD circuit over ``num_modes`` spin orbitals."""
+
+    def __init__(self, num_modes: int, num_particles: int):
+        if num_modes > 8:
+            raise ReproError(
+                "exact JW generator construction is limited to 8 modes"
+            )
+        self.num_qubits = num_modes
+        self.num_particles = num_particles
+        occupied = hartree_fock_occupation(num_modes, num_particles)
+        virtual = [m for m in range(num_modes) if m not in occupied]
+        self._occupied = occupied
+        self._virtual = virtual
+        half = num_modes // 2
+        occ_a = [m for m in occupied if m < half]
+        occ_b = [m for m in occupied if m >= half]
+        vir_a = [m for m in virtual if m < half]
+        vir_b = [m for m in virtual if m >= half]
+        self.generators: List[Hamiltonian] = []
+        self.excitation_labels: List[str] = []
+        # Spin-preserving singles.
+        for occ_pool, vir_pool in ((occ_a, vir_a), (occ_b, vir_b)):
+            for o in occ_pool:
+                for v in vir_pool:
+                    self.generators.append(
+                        single_excitation_generator(num_modes, o, v)
+                    )
+                    self.excitation_labels.append(f"s:{o}->{v}")
+        # Spin-preserving doubles (one alpha + one beta pair; same-spin pairs
+        # also included when pools allow).
+        doubles: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+        for oa in occ_a:
+            for ob in occ_b:
+                for va in vir_a:
+                    for vb in vir_b:
+                        doubles.append(((oa, ob), (va, vb)))
+        for pool_o, pool_v in ((occ_a, vir_a), (occ_b, vir_b)):
+            for i, o1 in enumerate(pool_o):
+                for o2 in pool_o[i + 1:]:
+                    for j, v1 in enumerate(pool_v):
+                        for v2 in pool_v[j + 1:]:
+                            doubles.append(((o1, o2), (v1, v2)))
+        for occ_pair, vir_pair in doubles:
+            self.generators.append(
+                double_excitation_generator(num_modes, occ_pair, vir_pair)
+            )
+            self.excitation_labels.append(f"d:{occ_pair}->{vir_pair}")
+        self.thetas = ParameterVector("t", len(self.generators))
+        self._template = self._build()
+
+    def _build(self) -> QuantumCircuit:
+        qc = QuantumCircuit(self.num_qubits, name="uccsd")
+        for mode in self._occupied:
+            qc.x(mode)
+        for theta, generator in zip(self.thetas, self.generators):
+            for coeff, pauli in generator.terms:
+                if pauli.is_identity:
+                    continue
+                # exp(-i theta c P) = evolution with angle 2 * theta * c.
+                append_pauli_evolution(qc, pauli, theta * (2.0 * coeff))
+        return qc
+
+    @property
+    def template(self):
+        """The symbolic (unbound) ansatz circuit."""
+        return self._template
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.thetas)
+
+    @property
+    def parameter_order(self) -> List[Parameter]:
+        return list(self.thetas)
+
+    def bind(self, values: Sequence[float]) -> QuantumCircuit:
+        values = list(values)
+        if len(values) != self.num_parameters:
+            raise ReproError(
+                f"expected {self.num_parameters} parameters, got {len(values)}"
+            )
+        return self._template.bind(dict(zip(self.parameter_order, values)))
+
+    def random_parameters(self, rng: np.random.Generator) -> np.ndarray:
+        """Small random perturbations around the HF point."""
+        return rng.uniform(-0.3, 0.3, size=self.num_parameters)
+
+    def __repr__(self) -> str:
+        return (
+            f"UCCSDAnsatz(modes={self.num_qubits}, "
+            f"particles={self.num_particles}, "
+            f"excitations={self.num_parameters})"
+        )

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.noise import ibmq_kolkata, ibmq_toronto
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_problem():
+    """A 5-node MaxCut instance (fast enough for dense simulation)."""
+    return MaxCutProblem.random(5, 0.6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_ansatz(small_problem):
+    return QAOAAnsatz(small_problem.graph, layers=1)
+
+
+@pytest.fixture(scope="session")
+def lf_device():
+    return ibmq_toronto()
+
+
+@pytest.fixture(scope="session")
+def hf_device():
+    return ibmq_kolkata()
+
+
+def random_state(num_qubits: int, seed: int = 0) -> np.ndarray:
+    """A normalized random complex statevector."""
+    gen = np.random.default_rng(seed)
+    state = gen.normal(size=1 << num_qubits) + 1j * gen.normal(size=1 << num_qubits)
+    return state / np.linalg.norm(state)
+
+
+def random_density(num_qubits: int, seed: int = 0) -> np.ndarray:
+    """A random valid density matrix."""
+    gen = np.random.default_rng(seed)
+    dim = 1 << num_qubits
+    a = gen.normal(size=(dim, dim)) + 1j * gen.normal(size=(dim, dim))
+    rho = a @ a.conj().T
+    return rho / np.trace(rho)

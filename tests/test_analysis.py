@@ -1,0 +1,138 @@
+"""Tests for the motivation-figure analysis helpers (Figs 4, 5, 6, 9, 10)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    collect_scatter,
+    direction_agreement,
+    entropy_expectation_correlation,
+    hellinger_spread,
+    scan_landscape,
+    trace_entropy_arc,
+    trace_optimizer_path,
+)
+from repro.exceptions import ReproError
+from repro.noise import ibmq_kolkata, ibmq_toronto
+from repro.noise.calibration import CalibrationTracker
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+
+@pytest.fixture(scope="module")
+def setup():
+    problem = MaxCutProblem.random(5, 0.6, seed=3)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    return problem, ansatz
+
+
+def test_scan_landscape_shapes_and_minimum(setup):
+    problem, ansatz = setup
+    scan = scan_landscape(ansatz, problem.hamiltonian, None,
+                          gamma_points=10, beta_points=6)
+    assert scan.energies.shape == (10, 6)
+    assert scan.minimum <= scan.energies.mean()
+    g, b = scan.argmin
+    assert 0 <= g <= np.pi and 0 <= b <= np.pi / 2
+
+
+def test_scan_requires_p1(setup):
+    problem, _ = setup
+    big = QAOAAnsatz(problem.graph, layers=2)
+    with pytest.raises(ReproError):
+        scan_landscape(big, problem.hamiltonian, None)
+
+
+def test_noisy_landscape_is_flatter(setup):
+    """Fig 4: gradients saturate on the low-fidelity device."""
+    problem, ansatz = setup
+    ideal = scan_landscape(ansatz, problem.hamiltonian, None,
+                           gamma_points=8, beta_points=5)
+    noisy = scan_landscape(ansatz, problem.hamiltonian, ibmq_toronto(),
+                           gamma_points=8, beta_points=5)
+    assert noisy.gradient_magnitude().mean() < ideal.gradient_magnitude().mean()
+    # Energy span shrinks under noise.
+    assert (noisy.energies.max() - noisy.energies.min()) < (
+        ideal.energies.max() - ideal.energies.min()
+    )
+
+
+def test_optimizer_paths_agree_across_devices(setup):
+    """Fig 4 observation 2: exploration moves the same way on LF and HF."""
+    problem, ansatz = setup
+    x0 = [2.8, 1.4]  # far from optimum: a clear exploration direction
+    path_lf = trace_optimizer_path(
+        ansatz, problem.hamiltonian, ibmq_toronto(), x0, iterations=15, seed=3
+    )
+    path_hf = trace_optimizer_path(
+        ansatz, problem.hamiltonian, ibmq_kolkata(), x0, iterations=15, seed=3
+    )
+    assert direction_agreement(path_lf, path_hf) > 0.4
+    assert len(path_lf.points) == 16
+
+
+def test_scatter_correlation_positive(setup):
+    """Fig 6: intermediate values predict final values."""
+    problem, ansatz = setup
+    scatter = collect_scatter(
+        ansatz, problem.hamiltonian, None,
+        num_restarts=10, total_iterations=30, seed=2,
+    )
+    assert len(scatter.points) == 10
+    assert scatter.correlation() > 0.2
+    recall = scatter.top_cluster_recall()
+    assert 0.0 <= recall <= 1.0
+
+
+def test_scatter_validation(setup):
+    problem, ansatz = setup
+    with pytest.raises(ReproError):
+        collect_scatter(ansatz, problem.hamiltonian, None,
+                        intermediate_fraction=1.5)
+
+
+def test_entropy_arc_recorded(setup):
+    problem, ansatz = setup
+    arc = trace_entropy_arc(
+        ansatz, problem.hamiltonian, ibmq_kolkata(), [2.9, 1.2],
+        iterations=20, seed=1,
+    )
+    assert len(arc.entropies) == 20
+    lo, hi = arc.entropy_range()
+    assert 0 < lo <= hi <= ansatz.num_qubits
+    corr = entropy_expectation_correlation(arc)
+    assert -1.0 <= corr <= 1.0
+
+
+def test_hellinger_spread_varies_with_parameters(setup):
+    """Fig 9: a static fidelity figure cannot capture parameter dependence."""
+    problem, ansatz = setup
+    spread = hellinger_spread(ansatz, problem.hamiltonian, ibmq_toronto(),
+                              num_parameter_sets=12, seed=5)
+    assert spread.shape == (12,)
+    assert (spread > 0.2).all() and (spread <= 1.0 + 1e-9).all()
+    assert spread.max() - spread.min() > 0.02
+
+
+# -- calibration tracking (Sec IV-I) ---------------------------------------------
+
+
+def test_calibration_tracker_detects_drift():
+    tracker = CalibrationTracker(drift_threshold=0.05)
+    base = np.array([0.5, 0.5, 0.0, 0.0])
+    tracker.record("dev", "bench", base, timestamp=0.0)
+    assert not tracker.drift_detected("dev", "bench", base)
+    drifted = np.array([0.2, 0.2, 0.3, 0.3])
+    assert tracker.drift_detected("dev", "bench", drifted)
+
+
+def test_calibration_tracker_history_window():
+    tracker = CalibrationTracker(history=2)
+    for t in range(5):
+        tracker.record("dev", "bench", np.array([1.0, 0.0]), float(t))
+    assert tracker.staleness("dev", "bench", now=10.0) == pytest.approx(6.0)
+
+
+def test_calibration_tracker_unknown_reference():
+    tracker = CalibrationTracker()
+    with pytest.raises(Exception):
+        tracker.drift_detected("ghost", "bench", np.array([1.0, 0.0]))

@@ -1,0 +1,77 @@
+"""Unit tests for Pauli evolution and the TwoLocal ansatz."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuits import PauliString, QuantumCircuit
+from repro.exceptions import ReproError
+from repro.sim.statevector import circuit_unitary
+from repro.vqa import TwoLocalAnsatz, append_pauli_evolution
+
+
+@pytest.mark.parametrize("label", ["Z", "X", "Y", "ZZ", "XY", "YX", "XYZ", "ZIY"])
+@pytest.mark.parametrize("angle", [0.0, 0.7, -1.3])
+def test_pauli_evolution_matches_expm(label, angle):
+    pauli = PauliString(label)
+    qc = QuantumCircuit(pauli.num_qubits)
+    append_pauli_evolution(qc, pauli, angle)
+    u = circuit_unitary(qc)
+    expected = expm(-0.5j * angle * pauli.to_matrix())
+    idx = np.unravel_index(np.argmax(np.abs(expected)), expected.shape)
+    phase = u[idx] / expected[idx]
+    assert np.allclose(u, phase * expected, atol=1e-9), label
+
+
+def test_pauli_evolution_identity_is_noop():
+    qc = QuantumCircuit(2)
+    append_pauli_evolution(qc, PauliString.identity(2), 0.5)
+    assert len(qc) == 0
+
+
+def test_pauli_evolution_symbolic_parameter():
+    from repro.circuits import Parameter
+
+    theta = Parameter("t")
+    pauli = PauliString("XY")
+    qc = QuantumCircuit(2)
+    append_pauli_evolution(qc, pauli, theta)
+    bound = qc.bind([0.9])
+    expected = expm(-0.45j * pauli.to_matrix())
+    u = circuit_unitary(bound)
+    idx = np.unravel_index(np.argmax(np.abs(expected)), expected.shape)
+    assert np.allclose(u, (u[idx] / expected[idx]) * expected, atol=1e-9)
+
+
+def test_two_local_parameter_count():
+    ansatz = TwoLocalAnsatz(4, reps=3)
+    assert ansatz.num_parameters == 4 * 4
+    assert ansatz.template.count_ops()["cx"] == 3 * 3  # linear entangler
+
+
+def test_two_local_entanglement_options():
+    assert TwoLocalAnsatz(4, 1, "ring").template.count_ops()["cx"] == 4
+    assert TwoLocalAnsatz(4, 1, "full").template.count_ops()["cx"] == 6
+    with pytest.raises(ReproError):
+        TwoLocalAnsatz(4, 1, "diagonal")
+    with pytest.raises(ReproError):
+        TwoLocalAnsatz(4, reps=-1)
+
+
+def test_two_local_zero_params_is_identity():
+    ansatz = TwoLocalAnsatz(3, reps=0)
+    state = circuit_unitary(ansatz.bind([0.0] * 3))[:, 0]
+    assert abs(state[0]) == pytest.approx(1.0)
+
+
+def test_two_local_bind_validation():
+    ansatz = TwoLocalAnsatz(3, reps=1)
+    with pytest.raises(ReproError):
+        ansatz.bind([0.1])
+
+
+def test_two_local_random_parameters_shape():
+    ansatz = TwoLocalAnsatz(3, reps=2)
+    x = ansatz.random_parameters(np.random.default_rng(0))
+    assert x.shape == (ansatz.num_parameters,)
+    assert (np.abs(x) <= np.pi).all()

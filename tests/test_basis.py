@@ -1,0 +1,138 @@
+"""Unit tests for basis-gate decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Parameter, QuantumCircuit
+from repro.sim.statevector import circuit_unitary
+from repro.transpile import IBM_BASIS, IONQ_BASIS, decompose_to_basis
+
+
+def assert_equiv(qc, decomposed, atol=1e-9):
+    u1 = circuit_unitary(qc)
+    u2 = circuit_unitary(decomposed)
+    idx = np.unravel_index(np.argmax(np.abs(u1)), u1.shape)
+    phase = u2[idx] / u1[idx]
+    assert np.allclose(u2, phase * u1, atol=atol)
+
+
+GATE_BUILDERS = {
+    "h": lambda q: q.h(0),
+    "x": lambda q: q.x(0),
+    "y": lambda q: q.y(0),
+    "z": lambda q: q.z(0),
+    "s": lambda q: q.s(0),
+    "sdg": lambda q: q.sdg(0),
+    "t": lambda q: q.t(0),
+    "tdg": lambda q: q.tdg(0),
+    "sx": lambda q: q.sx(0),
+    "sxdg": lambda q: q.sxdg(0),
+    "rx": lambda q: q.rx(0.7, 0),
+    "ry": lambda q: q.ry(-1.2, 0),
+    "rz": lambda q: q.rz(0.4, 0),
+    "p": lambda q: q.p(0.9, 0),
+    "u": lambda q: q.u(0.5, 0.3, -0.8, 0),
+    "cx": lambda q: q.cx(0, 1),
+    "cz": lambda q: q.cz(0, 1),
+    "swap": lambda q: q.swap(0, 1),
+    "rzz": lambda q: q.rzz(0.7, 0, 1),
+    "rxx": lambda q: q.rxx(-0.4, 0, 1),
+    "ryy": lambda q: q.ryy(1.1, 0, 1),
+    "crz": lambda q: q.crz(0.6, 1, 0),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GATE_BUILDERS))
+def test_ibm_basis_exact(name):
+    qc = QuantumCircuit(2)
+    GATE_BUILDERS[name](qc)
+    t = decompose_to_basis(qc, IBM_BASIS)
+    for inst in t:
+        if inst.is_gate:
+            assert inst.name in IBM_BASIS
+    assert_equiv(qc, t)
+
+
+@pytest.mark.parametrize("name", sorted(GATE_BUILDERS))
+def test_ionq_basis_exact(name):
+    qc = QuantumCircuit(2)
+    GATE_BUILDERS[name](qc)
+    t = decompose_to_basis(qc, IONQ_BASIS)
+    for inst in t:
+        if inst.is_gate:
+            assert inst.name in IONQ_BASIS
+    assert_equiv(qc, t)
+
+
+def test_symbolic_decomposition_matches_numeric():
+    """Decompose-then-bind equals bind-then-decompose for every symbolic gate."""
+    theta = Parameter("t")
+    builders = [
+        lambda q: q.rz(theta, 0),
+        lambda q: q.rx(theta, 0),
+        lambda q: q.ry(theta, 0),
+        lambda q: q.p(theta, 0),
+        lambda q: q.rzz(theta, 0, 1),
+        lambda q: q.rxx(theta, 0, 1),
+        lambda q: q.ryy(theta, 0, 1),
+        lambda q: q.crz(theta, 0, 1),
+    ]
+    for build in builders:
+        qc = QuantumCircuit(2)
+        build(qc)
+        symbolic = decompose_to_basis(qc, IBM_BASIS)
+        for value in (0.0, 0.7, -2.1):
+            bound_after = symbolic.bind([value])
+            bound_before = decompose_to_basis(qc.bind([value]), IBM_BASIS)
+            assert_equiv(bound_before, bound_after)
+
+
+def test_symbolic_rzz_in_ionq_basis():
+    theta = Parameter("t")
+    qc = QuantumCircuit(2)
+    qc.rzz(theta, 0, 1)
+    symbolic = decompose_to_basis(qc, IONQ_BASIS)
+    for inst in symbolic:
+        if inst.is_gate:
+            assert inst.name in IONQ_BASIS
+    assert_equiv(qc.bind([1.3]), symbolic.bind([1.3]))
+
+
+def test_random_circuit_equivalence():
+    rng = np.random.default_rng(3)
+    qc = QuantumCircuit(3)
+    for _ in range(25):
+        choice = rng.integers(5)
+        if choice == 0:
+            qc.h(int(rng.integers(3)))
+        elif choice == 1:
+            qc.ry(float(rng.normal()), int(rng.integers(3)))
+        elif choice == 2:
+            a, b = rng.choice(3, 2, replace=False)
+            qc.cx(int(a), int(b))
+        elif choice == 3:
+            a, b = rng.choice(3, 2, replace=False)
+            qc.ryy(float(rng.normal()), int(a), int(b))
+        else:
+            qc.tdg(int(rng.integers(3)))
+    assert_equiv(qc, decompose_to_basis(qc, IBM_BASIS))
+    assert_equiv(qc, decompose_to_basis(qc, IONQ_BASIS))
+
+
+def test_rz_merging_in_decomposition():
+    qc = QuantumCircuit(1)
+    qc.s(0)
+    qc.t(0)
+    t = decompose_to_basis(qc, IBM_BASIS)
+    # Two diagonal gates merge into a single rz.
+    assert t.count_ops() == {"rz": 2} or t.count_ops() == {"rz": 1}
+
+
+def test_directives_pass_through():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.barrier()
+    qc.measure_all()
+    t = decompose_to_basis(qc)
+    names = [i.name for i in t]
+    assert "barrier" in names and names.count("measure") == 2

@@ -1,0 +1,137 @@
+"""Unit tests for the standard noise channels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise import (
+    amplitude_damping_channel,
+    bit_flip_channel,
+    coherent_overrotation_channel,
+    depolarizing_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+)
+from repro.noise.channels import DepolarizingChannel, two_qubit_tensor_channel
+from repro.sim.kraus import KrausChannel
+from tests.conftest import random_density
+
+
+def test_depolarizing_fully_mixes_at_p1():
+    ch = depolarizing_channel(1.0, 1)
+    rho = np.array([[1, 0], [0, 0]], dtype=complex)
+    out = ch.apply_to_density(rho, [0], 1)
+    # p=1 uniform non-identity Pauli leaves 1/3 mix of X,Y,Z images.
+    assert np.trace(out) == pytest.approx(1.0)
+    assert out[1, 1].real > 0.5
+
+
+def test_depolarizing_zero_is_identity():
+    rho = random_density(1, seed=0)
+    out = depolarizing_channel(0.0, 1).apply_to_density(rho, [0], 1)
+    assert np.allclose(out, rho)
+
+
+def test_depolarizing_bad_probability():
+    with pytest.raises(NoiseModelError):
+        depolarizing_channel(1.5)
+    with pytest.raises(NoiseModelError):
+        depolarizing_channel(0.1, 3)
+
+
+def test_depolarizing_fast_path_matches_kraus_1q_and_2q():
+    rho = random_density(3, seed=7)
+    for p, qubits in [(0.1, (0,)), (0.2, (2,)), (0.15, (0, 2)), (0.3, (2, 1))]:
+        ch = DepolarizingChannel(p, len(qubits))
+        generic = KrausChannel(ch.operators)
+        fast = ch.apply_to_density(rho, qubits, 3)
+        slow = generic.apply_to_density(rho, qubits, 3)
+        assert np.allclose(fast, slow, atol=1e-11), (p, qubits)
+
+
+def test_bit_flip_statistics():
+    rho = np.array([[1, 0], [0, 0]], dtype=complex)
+    out = bit_flip_channel(0.25).apply_to_density(rho, [0], 1)
+    assert out[1, 1].real == pytest.approx(0.25)
+
+
+def test_phase_flip_kills_coherence():
+    rho = 0.5 * np.ones((2, 2), dtype=complex)
+    out = phase_flip_channel(0.5).apply_to_density(rho, [0], 1)
+    assert abs(out[0, 1]) == pytest.approx(0.0)
+    assert out[0, 0].real == pytest.approx(0.5)
+
+
+def test_pauli_channel_probability_validation():
+    with pytest.raises(NoiseModelError):
+        pauli_channel(0.5, 0.5, 0.5)
+    pauli_channel(0.1, 0.1, 0.1)  # ok
+
+
+def test_amplitude_damping_fixed_point_is_ground():
+    rho = np.array([[0, 0], [0, 1]], dtype=complex)
+    out = amplitude_damping_channel(1.0).apply_to_density(rho, [0], 1)
+    assert out[0, 0].real == pytest.approx(1.0)
+
+
+def test_amplitude_damping_partial():
+    rho = np.array([[0, 0], [0, 1]], dtype=complex)
+    out = amplitude_damping_channel(0.3).apply_to_density(rho, [0], 1)
+    assert out[1, 1].real == pytest.approx(0.7)
+
+
+def test_phase_damping_preserves_populations():
+    rho = random_density(1, seed=4)
+    out = phase_damping_channel(0.6).apply_to_density(rho, [0], 1)
+    assert out[0, 0] == pytest.approx(rho[0, 0])
+    assert abs(out[0, 1]) < abs(rho[0, 1])
+
+
+def test_thermal_relaxation_limits():
+    # Zero duration: identity.
+    ch = thermal_relaxation_channel(1e-4, 0.8e-4, 0.0)
+    rho = random_density(1, seed=5)
+    assert np.allclose(ch.apply_to_density(rho, [0], 1), rho)
+    # Long duration: everything decays to |0>.
+    ch = thermal_relaxation_channel(1e-6, 0.8e-6, 1.0)
+    out = ch.apply_to_density(rho, [0], 1)
+    assert out[0, 0].real == pytest.approx(1.0, abs=1e-6)
+
+
+def test_thermal_relaxation_t1_population_decay():
+    t1, dur = 100e-6, 50e-6
+    ch = thermal_relaxation_channel(t1, t1, dur)
+    rho = np.array([[0, 0], [0, 1]], dtype=complex)
+    out = ch.apply_to_density(rho, [0], 1)
+    assert out[1, 1].real == pytest.approx(np.exp(-dur / t1), abs=1e-9)
+
+
+def test_thermal_relaxation_validation():
+    with pytest.raises(NoiseModelError):
+        thermal_relaxation_channel(-1.0, 1.0, 1.0)
+    with pytest.raises(NoiseModelError):
+        thermal_relaxation_channel(1.0, 3.0, 1.0)  # T2 > 2 T1
+    with pytest.raises(NoiseModelError):
+        thermal_relaxation_channel(1.0, 1.0, -0.1)
+
+
+def test_coherent_overrotation_is_unitary_channel():
+    ch = coherent_overrotation_channel(0.1, "z")
+    assert ch.is_unitary
+    with pytest.raises(NoiseModelError):
+        coherent_overrotation_channel(0.1, "w")
+
+
+def test_two_qubit_tensor_channel():
+    a = bit_flip_channel(0.5)
+    b = KrausChannel([np.eye(2)])
+    ch = two_qubit_tensor_channel(a, b)
+    rho = np.zeros((4, 4), dtype=complex)
+    rho[0, 0] = 1.0
+    out = ch.apply_to_density(rho, [0, 1], 2)
+    # Qubit 0 flips with p=0.5, qubit 1 untouched.
+    assert out[0b01, 0b01].real == pytest.approx(0.5)
+    with pytest.raises(NoiseModelError):
+        two_qubit_tensor_channel(ch, b)

@@ -1,0 +1,177 @@
+"""Unit tests for the circuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Parameter, QuantumCircuit
+from repro.exceptions import CircuitError, ParameterError
+from repro.sim.statevector import circuit_unitary
+
+
+def test_requires_positive_qubits():
+    with pytest.raises(CircuitError):
+        QuantumCircuit(0)
+
+
+def test_append_checks_qubit_range():
+    qc = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        qc.h(2)
+
+
+def test_append_rejects_duplicate_qubits():
+    qc = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        qc.cx(1, 1)
+
+
+def test_append_rejects_unknown_op():
+    qc = QuantumCircuit(1)
+    with pytest.raises(CircuitError):
+        qc.append("warp", [0])
+
+
+def test_gate_arity_enforced():
+    qc = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        qc.append("cx", [0])
+
+
+def test_param_count_enforced():
+    qc = QuantumCircuit(1)
+    with pytest.raises(CircuitError):
+        qc.append("rx", [0], [])
+
+
+def test_depth_series_and_parallel():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.h(1)
+    assert qc.depth() == 1
+    qc.cx(0, 1)
+    assert qc.depth() == 2
+    qc.x(0)
+    assert qc.depth() == 3
+
+
+def test_two_qubit_depth_ignores_1q():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.x(1)
+    qc.cx(1, 2)
+    assert qc.two_qubit_depth() == 2
+
+
+def test_count_ops_and_gate_counts():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.h(1)
+    qc.cx(0, 1)
+    qc.measure_all()
+    assert qc.count_ops() == {"h": 2, "cx": 1, "measure": 2}
+    assert qc.num_1q_gates == 2
+    assert qc.num_2q_gates == 1
+    assert qc.num_measurements == 2
+
+
+def test_bind_by_sequence_and_mapping():
+    theta = Parameter("t")
+    qc = QuantumCircuit(1)
+    qc.rx(theta, 0)
+    bound_seq = qc.bind([0.5])
+    bound_map = qc.bind({theta: 0.5})
+    assert float(bound_seq.instructions[0].params[0]) == pytest.approx(0.5)
+    assert float(bound_map.instructions[0].params[0]) == pytest.approx(0.5)
+
+
+def test_bind_wrong_length_raises():
+    qc = QuantumCircuit(1)
+    qc.rx(Parameter("t"), 0)
+    with pytest.raises(ParameterError):
+        qc.bind([0.5, 0.2])
+
+
+def test_parameters_sorted_and_counted():
+    a, b = Parameter("a"), Parameter("b")
+    qc = QuantumCircuit(2)
+    qc.rx(b, 0)
+    qc.rz(a, 1)
+    assert [p.name for p in qc.parameters] == ["a", "b"]
+    assert qc.num_parameters == 2
+
+
+def test_compose_maps_qubits():
+    inner = QuantumCircuit(1)
+    inner.x(0)
+    outer = QuantumCircuit(3)
+    combined = outer.compose(inner, qubits=[2])
+    assert combined.instructions[-1].qubits == (2,)
+
+
+def test_compose_too_large_raises():
+    big = QuantumCircuit(3)
+    small = QuantumCircuit(2)
+    with pytest.raises(CircuitError):
+        small.compose(big)
+
+
+def test_inverse_roundtrip_unitary():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.t(1)
+    qc.cx(0, 1)
+    qc.ry(0.7, 0)
+    qc.s(1)
+    u = circuit_unitary(qc.compose(qc.inverse()))
+    # Equal to identity up to global phase.
+    phase = u[0, 0]
+    assert np.allclose(u, phase * np.eye(4), atol=1e-10)
+
+
+def test_inverse_of_measurement_raises():
+    qc = QuantumCircuit(1)
+    qc.measure(0)
+    with pytest.raises(CircuitError):
+        qc.inverse()
+
+
+def test_remove_measurements():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.measure_all()
+    assert qc.remove_measurements().num_measurements == 0
+    assert qc.num_measurements == 2  # original untouched
+
+
+def test_copy_is_independent():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    clone = qc.copy()
+    clone.x(0)
+    assert len(qc) == 1
+    assert len(clone) == 2
+
+
+def test_barrier_synchronizes_depth():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.barrier()
+    qc.h(1)
+    assert qc.depth() == 2
+
+
+def test_used_qubits_and_pairs():
+    qc = QuantumCircuit(4)
+    qc.h(1)
+    qc.cx(3, 1)
+    assert qc.used_qubits() == {1, 3}
+    assert qc.two_qubit_pairs() == {(1, 3)}
+
+
+def test_delay_metadata():
+    qc = QuantumCircuit(1)
+    qc.delay(1e-6, 0)
+    inst = qc.instructions[0]
+    assert inst.metadata["duration"] == pytest.approx(1e-6)
+    assert inst.is_directive

@@ -1,0 +1,178 @@
+"""Unit tests for the cloud substrate: workload, devices, fair share, pricing."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudDevice,
+    FairShareQueue,
+    JobSpec,
+    generate_workload,
+    hypothetical_fleet,
+    per_shot_price_ratio,
+    table1_rows,
+    table2_rows,
+    task_cost,
+    wait_time_ratio,
+)
+from repro.exceptions import SchedulingError
+
+
+# -- workload ---------------------------------------------------------------------
+
+
+def test_workload_counts_and_ratio():
+    wl = generate_workload(num_jobs=500, vqa_ratio=0.3, seed=1)
+    assert wl.num_jobs == 500
+    observed = len(wl.vqa_jobs) / 500
+    assert observed == pytest.approx(0.3, abs=0.07)
+
+
+def test_workload_tasks_have_single_execution():
+    wl = generate_workload(num_jobs=200, vqa_ratio=0.5, seed=2)
+    for job in wl.jobs:
+        if not job.is_vqa:
+            assert job.num_executions == 1
+            assert job.inter_submission_seconds == 0.0
+        else:
+            assert job.num_executions >= 10
+
+
+def test_workload_arrivals_sorted():
+    wl = generate_workload(num_jobs=100, seed=3)
+    arrivals = [j.arrival_time for j in wl.jobs]
+    assert arrivals == sorted(arrivals)
+
+
+def test_workload_seeded_determinism():
+    a = generate_workload(num_jobs=50, seed=9)
+    b = generate_workload(num_jobs=50, seed=9)
+    assert [j.num_executions for j in a.jobs] == [j.num_executions for j in b.jobs]
+
+
+def test_workload_validation():
+    with pytest.raises(SchedulingError):
+        generate_workload(vqa_ratio=1.5)
+    with pytest.raises(SchedulingError):
+        generate_workload(num_jobs=0)
+    with pytest.raises(SchedulingError):
+        JobSpec(0, 0, 0.0, False, 0, 1.0)
+
+
+# -- cloud devices ------------------------------------------------------------------
+
+
+def test_fleet_spans_fidelity_range():
+    fleet = hypothetical_fleet(10, (0.3, 0.9))
+    fids = [d.fidelity for d in fleet]
+    assert min(fids) == pytest.approx(0.3)
+    assert max(fids) == pytest.approx(0.9)
+    assert len(fleet) == 10
+
+
+def test_fleet_low_fidelity_is_faster():
+    fleet = hypothetical_fleet(10)
+    assert fleet[0].speed_factor < fleet[-1].speed_factor
+
+
+def test_execution_time_3x_variation():
+    device = CloudDevice("d", 0.5, speed_factor=1.0)
+    rng = np.random.default_rng(0)
+    times = [device.execution_time(10.0, rng) for _ in range(500)]
+    assert min(times) >= 10.0
+    assert max(times) <= 30.0
+    assert max(times) / min(times) > 2.0
+
+
+def test_device_validation():
+    with pytest.raises(SchedulingError):
+        CloudDevice("d", 0.0)
+    with pytest.raises(SchedulingError):
+        CloudDevice("d", 0.5, speed_factor=0.0)
+
+
+def test_queue_delay_and_reset():
+    device = CloudDevice("d", 0.5)
+    device.busy_until = 100.0
+    assert device.queue_delay(40.0) == pytest.approx(60.0)
+    assert device.queue_delay(200.0) == 0.0
+    device.reset()
+    assert device.busy_until == 0.0
+
+
+# -- fair share ---------------------------------------------------------------------
+
+
+def test_fair_share_orders_by_usage():
+    q = FairShareQueue()
+    q.record_usage(1, 100.0)
+    q.push("heavy-user-job", user_id=1)
+    q.push("light-user-job", user_id=2)
+    assert q.pop() == "light-user-job"
+    assert q.pop() == "heavy-user-job"
+
+
+def test_fair_share_fifo_within_user():
+    q = FairShareQueue()
+    q.push("first", 1)
+    q.push("second", 1)
+    assert q.pop() == "first"
+
+
+def test_fair_share_empty_pop_raises():
+    with pytest.raises(SchedulingError):
+        FairShareQueue().pop()
+
+
+def test_fair_share_usage_negative_rejected():
+    q = FairShareQueue()
+    with pytest.raises(SchedulingError):
+        q.record_usage(1, -1.0)
+
+
+def test_fair_share_len():
+    q = FairShareQueue()
+    q.push("a", 1)
+    q.push("b", 2)
+    assert len(q) == 2
+    q.pop()
+    assert len(q) == 1
+
+
+# -- pricing (Tables I & II) -----------------------------------------------------------
+
+
+def test_table1_wait_time_spread():
+    """Sec III-A: Rigetti waits are 10.9x-61.3x shorter than IonQ's."""
+    assert wait_time_ratio("Harmony", "Aspen-M-3") == pytest.approx(11.4, abs=1.0)
+    assert wait_time_ratio("Aria", "Aspen-M-3") == pytest.approx(64.2, abs=3.5)
+    assert wait_time_ratio("Aria", "Harmony") == pytest.approx(5.6, abs=0.2)
+    assert wait_time_ratio("Forte", "Harmony") == pytest.approx(3.7, abs=0.2)
+
+
+def test_table2_per_shot_spread():
+    """Sec III-B1: Rigetti is 28.6x-85.7x cheaper per shot than IonQ."""
+    assert per_shot_price_ratio("Harmony", "Aspen-M-3") == pytest.approx(28.6, abs=0.5)
+    assert per_shot_price_ratio("Aria", "Aspen-M-3") == pytest.approx(85.7, abs=0.5)
+
+
+def test_task_cost_model():
+    cost = task_cost("Harmony", shots=1000)
+    assert cost == pytest.approx(0.3 + 1000 * 0.01)
+    with pytest.raises(SchedulingError):
+        task_cost("Harmony", shots=0)
+    with pytest.raises(SchedulingError):
+        task_cost("Nonexistent", shots=100)
+
+
+def test_table_rows_complete():
+    assert len(table1_rows()) == 4
+    assert len(table2_rows()) == 4
+    assert {r["device"] for r in table1_rows()} == {
+        "Aspen-M-3", "Harmony", "Aria", "Forte"
+    }
+
+
+def test_unknown_device_ratio_raises():
+    with pytest.raises(SchedulingError):
+        wait_time_ratio("Nope", "Aria")

@@ -1,0 +1,113 @@
+"""Unit tests for the adaptive convergence checker."""
+
+import pytest
+
+from repro.core import ConvergenceChecker
+from repro.exceptions import ConvergenceError
+
+
+def feed(checker, energies, entropies=None):
+    result = False
+    for i, e in enumerate(energies):
+        ent = entropies[i] if entropies is not None else None
+        result = checker.update(e, ent)
+    return result
+
+
+def test_validation():
+    with pytest.raises(ConvergenceError):
+        ConvergenceChecker(patience=0)
+    with pytest.raises(ConvergenceError):
+        ConvergenceChecker(energy_tol=-1.0)
+
+
+def test_requires_entropy_when_configured():
+    checker = ConvergenceChecker(use_entropy=True)
+    with pytest.raises(ConvergenceError):
+        checker.update(1.0)
+
+
+def test_converges_on_flat_energy_and_entropy():
+    checker = ConvergenceChecker(patience=5, min_iterations=5, entropy_tol=0.1)
+    energies = [-1.0] * 12
+    entropies = [2.0] * 12
+    assert feed(checker, energies, entropies)
+
+
+def test_not_converged_while_energy_improves():
+    checker = ConvergenceChecker(patience=5, min_iterations=3, energy_tol=1e-3)
+    energies = [-float(i) for i in range(15)]  # steadily improving
+    entropies = [2.0] * 15
+    assert not feed(checker, energies, entropies)
+
+
+def test_entropy_instability_blocks_convergence():
+    checker = ConvergenceChecker(patience=5, min_iterations=5, entropy_tol=0.05)
+    energies = [-1.0] * 12
+    entropies = [2.0 + 0.2 * (i % 2) for i in range(12)]  # oscillating
+    assert not feed(checker, energies, entropies)
+
+
+def test_expectation_only_mode():
+    checker = ConvergenceChecker(patience=4, min_iterations=4, use_entropy=False)
+    assert feed(checker, [-1.0] * 9)
+
+
+def test_min_iterations_guard():
+    checker = ConvergenceChecker(patience=1, min_iterations=10)
+    assert not feed(checker, [-1.0] * 5, [2.0] * 5)
+
+
+def test_reset():
+    checker = ConvergenceChecker(patience=3, min_iterations=3)
+    feed(checker, [-1.0] * 8, [2.0] * 8)
+    checker.reset()
+    assert checker.iterations_seen == 0
+    assert checker.best_energy is None
+
+
+def test_improvement_resets_stall():
+    checker = ConvergenceChecker(patience=4, min_iterations=1, energy_tol=0.01)
+    for e in [-1.0, -1.0, -1.0, -2.0]:  # improvement at the end
+        converged = checker.update(e, 1.0)
+    assert not converged
+
+
+def test_relaxed_has_lower_patience():
+    strict = ConvergenceChecker(patience=10, min_iterations=8)
+    relaxed = strict.relaxed()
+    assert relaxed.patience == 5
+    assert relaxed.min_iterations == 4
+    assert relaxed.entropy_tol > strict.entropy_tol
+    with pytest.raises(ConvergenceError):
+        strict.relaxed(factor=0.0)
+
+
+def test_relaxed_converges_earlier_than_strict():
+    energies = [-1.0] * 30
+    entropies = [2.0] * 30
+    strict = ConvergenceChecker(patience=10, min_iterations=5)
+    relaxed = strict.relaxed()
+    strict_at = relaxed_at = None
+    for i in range(30):
+        if strict_at is None and strict.update(energies[i], entropies[i]):
+            strict_at = i
+        if relaxed_at is None and relaxed.update(energies[i], entropies[i]):
+            relaxed_at = i
+    assert relaxed_at < strict_at
+
+
+def test_fresh_copy_is_clean():
+    checker = ConvergenceChecker(patience=3, min_iterations=3)
+    feed(checker, [-1.0] * 8, [2.0] * 8)
+    clone = checker.fresh()
+    assert clone.iterations_seen == 0
+    assert clone.patience == checker.patience
+
+
+def test_histories_recorded():
+    checker = ConvergenceChecker(patience=3, min_iterations=1)
+    feed(checker, [-1.0, -2.0], [1.0, 1.5])
+    assert checker.energy_history == [-1.0, -2.0]
+    assert checker.entropy_history == [1.0, 1.5]
+    assert checker.best_energy == -2.0

@@ -1,0 +1,82 @@
+"""Unit tests for coupling maps."""
+
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.transpile import CouplingMap
+
+
+def test_heavy_hex_27_structure():
+    cmap = CouplingMap.heavy_hex_27()
+    assert cmap.num_qubits == 27
+    assert cmap.is_connected()
+    assert cmap.graph.number_of_edges() == 28
+    assert max(cmap.degree(q) for q in range(27)) == 3
+
+
+def test_heavy_hex_variants():
+    assert CouplingMap.heavy_hex_16().num_qubits == 16
+    assert CouplingMap.heavy_hex_7().num_qubits == 7
+    assert CouplingMap.heavy_hex_7().is_connected()
+
+
+def test_all_to_all():
+    cmap = CouplingMap.all_to_all(5)
+    assert cmap.graph.number_of_edges() == 10
+    assert cmap.distance(0, 4) == 1
+
+
+def test_line_and_ring_and_grid():
+    line = CouplingMap.line(4)
+    assert line.distance(0, 3) == 3
+    ring = CouplingMap.ring(6)
+    assert ring.distance(0, 3) == 3
+    assert ring.distance(0, 5) == 1
+    grid = CouplingMap.grid(2, 3)
+    assert grid.num_qubits == 6
+    assert grid.has_edge(0, 3)
+
+
+def test_edge_validation():
+    with pytest.raises(TranspilerError):
+        CouplingMap(2, [(0, 5)])
+    with pytest.raises(TranspilerError):
+        CouplingMap(2, [(1, 1)])
+
+
+def test_distance_and_path():
+    cmap = CouplingMap.heavy_hex_27()
+    path = cmap.shortest_path(0, 26)
+    assert path[0] == 0 and path[-1] == 26
+    assert cmap.distance(0, 26) == len(path) - 1
+
+
+def test_disconnected_distance_raises():
+    cmap = CouplingMap(3, [(0, 1)])
+    with pytest.raises(TranspilerError):
+        cmap.distance(0, 2)
+
+
+def test_connected_subset():
+    cmap = CouplingMap.heavy_hex_27()
+    subset = cmap.connected_subset(7)
+    assert len(subset) == 7
+    sub = cmap.subgraph(subset)
+    assert sub.is_connected()
+
+
+def test_connected_subset_too_large():
+    with pytest.raises(TranspilerError):
+        CouplingMap.line(3).connected_subset(5)
+
+
+def test_subgraph_relabels():
+    cmap = CouplingMap.line(5)
+    sub = cmap.subgraph([2, 3, 4])
+    assert sub.num_qubits == 3
+    assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+
+
+def test_neighbors():
+    cmap = CouplingMap.heavy_hex_27()
+    assert 0 in cmap.neighbors(1)

@@ -1,0 +1,152 @@
+"""Unit tests for the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.noise import GateErrorSpec, NoiseModel, ibmq_toronto
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+from repro.sim.density_matrix import MAX_DM_QUBITS, channel_superop, zero_density
+from repro.sim.kraus import _embed_apply
+
+
+def random_circuit(n, depth, seed):
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(n)
+    for _ in range(depth):
+        k = rng.integers(7)
+        if k == 0:
+            qc.h(int(rng.integers(n)))
+        elif k == 1:
+            qc.rz(float(rng.normal()), int(rng.integers(n)))
+        elif k == 2:
+            a, b = rng.choice(n, 2, replace=False)
+            qc.cx(int(a), int(b))
+        elif k == 3:
+            qc.sx(int(rng.integers(n)))
+        elif k == 4:
+            a, b = rng.choice(n, 2, replace=False)
+            qc.rzz(float(rng.normal()), int(a), int(b))
+        elif k == 5:
+            a, b = rng.choice(n, 2, replace=False)
+            qc.cz(int(a), int(b))
+        else:
+            qc.ry(float(rng.normal()), int(rng.integers(n)))
+    return qc
+
+
+def test_noiseless_matches_statevector():
+    qc = random_circuit(4, 30, seed=2)
+    rho = DensityMatrixSimulator().evolve(qc)
+    sv = StatevectorSimulator().run(qc).statevector
+    assert np.allclose(rho, np.outer(sv, sv.conj()), atol=1e-10)
+
+
+def test_noisy_matches_bruteforce_kraus():
+    nm = ibmq_toronto().noise_model()
+    qc = random_circuit(3, 25, seed=6)
+    rho_fast = DensityMatrixSimulator(nm).evolve(qc)
+    rho = zero_density(3)
+    for inst in qc:
+        if inst.is_gate:
+            rho = _embed_apply(rho, inst.matrix(), inst.qubits, 3)
+        for channel, qubits in nm.channels_for(inst):
+            out = np.zeros_like(rho)
+            for k in channel.operators:
+                out += _embed_apply(rho, k, qubits, 3)
+            rho = out
+    assert np.allclose(rho_fast, rho, atol=1e-11)
+
+
+def test_evolution_preserves_trace_and_positivity():
+    nm = ibmq_toronto().noise_model()
+    qc = random_circuit(3, 40, seed=9)
+    rho = DensityMatrixSimulator(nm).evolve(qc)
+    assert np.trace(rho).real == pytest.approx(1.0)
+    eigs = np.linalg.eigvalsh(rho)
+    assert (eigs > -1e-10).all()
+
+
+def test_qubit_limit_guard():
+    qc = QuantumCircuit(MAX_DM_QUBITS + 1)
+    with pytest.raises(SimulationError):
+        DensityMatrixSimulator().evolve(qc)
+
+
+def test_reset_unsupported():
+    qc = QuantumCircuit(1)
+    qc.reset(0)
+    with pytest.raises(SimulationError):
+        DensityMatrixSimulator().evolve(qc)
+
+
+def test_readout_error_shifts_probabilities():
+    nm = NoiseModel(name="ro", readout_error=0.1)
+    qc = QuantumCircuit(1)  # stays in |0>
+    probs = DensityMatrixSimulator(nm).run(qc).probabilities()
+    assert probs[1] == pytest.approx(0.1)
+    clean = DensityMatrixSimulator(nm).run(qc, apply_readout_error=False)
+    assert clean.probabilities()[1] == pytest.approx(0.0)
+
+
+def test_expectation_diagonal_includes_readout():
+    nm = NoiseModel(name="ro", readout_error=0.1)
+    qc = QuantumCircuit(1)
+    h = Hamiltonian.from_labels({"Z": 1.0})
+    e = DensityMatrixSimulator(nm).expectation(qc, h)
+    assert e == pytest.approx(0.8)  # (1-2*0.1)
+    e_clean = DensityMatrixSimulator(nm).expectation(qc, h, include_readout_error=False)
+    assert e_clean == pytest.approx(1.0)
+
+
+def test_expectation_offdiagonal_grouping_noise_free():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    h = Hamiltonian.from_labels({"XX": 1.0, "ZZ": 1.0, "YY": -1.0})
+    e = DensityMatrixSimulator().expectation(qc, h)
+    assert e == pytest.approx(3.0)
+
+
+def test_shots_sampled_from_corrupted_distribution():
+    nm = NoiseModel(name="ro", readout_error=0.5)
+    qc = QuantumCircuit(1)
+    result = DensityMatrixSimulator(nm, seed=0).run(qc, shots=4000)
+    assert abs(result.counts.get(1, 0) - 2000) < 200
+
+
+def test_delay_applies_relaxation():
+    nm = NoiseModel(
+        name="relax",
+        spec_1q=GateErrorSpec(0.0, 0.0),  # instantaneous X: isolate the delay
+        spec_2q=GateErrorSpec(0.0, 300e-9),
+        t1=1e-6,
+        t2=1e-6,
+    )
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    qc.delay(1e-6, 0)
+    rho = DensityMatrixSimulator(nm).evolve(qc)
+    assert rho[1, 1].real == pytest.approx(np.exp(-1.0), abs=1e-6)
+
+
+def test_channel_superop_roundtrip():
+    from repro.noise.channels import depolarizing_channel
+
+    ch = depolarizing_channel(0.2, 1)
+    s = channel_superop(ch.operators)
+    rho = np.array([[0.7, 0.2], [0.2, 0.3]], dtype=complex)
+    direct = ch.apply_to_density(rho, [0], 1)
+    via_superop = (s @ rho.reshape(-1)).reshape(2, 2)
+    assert np.allclose(direct, via_superop, atol=1e-12)
+
+
+def test_superop_cache_reused_across_calls():
+    nm = ibmq_toronto().noise_model()
+    sim = DensityMatrixSimulator(nm)
+    qc = random_circuit(3, 10, seed=1)
+    sim.evolve(qc)
+    cached = len(sim._gate_superops)
+    sim.evolve(qc)
+    assert len(sim._gate_superops) == cached

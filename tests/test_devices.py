@@ -1,0 +1,95 @@
+"""Unit tests for device profiles."""
+
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise import (
+    DEVICE_REGISTRY,
+    fig8_devices,
+    get_device,
+    hypothetical_device,
+    ibmq_kolkata,
+    ibmq_toronto,
+    ionq_forte,
+)
+
+
+def test_paper_error_rates():
+    toronto = ibmq_toronto()
+    kolkata = ibmq_kolkata()
+    forte = ionq_forte()
+    assert toronto.error_2q == pytest.approx(0.02083)
+    assert toronto.readout_error == pytest.approx(0.0448)
+    assert kolkata.error_2q == pytest.approx(0.01091)
+    assert kolkata.readout_error == pytest.approx(0.0122)
+    assert forte.error_2q == pytest.approx(0.0074)
+    assert forte.readout_error == pytest.approx(0.005)
+
+
+def test_fidelity_ordering_toronto_worst():
+    assert ibmq_toronto().error_2q > ibmq_kolkata().error_2q > ionq_forte().error_2q
+
+
+def test_kolkata_has_higher_load_than_toronto():
+    """Fig 1: the high-fidelity device carries ~3x the pending jobs."""
+    assert ibmq_kolkata().pending_jobs == 3 * ibmq_toronto().pending_jobs
+    assert ibmq_kolkata().expected_wait_seconds > ibmq_toronto().expected_wait_seconds
+
+
+def test_trapped_ion_is_slow_but_coherent():
+    forte = ionq_forte()
+    kolkata = ibmq_kolkata()
+    assert forte.duration_2q > 1000 * kolkata.duration_2q
+    assert forte.t1 > 1000 * kolkata.t1
+    assert forte.technology == "trapped_ion"
+
+
+def test_coupling_maps():
+    assert ibmq_toronto().coupling_map().num_qubits == 27
+    assert ibmq_kolkata().coupling_map().is_connected()
+    forte_map = ionq_forte().coupling_map()
+    assert forte_map.has_edge(0, 35)  # all-to-all
+
+
+def test_noise_model_roundtrip():
+    nm = ibmq_toronto().noise_model()
+    assert nm.avg_error_2q == pytest.approx(0.02083)
+    assert nm.has_relaxation
+
+
+def test_registry_and_lookup():
+    for name in DEVICE_REGISTRY:
+        device = get_device(name)
+        assert device.name == name
+    with pytest.raises(NoiseModelError):
+        get_device("ibmq_atlantis")
+
+
+def test_fig8_devices_order_and_count():
+    devices = fig8_devices()
+    assert len(devices) == 6
+    names = [d.name for d in devices]
+    assert "ibmq_toronto" in names and "ibmq_hanoi" in names
+
+
+def test_hypothetical_device_rates():
+    d = hypothetical_device("h", 0.005)
+    assert d.error_2q == pytest.approx(0.005)
+    assert d.readout_error == pytest.approx(0.005)
+    assert d.t1 == 0.0  # depolarizing-only: usable by the trajectory backend
+
+
+def test_with_load():
+    d = ibmq_toronto().with_load(99)
+    assert d.pending_jobs == 99
+    assert ibmq_toronto().pending_jobs != 99
+
+
+def test_validation():
+    with pytest.raises(NoiseModelError):
+        hypothetical_device("bad", 2.0)
+
+
+def test_str_mentions_key_stats():
+    text = str(ibmq_toronto())
+    assert "ibmq_toronto" in text and "2.083%" in text

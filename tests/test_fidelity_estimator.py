@@ -1,0 +1,104 @@
+"""Unit tests for PCorrect and device ranking (Eq 1)."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import CircuitStats, ExecutionFidelityEstimator, p_correct
+from repro.exceptions import SchedulingError
+from repro.noise import hypothetical_device, ibmq_kolkata, ibmq_toronto
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+
+def stats(depth=20, g1=10, g2=10, m=5):
+    return CircuitStats(depth=depth, num_1q_gates=g1, num_2q_gates=g2,
+                        num_measurements=m)
+
+
+def test_p_correct_in_unit_interval():
+    value = p_correct(stats(), ibmq_kolkata())
+    assert 0.0 < value < 1.0
+
+
+def test_p_correct_monotone_in_gate_count():
+    device = ibmq_kolkata()
+    assert p_correct(stats(g2=10), device) > p_correct(stats(g2=40), device)
+    assert p_correct(stats(g1=5), device) > p_correct(stats(g1=100), device)
+    assert p_correct(stats(m=2), device) > p_correct(stats(m=20), device)
+
+
+def test_p_correct_monotone_in_depth():
+    device = ibmq_kolkata()
+    assert p_correct(stats(depth=10), device) > p_correct(stats(depth=200), device)
+
+
+def test_p_correct_orders_devices_by_quality():
+    s = stats()
+    assert p_correct(s, ibmq_kolkata()) > p_correct(s, ibmq_toronto())
+
+
+def test_p_correct_without_coherence_times():
+    device = hypothetical_device("d", 0.01)
+    value = p_correct(stats(), device)
+    expected = (1 - device.error_1q) ** 10 * (1 - 0.01) ** 10 * (1 - 0.01) ** 5
+    assert value == pytest.approx(expected)
+
+
+def test_stats_from_circuit_assumes_full_measurement():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    s = CircuitStats.from_circuit(qc)
+    assert s.num_measurements == 3
+    qc.measure(0)
+    assert CircuitStats.from_circuit(qc).num_measurements == 1
+
+
+def test_estimator_threshold_validation():
+    with pytest.raises(SchedulingError):
+        ExecutionFidelityEstimator(min_fidelity=1.0)
+
+
+def test_rank_devices_ascending_and_filtered():
+    problem = MaxCutProblem.random(5, 0.6, seed=3)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    estimator = ExecutionFidelityEstimator(min_fidelity=0.05)
+    ranked = estimator.rank_devices(
+        ansatz.template, [ibmq_kolkata(), ibmq_toronto()]
+    )
+    names = [d.name for d, _ in ranked]
+    fidelities = [f for _, f in ranked]
+    assert names == ["ibmq_toronto", "ibmq_kolkata"]
+    assert fidelities[0] < fidelities[1]
+
+
+def test_rank_devices_raises_when_all_filtered():
+    problem = MaxCutProblem.random(7, 0.5, seed=1)
+    ansatz = QAOAAnsatz(problem.graph, layers=3)
+    estimator = ExecutionFidelityEstimator(min_fidelity=0.9)
+    with pytest.raises(SchedulingError):
+        estimator.rank_devices(ansatz.template, [ibmq_toronto()])
+
+
+def test_estimate_transpiled_accounts_for_routing():
+    """Transpiled estimates are lower than logical ones (SWAP overhead)."""
+    problem = MaxCutProblem.random(6, 0.6, seed=2)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    estimator = ExecutionFidelityEstimator()
+    device = ibmq_kolkata()
+    logical = estimator.estimate(ansatz.template.bind([0.1, 0.1]), device)
+    routed = estimator.estimate_transpiled(ansatz.template, device)
+    assert routed < logical
+
+
+def test_layer_scaling_matches_fig8_trend():
+    """Fig 8: estimated fidelity decreases with QAOA depth, and toronto is
+    far below the rest."""
+    problem = MaxCutProblem.random(7, 0.5, seed=1)
+    estimator = ExecutionFidelityEstimator(min_fidelity=0.0)
+    values = {}
+    for layers in (1, 2, 3):
+        ansatz = QAOAAnsatz(problem.graph, layers=layers)
+        values[layers] = estimator.estimate_transpiled(
+            ansatz.template, ibmq_toronto()
+        )
+    assert values[1] > values[2] > values[3]

@@ -1,0 +1,121 @@
+"""Unit tests for gate definitions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates
+from repro.exceptions import CircuitError
+
+ALL_FIXED = ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+             "cx", "cz", "swap"]
+ALL_PARAM_1 = ["rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "crz"]
+
+
+@pytest.mark.parametrize("name", ALL_FIXED)
+def test_fixed_gates_are_unitary(name):
+    m = gates.gate_matrix(name)
+    dim = m.shape[0]
+    assert np.allclose(m @ m.conj().T, np.eye(dim), atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_PARAM_1)
+@pytest.mark.parametrize("theta", [0.0, 0.3, -1.7, math.pi, 2 * math.pi])
+def test_parametric_gates_are_unitary(name, theta):
+    m = gates.gate_matrix(name, [theta])
+    dim = m.shape[0]
+    assert np.allclose(m @ m.conj().T, np.eye(dim), atol=1e-12)
+
+
+def test_u_gate_is_unitary():
+    m = gates.gate_matrix("u", [0.4, 1.1, -0.7])
+    assert np.allclose(m @ m.conj().T, np.eye(2), atol=1e-12)
+
+
+def test_hadamard_matrix():
+    h = gates.gate_matrix("h")
+    expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+    assert np.allclose(h, expected)
+
+
+def test_cx_flips_target_when_control_set():
+    cx = gates.gate_matrix("cx")
+    # |control=1, target=0> is index 1 (control = qubit argument 0 = bit 0).
+    state = np.zeros(4)
+    state[0b01] = 1.0
+    out = cx @ state
+    assert np.isclose(abs(out[0b11]), 1.0)
+
+
+def test_cx_identity_when_control_clear():
+    cx = gates.gate_matrix("cx")
+    state = np.zeros(4)
+    state[0b10] = 1.0  # target=1, control=0
+    out = cx @ state
+    assert np.isclose(abs(out[0b10]), 1.0)
+
+
+def test_swap_matrix_swaps_bits():
+    sw = gates.gate_matrix("swap")
+    state = np.zeros(4)
+    state[0b01] = 1.0
+    assert np.isclose(abs((sw @ state)[0b10]), 1.0)
+
+
+def test_rz_is_diagonal_phase():
+    theta = 0.9
+    m = gates.gate_matrix("rz", [theta])
+    assert np.allclose(m, np.diag([np.exp(-0.5j * theta), np.exp(0.5j * theta)]))
+
+
+def test_rzz_diagonal_signs():
+    theta = 0.5
+    m = gates.gate_matrix("rzz", [theta])
+    phase = np.exp(0.5j * theta)
+    assert np.allclose(np.diag(m), [1 / phase, phase, phase, 1 / phase])
+
+
+def test_rx_at_pi_equals_x_up_to_phase():
+    rx = gates.gate_matrix("rx", [math.pi])
+    x = gates.gate_matrix("x")
+    ratio = rx[0, 1] / x[0, 1]
+    assert np.allclose(rx, ratio * x)
+
+
+def test_sx_squared_is_x():
+    sx = gates.gate_matrix("sx")
+    assert np.allclose(sx @ sx, gates.gate_matrix("x"))
+
+
+def test_sdg_is_s_adjoint():
+    s = gates.gate_matrix("s")
+    sdg = gates.gate_matrix("sdg")
+    assert np.allclose(sdg, s.conj().T)
+
+
+def test_unknown_gate_raises():
+    with pytest.raises(CircuitError):
+        gates.gate_matrix("nope")
+
+
+def test_wrong_param_count_raises():
+    with pytest.raises(CircuitError):
+        gates.gate_matrix("rx", [])
+    with pytest.raises(CircuitError):
+        gates.gate_matrix("h", [0.5])
+
+
+def test_arity_table_consistency():
+    for name in ALL_FIXED + ALL_PARAM_1 + ["u"]:
+        assert gates.is_known_gate(name)
+        params = [0.1] * gates.GATE_NUM_PARAMS[name]
+        m = gates.gate_matrix(name, params)
+        assert m.shape == (1 << gates.GATE_ARITY[name],) * 2
+
+
+def test_matrix_returns_fresh_copy():
+    a = gates.gate_matrix("x")
+    a[0, 0] = 99.0
+    b = gates.gate_matrix("x")
+    assert b[0, 0] == 0.0

@@ -1,0 +1,173 @@
+"""Unit tests for the H2 Hamiltonian, fermionic machinery, and UCCSD."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.sim import StatevectorSimulator, run_statevector
+from repro.vqa import (
+    UCCSDAnsatz,
+    h2_correlation_energy,
+    h2_ground_energy,
+    h2_hamiltonian,
+    h2_hartree_fock_bitstring,
+    h2_hartree_fock_energy,
+    hartree_fock_occupation,
+)
+from repro.vqa.fermion import (
+    annihilation_operator,
+    creation_operator,
+    double_excitation_generator,
+    matrix_to_pauli_terms,
+    number_operator,
+    single_excitation_generator,
+)
+from repro.vqa.h2 import H2_NUCLEAR_REPULSION
+
+# -- fermionic operators -------------------------------------------------------
+
+
+def test_canonical_anticommutation_relations():
+    n = 3
+    for p in range(n):
+        for q in range(n):
+            a_p = annihilation_operator(n, p)
+            a_q = annihilation_operator(n, q)
+            adag_q = creation_operator(n, q)
+            anti = a_p @ adag_q + adag_q @ a_p
+            expected = np.eye(1 << n) if p == q else np.zeros((1 << n, 1 << n))
+            assert np.allclose(anti, expected, atol=1e-12), (p, q)
+            assert np.allclose(a_p @ a_q + a_q @ a_p, 0, atol=1e-12)
+
+
+def test_number_operator_counts_particles():
+    n_op = number_operator(2)
+    diag = np.real(np.diag(n_op))
+    assert diag[0b00] == pytest.approx(0)
+    assert diag[0b01] == pytest.approx(1)
+    assert diag[0b11] == pytest.approx(2)
+
+
+def test_matrix_to_pauli_roundtrip():
+    rng = np.random.default_rng(0)
+    m = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    m = m + m.conj().T
+    terms = matrix_to_pauli_terms(m, 2)
+    rebuilt = sum(c * p.to_matrix() for c, p in terms)
+    assert np.allclose(rebuilt, m, atol=1e-9)
+
+
+def test_generators_are_hermitian_and_traceless():
+    for gen in (
+        single_excitation_generator(4, 0, 1),
+        double_excitation_generator(4, (0, 2), (1, 3)),
+    ):
+        m = gen.to_matrix()
+        assert np.allclose(m, m.conj().T)
+        assert abs(np.trace(m)) < 1e-10
+
+
+def test_generator_commutes_with_number_operator():
+    """Excitations preserve particle number."""
+    gen = double_excitation_generator(4, (0, 2), (1, 3)).to_matrix()
+    n_op = number_operator(4)
+    assert np.allclose(gen @ n_op, n_op @ gen, atol=1e-10)
+
+
+# -- H2 Hamiltonian ----------------------------------------------------------------
+
+
+def test_h2_dimensions_and_terms():
+    h = h2_hamiltonian()
+    assert h.num_qubits == 4
+    assert h.num_terms == 15
+
+
+def test_h2_hermitian_real_coefficients():
+    m = h2_hamiltonian().to_matrix()
+    assert np.allclose(m, m.conj().T)
+
+
+def test_h2_total_energy_matches_literature():
+    """FCI total energy of H2/STO-3G at 0.7414 A is about -1.137 Ha."""
+    assert h2_ground_energy(include_nuclear_repulsion=True) == pytest.approx(
+        -1.1373, abs=2e-3
+    )
+
+
+def test_h2_correlation_energy_about_minus_20mha():
+    corr = h2_correlation_energy()
+    assert -0.03 < corr < -0.015
+
+
+def test_h2_hf_is_lowest_determinant():
+    h = h2_hamiltonian()
+    diag = np.real(np.diag(h.to_matrix()))
+    assert int(np.argmin(diag)) == h2_hartree_fock_bitstring()
+    assert h2_hartree_fock_energy() == pytest.approx(diag.min())
+
+
+def test_h2_ground_state_has_two_particles():
+    m = h2_hamiltonian().to_matrix()
+    w, v = np.linalg.eigh(m)
+    gs = v[:, 0]
+    n_op = number_operator(4)
+    particles = np.real(np.vdot(gs, n_op @ gs))
+    assert particles == pytest.approx(2.0, abs=1e-8)
+
+
+def test_nuclear_repulsion_shift():
+    delta = h2_ground_energy(True) - h2_ground_energy(False)
+    assert delta == pytest.approx(H2_NUCLEAR_REPULSION)
+
+
+# -- UCCSD -------------------------------------------------------------------------
+
+
+def test_hartree_fock_occupation_layout():
+    assert hartree_fock_occupation(4, 2) == [0, 2]
+    with pytest.raises(ReproError):
+        hartree_fock_occupation(5, 2)
+    with pytest.raises(ReproError):
+        hartree_fock_occupation(4, 3)
+
+
+def test_uccsd_h2_has_three_excitations():
+    ansatz = UCCSDAnsatz(4, 2)
+    assert ansatz.num_parameters == 3
+    labels = ansatz.excitation_labels
+    assert sum(1 for l in labels if l.startswith("s")) == 2
+    assert sum(1 for l in labels if l.startswith("d")) == 1
+
+
+def test_uccsd_zero_parameters_prepare_hf():
+    ansatz = UCCSDAnsatz(4, 2)
+    state = run_statevector(ansatz.bind([0.0, 0.0, 0.0]))
+    assert abs(state[h2_hartree_fock_bitstring()]) == pytest.approx(1.0)
+
+
+def test_uccsd_preserves_particle_number():
+    ansatz = UCCSDAnsatz(4, 2)
+    state = run_statevector(ansatz.bind([0.2, -0.1, 0.3]))
+    n_op = number_operator(4)
+    assert np.real(np.vdot(state, n_op @ state)) == pytest.approx(2.0, abs=1e-9)
+
+
+def test_uccsd_vqe_reaches_fci():
+    from scipy.optimize import minimize
+
+    ansatz = UCCSDAnsatz(4, 2)
+    h = h2_hamiltonian()
+    sv = StatevectorSimulator()
+
+    def objective(x):
+        return sv.expectation(ansatz.bind(x), h)
+
+    res = minimize(objective, np.zeros(3), method="COBYLA",
+                   options={"maxiter": 300})
+    assert res.fun == pytest.approx(h2_ground_energy(), abs=1e-5)
+
+
+def test_uccsd_mode_limit():
+    with pytest.raises(ReproError):
+        UCCSDAnsatz(10, 2)

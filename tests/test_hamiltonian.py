@@ -1,0 +1,147 @@
+"""Unit and property tests for Hamiltonians."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Hamiltonian, PauliString, QuantumCircuit
+from repro.exceptions import CircuitError
+from repro.sim.statevector import run_statevector
+from tests.conftest import random_state
+
+
+def ising(n=3):
+    h = Hamiltonian(n)
+    for i in range(n - 1):
+        h.add_term(1.0, PauliString.from_sparse(n, {i: "Z", i + 1: "Z"}))
+    return h
+
+
+def test_from_labels():
+    h = Hamiltonian.from_labels({"ZZ": 0.5, "XI": -1.0})
+    assert h.num_qubits == 2
+    assert h.num_terms == 2
+
+
+def test_from_labels_empty_rejected():
+    with pytest.raises(CircuitError):
+        Hamiltonian.from_labels({})
+
+
+def test_term_qubit_mismatch_rejected():
+    h = Hamiltonian(3)
+    with pytest.raises(CircuitError):
+        h.add_term(1.0, PauliString("ZZ"))
+
+
+def test_simplify_merges_and_drops():
+    h = Hamiltonian(2)
+    h.add_term(1.0, PauliString("ZZ"))
+    h.add_term(-1.0, PauliString("ZZ"))
+    h.add_term(0.5, PauliString("XI"))
+    s = h.simplify()
+    assert s.num_terms == 1
+
+
+def test_is_diagonal_and_constant():
+    h = Hamiltonian.from_labels({"ZZ": 1.0, "II": -2.0})
+    assert h.is_diagonal
+    assert h.constant() == pytest.approx(-2.0)
+    h2 = Hamiltonian.from_labels({"XZ": 1.0})
+    assert not h2.is_diagonal
+
+
+def test_diagonal_vector_matches_matrix():
+    h = ising(3)
+    assert np.allclose(h.diagonal(), np.real(np.diag(h.to_matrix())))
+
+
+def test_diagonal_raises_for_offdiagonal():
+    with pytest.raises(CircuitError):
+        Hamiltonian.from_labels({"XI": 1.0}).diagonal()
+
+
+def test_ground_and_max_energy():
+    h = ising(3)
+    diag = h.diagonal()
+    assert h.ground_energy() == pytest.approx(diag.min())
+    assert h.max_energy() == pytest.approx(diag.max())
+
+
+def test_ground_energy_offdiagonal_matches_eigh():
+    h = Hamiltonian.from_labels({"XX": 1.0, "ZZ": 0.5, "ZI": -0.2})
+    w = np.linalg.eigvalsh(h.to_matrix())
+    assert h.ground_energy() == pytest.approx(w.min())
+
+
+def test_ground_state_bitstrings():
+    h = Hamiltonian.from_labels({"ZZ": 1.0})
+    states = h.ground_state_bitstrings()
+    assert set(states) == {0b01, 0b10}
+
+
+@given(st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_expectation_statevector_matches_matrix(seed):
+    h = Hamiltonian.from_labels({"ZZI": 0.5, "XXY": -0.7, "IYZ": 1.2})
+    state = random_state(3, seed=seed)
+    direct = h.expectation_statevector(state)
+    dense = np.real(np.vdot(state, h.to_matrix() @ state))
+    assert direct == pytest.approx(dense, abs=1e-9)
+
+
+def test_expectation_counts_diagonal_only():
+    h = ising(2)
+    counts = {0b00: 10, 0b11: 10, 0b01: 20}
+    expected = (1.0 * 20 + (-1.0) * 20) / 40
+    assert h.expectation_counts(counts) == pytest.approx(expected)
+    with pytest.raises(CircuitError):
+        Hamiltonian.from_labels({"XI": 1.0}).expectation_counts(counts)
+
+
+def test_eigenvalue_of_bitstring():
+    h = ising(3)
+    assert h.eigenvalue_of_bitstring(0b000) == pytest.approx(2.0)
+    assert h.eigenvalue_of_bitstring(0b010) == pytest.approx(-2.0)
+
+
+def test_scalar_multiplication_and_addition():
+    h = ising(2)
+    doubled = 2.0 * h
+    assert doubled.ground_energy() == pytest.approx(2 * h.ground_energy())
+    summed = h + h
+    assert summed.ground_energy() == pytest.approx(2 * h.ground_energy())
+
+
+def test_grouped_terms_qubitwise_commute():
+    h = Hamiltonian.from_labels(
+        {"ZZII": 1.0, "IIZZ": 1.0, "XXII": 0.5, "IIXX": 0.5, "YIIY": 0.2}
+    )
+    groups = h.grouped_terms()
+    for group in groups:
+        for _, a in group:
+            for _, b in group:
+                assert a.qubitwise_commutes(b)
+    total_terms = sum(len(g) for g in groups)
+    assert total_terms == 5
+
+
+def test_measurement_basis_circuit_diagonalizes():
+    """After the basis change, the group's Pauli expectations are read in Z."""
+    h = Hamiltonian.from_labels({"XX": 1.0, "XI": 0.5})
+    group = h.grouped_terms()[0]
+    basis = Hamiltonian.measurement_basis_circuit(group, 2)
+    state = random_state(2, seed=9)
+    rotated = run_statevector(basis, initial=state)
+    for coeff, pauli in group:
+        zversion = Hamiltonian.diagonalized_group([(coeff, pauli)])[0][1]
+        assert pauli.expectation_statevector(state) == pytest.approx(
+            zversion.expectation_statevector(rotated), abs=1e-9
+        )
+
+
+def test_measurement_basis_rejects_conflicting_group():
+    bad_group = [(1.0, PauliString("XI")), (1.0, PauliString("ZI"))]
+    with pytest.raises(CircuitError):
+        Hamiltonian.measurement_basis_circuit(bad_group, 2)

@@ -1,0 +1,154 @@
+"""Cross-module integration tests: full pipelines on small instances."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, QuantumCircuit
+from repro.cloud import (
+    LeastBusyPolicy,
+    QoncordPolicy,
+    QueueSimulator,
+    generate_workload,
+    hypothetical_fleet,
+)
+from repro.core import Qoncord, VQAJob
+from repro.noise import hypothetical_device, ibmq_kolkata, ibmq_toronto
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+from repro.vqa import (
+    EnergyEvaluator,
+    MaxCutProblem,
+    QAOAAnsatz,
+    SPSA,
+    UCCSDAnsatz,
+    h2_ground_energy,
+    h2_hamiltonian,
+)
+
+
+def test_end_to_end_qaoa_training_improves_over_random_guess():
+    """Full stack: ansatz -> transpile -> noisy DM sim -> SPSA -> better AR."""
+    problem = MaxCutProblem.random(5, 0.6, seed=8)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    evaluator = EnergyEvaluator(ansatz, problem.hamiltonian, ibmq_kolkata(), seed=0)
+    x0 = ansatz.random_parameters(np.random.default_rng(1))
+    initial = evaluator(x0)
+    result = SPSA(seed=1).minimize(evaluator, x0, maxiter=50)
+    # Random-cut expectation is -|E|/2; training must beat it clearly.
+    random_guess = -problem.graph.number_of_edges() / 2
+    assert result.fun < initial + 1e-9
+    assert result.fun < random_guess - 0.15
+
+
+def test_end_to_end_vqe_with_noise_brackets_energy():
+    """Noisy VQE energy must land between HF (untrained) and FCI."""
+    ansatz = UCCSDAnsatz(4, 2)
+    h = h2_hamiltonian()
+    device = hypothetical_device("mild", 0.002, num_qubits=4)
+    evaluator = EnergyEvaluator(ansatz, h, device, transpile_to_device=False, seed=2)
+    result = SPSA(seed=2).minimize(evaluator, np.zeros(3), maxiter=40)
+    assert h2_ground_energy() - 1e-6 < result.fun < -1.5
+
+
+def test_qoncord_full_pipeline_with_shots():
+    """Shot-sampled objective: the whole flow stays functional and sane."""
+    problem = MaxCutProblem.random(5, 0.6, seed=9)
+    job = VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=1),
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=3,
+        max_iterations_per_stage=12,
+        shots=512,
+    )
+    result = Qoncord(seed=1, min_fidelity=0.01).run(
+        job, [ibmq_toronto(), ibmq_kolkata()]
+    )
+    ar = problem.approximation_ratio(result.best_energy)
+    assert 0.4 < ar <= 1.05  # shot noise can push slightly past bounds
+    assert result.total_circuits > 0
+
+
+def test_scheduler_and_queue_sim_agree_on_lf_offloading():
+    """Both layers of the system (training scheduler and cloud policy)
+    push the bulk of work onto cheaper devices."""
+    # Training layer:
+    problem = MaxCutProblem.random(5, 0.6, seed=3)
+    job = VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=1),
+        hamiltonian=problem.hamiltonian,
+        num_restarts=4,
+        max_iterations_per_stage=15,
+    )
+    result = Qoncord(seed=0, min_fidelity=0.01).run(
+        job, [ibmq_toronto(), ibmq_kolkata()]
+    )
+    assert (
+        result.circuits_per_device["ibmq_toronto"]
+        > result.circuits_per_device["ibmq_kolkata"]
+    )
+    # Cloud layer:
+    workload = generate_workload(num_jobs=80, vqa_ratio=0.8, seed=5)
+    sim = QueueSimulator(hypothetical_fleet(), QoncordPolicy(), seed=0)
+    cloud = sim.run(workload)
+    fleet = sorted(cloud.devices, key=lambda d: d.fidelity)
+    low_half = sum(d.completed_executions for d in fleet[:5])
+    high_half = sum(d.completed_executions for d in fleet[5:])
+    assert low_half > high_half * 0.5
+
+
+def test_trajectory_and_density_backends_agree_through_evaluator():
+    """EnergyEvaluator must give consistent physics regardless of backend.
+
+    A 5-qubit problem runs on the DM backend; the same problem padded to
+    a >12-qubit register (extra idle qubits) runs on the trajectory
+    backend.  Idle qubits don't change the energy.
+    """
+    problem = MaxCutProblem.random(5, 0.6, seed=6)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    x = [0.5, 0.9]
+    dm_dev = hypothetical_device("dm", 0.004, num_qubits=5)
+    ev_dm = EnergyEvaluator(
+        ansatz, problem.hamiltonian, dm_dev, transpile_to_device=False, seed=0
+    )
+    e_dm = ev_dm(x)
+
+    import networkx as nx
+
+    padded_graph = nx.Graph()
+    padded_graph.add_nodes_from(range(13))
+    padded_graph.add_edges_from(problem.graph.edges)
+    from repro.vqa.maxcut import maxcut_hamiltonian
+
+    padded_ansatz = QAOAAnsatz(padded_graph, layers=1)
+    padded_h = maxcut_hamiltonian(padded_graph)
+    traj_dev = hypothetical_device("traj", 0.004, num_qubits=13)
+    ev_traj = EnergyEvaluator(
+        padded_ansatz, padded_h, traj_dev, transpile_to_device=False, seed=0
+    )
+    e_traj = ev_traj(x)
+    assert e_traj == pytest.approx(e_dm, abs=0.25)
+
+
+def test_fidelity_estimator_agrees_with_simulated_quality():
+    """PCorrect's device ordering must match actual simulated fidelity."""
+    from repro.core import ExecutionFidelityEstimator
+    from repro.sim.result import hellinger_fidelity
+
+    problem = MaxCutProblem.random(5, 0.6, seed=2)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    estimator = ExecutionFidelityEstimator(min_fidelity=0.0)
+    x = [0.7, 0.6]
+    scores = {}
+    hellingers = {}
+    ideal = EnergyEvaluator(ansatz, problem.hamiltonian, None).distribution(x)
+    for device in (ibmq_toronto(), ibmq_kolkata()):
+        scores[device.name] = estimator.estimate_transpiled(
+            ansatz.template, device
+        )
+        noisy = EnergyEvaluator(
+            ansatz, problem.hamiltonian, device, seed=0
+        ).distribution(x)
+        hellingers[device.name] = hellinger_fidelity(noisy, ideal)
+    assert (scores["ibmq_kolkata"] > scores["ibmq_toronto"]) == (
+        hellingers["ibmq_kolkata"] > hellingers["ibmq_toronto"]
+    )

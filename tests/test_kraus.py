@@ -1,0 +1,113 @@
+"""Unit tests for Kraus channels and their density-matrix application."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.sim.kraus import (
+    KrausChannel,
+    _embed_apply,
+    apply_channel_stacked,
+    identity_channel,
+    unitary_channel,
+)
+from tests.conftest import random_density
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def test_cptp_validation():
+    with pytest.raises(NoiseModelError):
+        KrausChannel([0.5 * np.eye(2)])
+    KrausChannel([np.eye(2)])  # ok
+
+
+def test_empty_rejected():
+    with pytest.raises(NoiseModelError):
+        KrausChannel([])
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(NoiseModelError):
+        KrausChannel([np.eye(3)])
+
+
+def test_prunes_zero_operators():
+    ops = [np.eye(2), np.zeros((2, 2))]
+    # Not CPTP with the zero op removed... use scaled identity pair.
+    ch = KrausChannel([np.eye(2), np.zeros((2, 2))])
+    assert len(ch.operators) == 1
+
+
+def test_identity_channel_preserves_state():
+    rho = random_density(2, seed=1)
+    ch = identity_channel(1)
+    out = ch.apply_to_density(rho, [0], 2)
+    assert np.allclose(out, rho)
+
+
+def test_unitary_channel_average_fidelity():
+    assert unitary_channel(np.eye(2)).average_fidelity() == pytest.approx(1.0)
+    assert unitary_channel(_X).average_fidelity() == pytest.approx(1.0 / 3.0)
+
+
+def test_compose_is_sequential_application():
+    a = KrausChannel([np.sqrt(0.8) * np.eye(2), np.sqrt(0.2) * _X])
+    b = unitary_channel(_X)
+    composed = a.compose(b)
+    rho = random_density(1, seed=2)
+    via_compose = composed.apply_to_density(rho, [0], 1)
+    step = a.apply_to_density(rho, [0], 1)
+    via_steps = b.apply_to_density(step, [0], 1)
+    assert np.allclose(via_compose, via_steps)
+
+
+def test_compose_size_mismatch():
+    with pytest.raises(NoiseModelError):
+        identity_channel(1).compose(identity_channel(2))
+
+
+def test_apply_preserves_trace_and_hermiticity():
+    ch = KrausChannel([np.sqrt(0.7) * np.eye(2), np.sqrt(0.3) * _X])
+    rho = random_density(3, seed=3)
+    out = ch.apply_to_density(rho, [1], 3)
+    assert np.trace(out) == pytest.approx(1.0)
+    assert np.allclose(out, out.conj().T)
+
+
+def test_stacked_matches_embed_1q():
+    ch = KrausChannel([np.sqrt(0.6) * np.eye(2), np.sqrt(0.4) * _X])
+    rho = random_density(3, seed=4)
+    for q in range(3):
+        fast = apply_channel_stacked(rho, np.stack(ch.operators), (q,), 3)
+        slow = sum(_embed_apply(rho, k, (q,), 3) for k in ch.operators)
+        assert np.allclose(fast, slow, atol=1e-12)
+
+
+def test_stacked_matches_embed_2q_all_orders():
+    from repro.circuits.gates import cx_matrix
+
+    ops = [cx_matrix()]
+    rho = random_density(3, seed=5)
+    for qubits in [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]:
+        fast = apply_channel_stacked(rho, np.stack(ops), qubits, 3)
+        slow = _embed_apply(rho, ops[0], qubits, 3)
+        assert np.allclose(fast, slow, atol=1e-12), qubits
+
+
+def test_stacked_rejects_3q():
+    with pytest.raises(NoiseModelError):
+        apply_channel_stacked(random_density(3), np.eye(8)[None], (0, 1, 2), 3)
+
+
+def test_channel_qubit_count_mismatch():
+    ch = identity_channel(2)
+    with pytest.raises(NoiseModelError):
+        ch.apply_to_density(random_density(2), [0], 2)
+
+
+def test_choi_matrix_positive_semidefinite():
+    ch = KrausChannel([np.sqrt(0.9) * np.eye(2), np.sqrt(0.1) * _X])
+    eigs = np.linalg.eigvalsh(ch.choi_matrix())
+    assert (eigs > -1e-10).all()
+    assert np.trace(ch.choi_matrix()) == pytest.approx(2.0)

@@ -1,0 +1,79 @@
+"""Unit and property tests for MaxCut problems."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.vqa import MaxCutProblem, brute_force_maxcut, cut_size, erdos_renyi_graph
+from repro.vqa.maxcut import maxcut_hamiltonian
+
+
+def test_erdos_renyi_connected_and_seeded():
+    g1 = erdos_renyi_graph(7, 0.5, seed=1)
+    g2 = erdos_renyi_graph(7, 0.5, seed=1)
+    assert nx.is_connected(g1)
+    assert set(g1.edges) == set(g2.edges)
+
+
+def test_erdos_renyi_validation():
+    with pytest.raises(ReproError):
+        erdos_renyi_graph(1)
+
+
+def test_cut_size_triangle():
+    g = nx.Graph([(0, 1), (1, 2), (0, 2)])
+    assert cut_size(g, 0b000) == 0
+    assert cut_size(g, 0b001) == 2
+    assert cut_size(g, 0b011) == 2
+
+
+def test_brute_force_known_graphs():
+    # Path graph P4: max cut = 3 (alternating).
+    g = nx.path_graph(4)
+    best, argbest = brute_force_maxcut(g)
+    assert best == 3
+    assert 0b0101 in argbest or 0b1010 in argbest
+    # Complete graph K4: max cut = 4.
+    best, _ = brute_force_maxcut(nx.complete_graph(4))
+    assert best == 4
+
+
+@given(st.integers(0, 200))
+@settings(max_examples=30, deadline=None)
+def test_hamiltonian_eigenvalue_equals_negative_cut(seed):
+    g = erdos_renyi_graph(5, 0.5, seed=seed % 17)
+    h = maxcut_hamiltonian(g)
+    bits = seed % 32
+    assert h.eigenvalue_of_bitstring(bits) == pytest.approx(-cut_size(g, bits))
+
+
+def test_ground_energy_is_negative_max_cut():
+    prob = MaxCutProblem.random(6, 0.5, seed=2)
+    assert prob.ground_energy == pytest.approx(-prob.best_cut)
+    assert prob.hamiltonian.ground_energy() == pytest.approx(prob.ground_energy)
+
+
+def test_approximation_ratio_bounds():
+    prob = MaxCutProblem.random(6, 0.5, seed=2)
+    assert prob.approximation_ratio(prob.ground_energy) == pytest.approx(1.0)
+    assert prob.approximation_ratio(0.0) == pytest.approx(0.0)
+
+
+def test_brute_force_size_guard():
+    with pytest.raises(ReproError):
+        brute_force_maxcut(nx.path_graph(25))
+
+
+def test_ground_state_bitstrings_achieve_max_cut():
+    prob = MaxCutProblem.random(6, 0.5, seed=5)
+    for bits in prob.hamiltonian.ground_state_bitstrings():
+        assert cut_size(prob.graph, bits) == prob.best_cut
+
+
+def test_best_cut_cached():
+    prob = MaxCutProblem.random(5, 0.5, seed=1)
+    first = prob.best_cut
+    assert prob.best_cut == first

@@ -1,0 +1,161 @@
+"""Unit tests for metrics and the device-aware energy evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError, SimulationError
+from repro.vqa import (
+    EnergyEvaluator,
+    MaxCutProblem,
+    QAOAAnsatz,
+    UCCSDAnsatz,
+    approximation_ratio,
+    best_so_far,
+    h2_hamiltonian,
+    optimization_gain,
+    relative_improvement,
+    throughput,
+)
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+def test_approximation_ratio():
+    assert approximation_ratio(-4.5, -9.0) == pytest.approx(0.5)
+    with pytest.raises(ReproError):
+        approximation_ratio(-1.0, 0.0)
+    with pytest.raises(ReproError):
+        approximation_ratio(-1.0, 2.0)
+
+
+def test_optimization_gain():
+    gain = optimization_gain(-3.0, -6.0, -9.0)
+    assert gain == pytest.approx(1 / 3)
+
+
+def test_throughput():
+    assert throughput(100, 50.0) == pytest.approx(2.0)
+    with pytest.raises(ReproError):
+        throughput(10, 0.0)
+
+
+def test_best_so_far():
+    assert list(best_so_far([3, 5, 2, 4])) == [3, 3, 2, 2]
+    with pytest.raises(ReproError):
+        best_so_far([])
+
+
+def test_relative_improvement():
+    assert relative_improvement(0.6, 0.68) == pytest.approx(0.1333, abs=1e-3)
+    with pytest.raises(ReproError):
+        relative_improvement(0.0, 1.0)
+
+
+# -- evaluator ---------------------------------------------------------------------
+
+
+def test_ideal_evaluator_matches_statevector(small_problem, small_ansatz):
+    from repro.sim import StatevectorSimulator
+
+    ev = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, None)
+    x = [0.4, 0.8]
+    direct = StatevectorSimulator().expectation(
+        small_ansatz.bind(x), small_problem.hamiltonian
+    )
+    assert ev(x) == pytest.approx(direct, abs=1e-9)
+
+
+def test_counters_and_last_evaluation(small_problem, small_ansatz, hf_device):
+    ev = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, hf_device, seed=0)
+    ev([0.2, 0.3])
+    ev([0.2, 0.4])
+    assert ev.num_evaluations == 2
+    assert ev.num_circuits == 2
+    assert ev.hardware_seconds > 0
+    assert ev.last_evaluation.entropy > 0
+    ev.reset_counters()
+    assert ev.num_circuits == 0
+
+
+def test_noise_orders_devices(small_problem, small_ansatz, lf_device, hf_device):
+    """At a fixed good parameter point, more noise -> worse (higher) energy."""
+    x = None
+    ideal = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, None)
+    # Use a coarse scan's best point.
+    best = (0.0, None)
+    for g in np.linspace(0.1, np.pi, 8):
+        for b in np.linspace(0.1, np.pi / 2, 5):
+            e = ideal([g, b])
+            if e < best[0]:
+                best = (e, (g, b))
+    x = list(best[1])
+    e_ideal = ideal(x)
+    e_hf = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, hf_device, seed=0)(x)
+    e_lf = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, lf_device, seed=0)(x)
+    assert e_ideal < e_hf < e_lf
+
+
+def test_wrong_parameter_count_raises(small_problem, small_ansatz):
+    ev = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, None)
+    with pytest.raises(SimulationError):
+        ev([0.1])
+
+
+def test_shot_noise_mode(small_problem, small_ansatz, hf_device):
+    exact = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, hf_device, seed=1)
+    noisy = EnergyEvaluator(
+        small_ansatz, small_problem.hamiltonian, hf_device, shots=256, seed=1
+    )
+    x = [0.5, 0.7]
+    values = {noisy(x) for _ in range(4)}
+    assert len(values) > 1  # sampling noise present
+    assert np.mean(list(values)) == pytest.approx(exact(x), abs=0.5)
+
+
+def test_vqe_grouped_measurement_counts_circuits(hf_device):
+    ansatz = UCCSDAnsatz(4, 2)
+    h = h2_hamiltonian()
+    ev = EnergyEvaluator(ansatz, h, hf_device, transpile_to_device=False, seed=2)
+    result = ev.evaluate(np.zeros(3))
+    assert result.circuits == len(h.grouped_terms())
+    assert result.entropy > 0
+
+
+def test_vqe_ideal_energy_at_hf_point():
+    ansatz = UCCSDAnsatz(4, 2)
+    h = h2_hamiltonian()
+    ev = EnergyEvaluator(ansatz, h, None)
+    from repro.vqa import h2_hartree_fock_energy
+
+    assert ev(np.zeros(3)) == pytest.approx(h2_hartree_fock_energy(), abs=1e-9)
+
+
+def test_distribution_in_logical_order(small_problem, small_ansatz, hf_device):
+    """The routed physical distribution, mapped back, matches ideal support."""
+    ev_dev = EnergyEvaluator(
+        small_ansatz, small_problem.hamiltonian, hf_device, seed=3
+    )
+    ev_ideal = EnergyEvaluator(small_ansatz, small_problem.hamiltonian, None)
+    x = [0.3, 0.6]
+    p_dev = ev_dev.distribution(x)
+    p_ideal = ev_ideal.distribution(x)
+    assert p_dev.shape == p_ideal.shape
+    assert p_dev.sum() == pytest.approx(1.0)
+    # Noise blurs but does not reorder the dominant outcomes: correlation
+    # between the distributions should be clearly positive.
+    corr = np.corrcoef(p_dev, p_ideal)[0, 1]
+    assert corr > 0.5
+
+
+def test_ionq_basis_backend(small_problem, small_ansatz):
+    from repro.noise import ionq_forte
+
+    ev = EnergyEvaluator(
+        small_ansatz, small_problem.hamiltonian, ionq_forte(), seed=4
+    )
+    for inst in ev.transpiled.circuit:
+        if inst.is_gate:
+            assert inst.name in {"rz", "sx", "x", "rxx"}
+    value = ev([0.4, 0.2])
+    assert value < 0.0

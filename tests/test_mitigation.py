@@ -1,0 +1,275 @@
+"""Unit tests for error-mitigation techniques (Fig 3 components)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, QuantumCircuit
+from repro.exceptions import ReproError
+from repro.mitigation import (
+    ReadoutMitigator,
+    apply_dynamical_decoupling,
+    circuit_duration,
+    fold_global,
+    linear_extrapolate,
+    richardson_extrapolate,
+    schedule_idle_delays,
+    twirl_circuit,
+    twirled_expectation,
+    zne_expectation,
+    zne_latency_factor,
+)
+from repro.noise import GateErrorSpec, NoiseModel
+from repro.sim import DensityMatrixSimulator, StatevectorSimulator
+from repro.sim.statevector import circuit_unitary
+
+
+def drift_model(**kw):
+    defaults = dict(
+        name="m",
+        spec_1q=GateErrorSpec(0.0005, 35e-9),
+        spec_2q=GateErrorSpec(0.008, 400e-9),
+        t1=150e-6,
+        t2=120e-6,
+        readout_error=0.04,
+        readout_duration=700e-9,
+    )
+    defaults.update(kw)
+    return NoiseModel(**defaults)
+
+
+# -- scheduling + DD -----------------------------------------------------------
+
+
+def test_schedule_inserts_delays_for_idle_qubits():
+    nm = drift_model()
+    qc = QuantumCircuit(2)
+    qc.sx(0)
+    qc.sx(0)
+    qc.cx(0, 1)  # qubit 1 idles for two sx durations
+    scheduled = schedule_idle_delays(qc, nm)
+    delays = [i for i in scheduled if i.name == "delay"]
+    assert len(delays) == 1
+    assert delays[0].qubits == (1,)
+    assert delays[0].metadata["duration"] == pytest.approx(2 * 35e-9)
+
+
+def test_schedule_no_delays_for_aligned_circuit():
+    nm = drift_model()
+    qc = QuantumCircuit(2)
+    qc.sx(0)
+    qc.sx(1)
+    scheduled = schedule_idle_delays(qc, nm)
+    assert all(i.name != "delay" for i in scheduled)
+
+
+def test_dd_replaces_long_delays_with_xx():
+    nm = drift_model()
+    qc = QuantumCircuit(1)
+    qc.delay(1e-6, 0)
+    dd = apply_dynamical_decoupling(qc, nm)
+    ops = dd.count_ops()
+    assert ops.get("x", 0) == 2
+    assert ops.get("delay", 0) == 2
+    # Total idle time preserved (minus the X gate durations).
+    total_delay = sum(i.metadata["duration"] for i in dd if i.name == "delay")
+    assert total_delay == pytest.approx(1e-6 - 2 * 35e-9)
+
+
+def test_dd_skips_short_delays():
+    nm = drift_model()
+    qc = QuantumCircuit(1)
+    qc.delay(50e-9, 0)
+    dd = apply_dynamical_decoupling(qc, nm)
+    assert dd.count_ops().get("x", 0) == 0
+
+
+def test_dd_refocuses_static_drift():
+    """With strong quasi-static drift, DD must beat the undecoupled run."""
+    nm = drift_model(static_phase_drift=3e5, readout_error=0.0)
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.h(1)
+    qc.cx(0, 1)
+    qc.delay(3e-6, 0)  # long idle while (pretend) other work happens
+    qc.cx(0, 1)
+    qc.h(0)
+    qc.h(1)
+    h = Hamiltonian.from_labels({"IZ": 1.0, "ZI": 1.0})
+    ideal = StatevectorSimulator().expectation(qc.remove_measurements(), h)
+    dm = DensityMatrixSimulator(nm)
+    plain = dm.expectation(qc, h)
+    dd = dm.expectation(apply_dynamical_decoupling(qc, nm), h)
+    assert abs(dd - ideal) < abs(plain - ideal)
+
+
+def test_circuit_duration_critical_path():
+    nm = drift_model()
+    qc = QuantumCircuit(2)
+    qc.sx(0)
+    qc.sx(1)
+    qc.cx(0, 1)
+    assert circuit_duration(qc, nm) == pytest.approx(35e-9 + 400e-9)
+
+
+# -- TREX -----------------------------------------------------------------------
+
+
+def test_readout_mitigator_exact_inversion():
+    from repro.sim.sampling import apply_readout_error_probabilities
+
+    flips = [(0.05, 0.1), (0.08, 0.02)]
+    truth = np.array([0.4, 0.1, 0.3, 0.2])
+    corrupted = apply_readout_error_probabilities(truth, flips)
+    mitigated = ReadoutMitigator(flips).mitigate_probabilities(corrupted)
+    assert np.allclose(mitigated, truth, atol=1e-10)
+
+
+def test_readout_mitigator_calibration_close_to_truth():
+    nm = drift_model(readout_error=0.06)
+    dm = DensityMatrixSimulator(nm, seed=1)
+    mitigator = ReadoutMitigator.calibrate(dm, 3, shots=30000,
+                                           rng=np.random.default_rng(2))
+    for p10, p01 in mitigator.flip_probabilities:
+        assert p10 == pytest.approx(0.06, abs=0.01)
+        assert p01 == pytest.approx(0.06, abs=0.01)
+    assert mitigator.calibration_overhead_circuits() == 2
+
+
+def test_readout_mitigator_rejects_singular():
+    with pytest.raises(ReproError):
+        ReadoutMitigator([(0.5, 0.5)])
+
+
+def test_readout_mitigation_improves_expectation():
+    nm = drift_model(readout_error=0.08)
+    dm = DensityMatrixSimulator(nm)
+    qc = QuantumCircuit(2)
+    qc.x(0)
+    h = Hamiltonian.from_labels({"IZ": 1.0})
+    raw = dm.expectation(qc, h)
+    mitigator = ReadoutMitigator([(0.08, 0.08), (0.08, 0.08)])
+    probs = mitigator.mitigate_probabilities(dm.probabilities(qc))
+    mitigated = float(np.dot(probs, h.diagonal()))
+    assert abs(mitigated - (-1.0)) < abs(raw - (-1.0))
+
+
+# -- twirling -------------------------------------------------------------------
+
+
+def test_twirl_preserves_unitary():
+    rng = np.random.default_rng(0)
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.cz(1, 0)
+    u_ref = circuit_unitary(qc)
+    for _ in range(10):
+        tw = twirl_circuit(qc, rng)
+        u_tw = circuit_unitary(tw)
+        idx = np.unravel_index(np.argmax(np.abs(u_ref)), u_ref.shape)
+        phase = u_tw[idx] / u_ref[idx]
+        assert np.allclose(u_tw, phase * u_ref, atol=1e-9)
+
+
+def test_twirl_randomizes_frames():
+    rng = np.random.default_rng(1)
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    variants = {tuple(i.name for i in twirl_circuit(qc, rng)) for _ in range(20)}
+    assert len(variants) > 3
+
+
+def test_twirling_reduces_coherent_bias():
+    """Coherent ZZ over-rotations add linearly across a CX train (error ~
+    cos(N*eps)); twirling randomizes the sign so the average error shrinks
+    to ~cos(eps)^N — a large separation for long trains."""
+    eps, n_gates = 0.06, 8
+    nm = drift_model(coherent_2q_angle=eps, spec_2q=GateErrorSpec(0.0, 400e-9),
+                     spec_1q=GateErrorSpec(0.0, 35e-9),
+                     readout_error=0.0, t1=1.0, t2=0.9)
+    dm = DensityMatrixSimulator(nm)
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.h(1)
+    for _ in range(n_gates):
+        qc.cx(0, 1)  # CX acts trivially on |++>; only the error acts
+    qc.h(0)
+    qc.h(1)
+    h = Hamiltonian.from_labels({"IZ": 1.0, "ZI": 1.0})
+    ideal = 2.0
+    raw = dm.expectation(qc, h)
+    twirled, n_circuits = twirled_expectation(qc, h, dm, num_samples=64, seed=3)
+    assert n_circuits == 64
+    assert abs(raw - ideal) > 0.05  # the coherent error really bites
+    assert abs(twirled - ideal) < 0.6 * abs(raw - ideal)
+
+
+def test_twirled_expectation_validation():
+    dm = DensityMatrixSimulator()
+    qc = QuantumCircuit(1)
+    h = Hamiltonian.from_labels({"Z": 1.0})
+    with pytest.raises(ReproError):
+        twirled_expectation(qc, h, dm, num_samples=0)
+
+
+# -- ZNE ------------------------------------------------------------------------
+
+
+def test_fold_preserves_unitary_and_triples_gates():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.t(1)
+    folded = fold_global(qc, 3)
+    assert folded.num_gates() == 3 * qc.num_gates()
+    u1 = circuit_unitary(qc)
+    u3 = circuit_unitary(folded)
+    idx = np.unravel_index(np.argmax(np.abs(u1)), u1.shape)
+    assert np.allclose(u3, (u3[idx] / u1[idx]) * u1, atol=1e-9)
+
+
+def test_fold_validation():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    with pytest.raises(ReproError):
+        fold_global(qc, 2)
+    with pytest.raises(ReproError):
+        fold_global(qc, 0)
+
+
+def test_richardson_exact_on_polynomial():
+    scales = [1.0, 2.0, 3.0]
+    values = [5.0 - 2.0 * s + 0.5 * s**2 for s in scales]
+    assert richardson_extrapolate(scales, values) == pytest.approx(5.0)
+    with pytest.raises(ReproError):
+        richardson_extrapolate([1.0, 1.0], [1.0, 2.0])
+
+
+def test_linear_extrapolate_on_line():
+    assert linear_extrapolate([1, 3], [4.0, 8.0]) == pytest.approx(2.0)
+    with pytest.raises(ReproError):
+        linear_extrapolate([1], [1.0])
+
+
+def test_zne_recovers_ideal_expectation():
+    nm = drift_model(readout_error=0.0, t1=1.0, t2=0.9,
+                     spec_2q=GateErrorSpec(0.01, 400e-9))
+    dm = DensityMatrixSimulator(nm)
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    h = Hamiltonian.from_labels({"ZZ": 1.0})
+    ideal = 1.0
+    raw = dm.expectation(qc, h)
+    zne_value, per_scale, n_circ = zne_expectation(
+        qc, h, dm, scales=(1, 3, 5), extrapolator=richardson_extrapolate
+    )
+    assert n_circ == 3
+    assert per_scale[0] > per_scale[1] > per_scale[2]
+    assert abs(zne_value - ideal) < abs(raw - ideal)
+
+
+def test_zne_latency_factor():
+    assert zne_latency_factor((1, 3, 5)) == pytest.approx(9.0)
+    with pytest.raises(ReproError):
+        zne_latency_factor(())

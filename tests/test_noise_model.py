@@ -1,0 +1,133 @@
+"""Unit tests for device noise models."""
+
+import pytest
+
+from repro.circuits.circuit import Instruction
+from repro.exceptions import NoiseModelError
+from repro.noise import GateErrorSpec, NoiseModel, ideal_noise_model
+
+
+def make_model(**kwargs):
+    defaults = dict(
+        name="m",
+        spec_1q=GateErrorSpec(0.001, 35e-9),
+        spec_2q=GateErrorSpec(0.01, 400e-9),
+        t1=100e-6,
+        t2=80e-6,
+        readout_error=0.02,
+        readout_duration=700e-9,
+    )
+    defaults.update(kwargs)
+    return NoiseModel(**defaults)
+
+
+def test_gate_error_spec_validation():
+    with pytest.raises(NoiseModelError):
+        GateErrorSpec(1.5, 0.0)
+    with pytest.raises(NoiseModelError):
+        GateErrorSpec(0.1, -1.0)
+
+
+def test_model_validation():
+    with pytest.raises(NoiseModelError):
+        make_model(readout_error=2.0)
+    with pytest.raises(NoiseModelError):
+        make_model(t1=0.0)  # t2 still set
+    with pytest.raises(NoiseModelError):
+        make_model(t1=1e-6, t2=3e-6)
+
+
+def test_rz_is_virtual():
+    m = make_model()
+    inst = Instruction("rz", (0,), (0.5,))
+    assert m.channels_for(inst) == []
+    assert m.gate_duration(inst) == 0.0
+
+
+def test_sx_gets_depolarizing_and_relaxation():
+    m = make_model()
+    channels = m.channels_for(Instruction("sx", (0,), ()))
+    assert len(channels) == 2
+    assert channels[0][1] == (0,)
+
+
+def test_cx_gets_2q_depol_plus_per_qubit_relaxation():
+    m = make_model()
+    channels = m.channels_for(Instruction("cx", (0, 1), ()))
+    assert len(channels) == 3
+    assert channels[0][1] == (0, 1)
+    assert channels[1][1] == (0,)
+    assert channels[2][1] == (1,)
+
+
+def test_channel_cache_distinguishes_rz_from_other_1q():
+    m = make_model()
+    # Query rz first, then sx: sx must still get channels.
+    assert m.channels_for(Instruction("rz", (0,), (0.1,))) == []
+    assert len(m.channels_for(Instruction("sx", (0,), ()))) == 2
+
+
+def test_measure_and_barrier_have_no_channels():
+    m = make_model()
+    assert m.channels_for(Instruction("measure", (0,), ())) == []
+    assert m.channels_for(Instruction("barrier", (0, 1), ())) == []
+
+
+def test_delay_relaxation():
+    m = make_model()
+    inst = Instruction("delay", (0,), (), {"duration": 1e-6})
+    channels = m.channels_for(inst)
+    assert len(channels) == 1
+    assert m.gate_duration(inst) == pytest.approx(1e-6)
+
+
+def test_delay_with_drift_adds_unitary():
+    m = make_model(static_phase_drift=1e4)
+    inst = Instruction("delay", (0,), (), {"duration": 1e-6})
+    channels = m.channels_for(inst)
+    assert len(channels) == 2
+    assert channels[1][0].is_unitary
+
+
+def test_coherent_2q_angle_adds_unitary():
+    m = make_model(coherent_2q_angle=0.05)
+    channels = m.channels_for(Instruction("cx", (0, 1), ()))
+    assert channels[0][0].is_unitary
+    assert len(channels) == 4
+
+
+def test_readout_flip_probabilities_defaults_and_overrides():
+    m = make_model(readout_overrides={1: (0.1, 0.2)})
+    flips = m.readout_flip_probabilities(3)
+    assert flips[0] == (0.02, 0.02)
+    assert flips[1] == (0.1, 0.2)
+    assert m.avg_readout_error == pytest.approx(0.15)
+
+
+def test_scaled_model():
+    m = make_model()
+    s = m.scaled(2.0)
+    assert s.spec_2q.error == pytest.approx(0.02)
+    assert s.t1 == pytest.approx(50e-6)
+    assert s.readout_error == pytest.approx(0.04)
+    with pytest.raises(NoiseModelError):
+        m.scaled(-1.0)
+
+
+def test_scaled_caps_at_one():
+    m = make_model(spec_2q=GateErrorSpec(0.6, 1e-7))
+    assert m.scaled(2.0).spec_2q.error == 1.0
+
+
+def test_ideal_model_is_noise_free():
+    m = ideal_noise_model()
+    assert m.channels_for(Instruction("cx", (0, 1), ())) == []
+    assert m.avg_readout_error == 0.0
+    assert not m.has_relaxation
+
+
+def test_gate_durations():
+    m = make_model()
+    assert m.gate_duration(Instruction("sx", (0,), ())) == pytest.approx(35e-9)
+    assert m.gate_duration(Instruction("cx", (0, 1), ())) == pytest.approx(400e-9)
+    assert m.gate_duration(Instruction("measure", (0,), ())) == pytest.approx(700e-9)

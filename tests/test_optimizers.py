@@ -1,0 +1,123 @@
+"""Unit tests for the classical optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.vqa import SPSA, Adam, GradientDescent, nelder_mead
+
+
+def quadratic(x):
+    return float(np.sum((np.asarray(x) - 1.5) ** 2))
+
+
+def test_spsa_minimizes_quadratic():
+    opt = SPSA(seed=0)
+    res = opt.minimize(quadratic, [5.0, -3.0], maxiter=200)
+    assert res.fun < 0.1
+    assert np.allclose(res.x, 1.5, atol=0.4)
+
+
+def test_spsa_step_api_and_counters():
+    opt = SPSA(a=0.2, seed=1)
+    opt.reset([0.0, 0.0])
+    rec = opt.step(quadratic)
+    assert rec.iteration == 0
+    assert rec.nfev == 2
+    rec2 = opt.step(quadratic)
+    assert rec2.iteration == 1
+
+
+def test_spsa_autocalibration_counts_evals():
+    opt = SPSA(seed=2, calibration_samples=5)
+    opt.reset([0.0])
+    rec = opt.step(quadratic)
+    assert rec.nfev == 2 + 10
+
+
+def test_spsa_requires_reset():
+    opt = SPSA(seed=0)
+    with pytest.raises(ConvergenceError):
+        opt.step(quadratic)
+    with pytest.raises(ConvergenceError):
+        opt.params
+
+
+def test_spsa_gain_validation():
+    with pytest.raises(ConvergenceError):
+        SPSA(a=-1.0)
+    with pytest.raises(ConvergenceError):
+        SPSA(c=0.0)
+
+
+def test_spsa_seeded_determinism():
+    r1 = SPSA(seed=3).minimize(quadratic, [4.0], maxiter=50)
+    r2 = SPSA(seed=3).minimize(quadratic, [4.0], maxiter=50)
+    assert np.allclose(r1.x, r2.x)
+    assert r1.history == r2.history
+
+
+def test_minimize_final_evaluation_flag():
+    calls = []
+
+    def spy(x):
+        calls.append(np.array(x))
+        return quadratic(x)
+
+    res = SPSA(a=0.1, seed=4).minimize(spy, [3.0], maxiter=5, final_evaluation=True)
+    assert np.allclose(calls[-1], res.x)
+
+
+def test_minimize_should_stop():
+    stop_at = 7
+    res = SPSA(a=0.1, seed=5).minimize(
+        quadratic, [3.0], maxiter=100,
+        should_stop=lambda rec: rec.iteration >= stop_at,
+    )
+    assert res.nit == stop_at + 1
+    assert res.converged
+
+
+def test_minimize_zero_iterations_raises():
+    with pytest.raises(ConvergenceError):
+        SPSA(a=0.1, seed=0).minimize(quadratic, [1.0], maxiter=0)
+
+
+def test_gradient_descent_converges():
+    res = GradientDescent(learning_rate=0.2).minimize(quadratic, [4.0, 0.0], maxiter=80)
+    assert res.fun < 1e-3
+    assert res.nfev >= 80 * 4
+
+
+def test_gradient_descent_validation():
+    with pytest.raises(ConvergenceError):
+        GradientDescent(learning_rate=0.0)
+
+
+def test_adam_converges():
+    res = Adam(learning_rate=0.3).minimize(quadratic, [4.0, -4.0], maxiter=120)
+    assert res.fun < 1e-2
+
+
+def test_adam_reset_clears_moments():
+    opt = Adam()
+    opt.reset([1.0])
+    opt.step(quadratic)
+    opt.reset([1.0])
+    assert np.allclose(opt._m, 0.0)
+
+
+def test_nelder_mead_wrapper():
+    res = nelder_mead(quadratic, [4.0, -2.0], maxiter=300)
+    assert res.fun < 1e-6
+    assert len(res.history) == res.nfev
+
+
+def test_spsa_calibration_scales_inverse_to_gradient():
+    steep = SPSA(seed=6)
+    steep.reset([0.0])
+    steep.calibrate(lambda x: 100.0 * quadratic(x))
+    shallow = SPSA(seed=6)
+    shallow.reset([0.0])
+    shallow.calibrate(quadratic)
+    assert steep._a_effective < shallow._a_effective

@@ -1,0 +1,103 @@
+"""Unit tests for symbolic parameters and linear expressions."""
+
+import pytest
+
+from repro.circuits import Parameter, ParameterExpression, ParameterVector
+from repro.exceptions import ParameterError
+
+
+def test_parameter_identity_not_name():
+    a1 = Parameter("a")
+    a2 = Parameter("a")
+    assert a1 != a2
+    assert a1 == a1
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ParameterError):
+        Parameter("")
+
+
+def test_linear_expression_value():
+    a, b = Parameter("a"), Parameter("b")
+    expr = 2.0 * a + b - 0.5
+    assert expr.value({a: 1.0, b: 3.0}) == pytest.approx(4.5)
+
+
+def test_partial_binding_returns_expression():
+    a, b = Parameter("a"), Parameter("b")
+    expr = a + b
+    partial = expr.bind({a: 2.0})
+    assert isinstance(partial, ParameterExpression)
+    assert partial.parameters == {b}
+    assert partial.value({b: 1.0}) == pytest.approx(3.0)
+
+
+def test_full_binding_returns_float():
+    a = Parameter("a")
+    assert (3 * a).bind({a: 2.0}) == pytest.approx(6.0)
+
+
+def test_unbound_value_raises():
+    a, b = Parameter("a"), Parameter("b")
+    with pytest.raises(ParameterError):
+        (a + b).value({a: 1.0})
+
+
+def test_negation_and_subtraction():
+    a = Parameter("a")
+    assert (-a).value({a: 2.0}) == pytest.approx(-2.0)
+    assert (1.0 - a).value({a: 0.25}) == pytest.approx(0.75)
+
+
+def test_division():
+    a = Parameter("a")
+    assert (a / 4).value({a: 2.0}) == pytest.approx(0.5)
+
+
+def test_multiplication_by_expression_not_supported():
+    a, b = Parameter("a"), Parameter("b")
+    with pytest.raises(TypeError):
+        _ = a * b
+
+
+def test_coefficient_merging():
+    a = Parameter("a")
+    expr = a + a - 2 * a
+    assert expr == 0.0
+
+
+def test_parameters_set():
+    a, b = Parameter("a"), Parameter("b")
+    assert (2 * a + 3 * b).parameters == {a, b}
+
+
+def test_vector_creation_and_indexing():
+    v = ParameterVector("t", 4)
+    assert len(v) == 4
+    assert v[2].name == "t[2]"
+    assert len(list(v)) == 4
+
+
+def test_vector_negative_length_rejected():
+    with pytest.raises(ParameterError):
+        ParameterVector("t", -1)
+
+
+def test_parameter_ordering_is_stable():
+    ps = [Parameter("b"), Parameter("a"), Parameter("a")]
+    ordered = sorted(ps)
+    assert ordered[0].name == "a"
+    assert ordered[-1].name == "b"
+
+
+def test_expression_repr_mentions_names():
+    a = Parameter("alpha")
+    assert "alpha" in repr(2 * a + 1)
+
+
+def test_expression_equality_with_scalar():
+    a = Parameter("a")
+    zero = a - a
+    assert zero == 0.0
+    assert not (zero == 1.0)

@@ -1,0 +1,140 @@
+"""Unit tests for the transpilation pipeline and peephole passes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, Parameter, PauliString, QuantumCircuit
+from repro.sim import StatevectorSimulator
+from repro.sim.statevector import circuit_unitary
+from repro.transpile import CouplingMap, optimize, permute_hamiltonian, transpile
+
+
+def test_optimize_cancels_cx_pairs():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.cx(0, 1)
+    assert len(optimize(qc)) == 0
+
+
+def test_optimize_cancels_across_disjoint_ops():
+    qc = QuantumCircuit(3)
+    qc.x(0)
+    qc.h(2)  # disjoint — must not block the x-x cancellation
+    qc.x(0)
+    out = optimize(qc)
+    assert out.count_ops() == {"h": 1}
+
+
+def test_optimize_blocked_by_overlapping_op():
+    qc = QuantumCircuit(2)
+    qc.x(0)
+    qc.cx(0, 1)
+    qc.x(0)
+    out = optimize(qc)
+    assert out.count_ops()["x"] == 2
+
+
+def test_optimize_merges_rz():
+    qc = QuantumCircuit(1)
+    qc.rz(0.3, 0)
+    qc.rz(0.4, 0)
+    out = optimize(qc)
+    assert len(out) == 1
+    assert float(out.instructions[0].params[0]) == pytest.approx(0.7)
+
+
+def test_optimize_drops_zero_rz():
+    qc = QuantumCircuit(1)
+    qc.rz(0.5, 0)
+    qc.rz(-0.5, 0)
+    assert len(optimize(qc)) == 0
+
+
+def test_optimize_keeps_parameterized_rz():
+    theta = Parameter("t")
+    qc = QuantumCircuit(1)
+    qc.rz(theta, 0)
+    qc.rz(0.3, 0)
+    out = optimize(qc)
+    assert len(out) == 2
+
+
+def test_optimize_preserves_unitary():
+    rng = np.random.default_rng(8)
+    qc = QuantumCircuit(3)
+    for _ in range(20):
+        k = rng.integers(4)
+        if k == 0:
+            qc.h(int(rng.integers(3)))
+        elif k == 1:
+            qc.rz(float(rng.normal()), int(rng.integers(3)))
+        elif k == 2:
+            a, b = rng.choice(3, 2, replace=False)
+            qc.cx(int(a), int(b))
+        else:
+            qc.x(int(rng.integers(3)))
+    u1 = circuit_unitary(qc)
+    u2 = circuit_unitary(optimize(qc))
+    idx = np.unravel_index(np.argmax(np.abs(u1)), u1.shape)
+    assert np.allclose(u2, (u2[idx] / u1[idx]) * u1, atol=1e-9)
+
+
+def test_transpile_no_coupling_is_basis_only():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.rzz(0.5, 0, 1)
+    result = transpile(qc)
+    assert result.swaps_inserted == 0
+    assert result.final_layout == {0: 0, 1: 1}
+    for inst in result.circuit:
+        if inst.is_gate:
+            assert inst.name in {"rz", "sx", "x", "cx"}
+
+
+def test_transpile_with_coupling_semantics(small_problem, small_ansatz):
+    x = small_ansatz.random_parameters(np.random.default_rng(2))
+    qc = small_ansatz.bind(x)
+    result = transpile(qc, coupling=CouplingMap.heavy_hex_27())
+    sv = StatevectorSimulator()
+    e1 = sv.expectation(qc, small_problem.hamiltonian)
+    h_phys = result.logical_hamiltonian_to_physical(small_problem.hamiltonian)
+    e2 = sv.expectation(result.circuit, h_phys)
+    assert e1 == pytest.approx(e2, abs=1e-9)
+
+
+def test_transpile_symbolic_template_then_bind(small_problem, small_ansatz):
+    result = transpile(
+        small_ansatz.template, coupling=CouplingMap.heavy_hex_27()
+    )
+    assert result.circuit.num_parameters == 2
+    x = [0.4, 0.9]
+    bound = result.circuit.bind(dict(zip(small_ansatz.parameter_order, x)))
+    sv = StatevectorSimulator()
+    h_phys = result.logical_hamiltonian_to_physical(small_problem.hamiltonian)
+    direct = sv.expectation(small_ansatz.bind(x), small_problem.hamiltonian)
+    assert sv.expectation(bound, h_phys) == pytest.approx(direct, abs=1e-9)
+
+
+def test_transpile_optimization_level_zero_keeps_redundancy():
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    qc.x(0)
+    assert len(transpile(qc, optimization_level=0).circuit) == 2
+    assert len(transpile(qc, optimization_level=3).circuit) == 0
+
+
+def test_permute_hamiltonian():
+    h = Hamiltonian(3)
+    h.add_term(1.0, PauliString.from_sparse(3, {0: "Z", 1: "X"}))
+    permuted = permute_hamiltonian(h, {0: 2, 1: 0, 2: 1})
+    coeff, pauli = permuted.terms[0]
+    assert pauli.char_at(2) == "Z"
+    assert pauli.char_at(0) == "X"
+
+
+def test_permute_bits():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 2)
+    result = transpile(qc, coupling=CouplingMap.line(3))
+    for logical, physical in result.final_layout.items():
+        assert result.permute_bits(1 << physical) == 1 << logical

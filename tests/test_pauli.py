@@ -1,0 +1,153 @@
+"""Unit and property tests for Pauli strings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import PauliString, random_pauli
+from repro.exceptions import CircuitError
+from tests.conftest import random_density, random_state
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=5)
+
+
+def test_label_roundtrip():
+    for label in ("XIZ", "YYYY", "I", "ZXIY"):
+        assert PauliString(label).label() == label
+
+
+def test_label_rightmost_is_qubit0():
+    p = PauliString("XZ")
+    assert p.char_at(0) == "Z"
+    assert p.char_at(1) == "X"
+
+
+def test_invalid_label_rejected():
+    with pytest.raises(CircuitError):
+        PauliString("XQ")
+    with pytest.raises(CircuitError):
+        PauliString("")
+
+
+def test_from_sparse():
+    p = PauliString.from_sparse(4, {0: "X", 3: "Z"})
+    assert p.label() == "ZIIX"
+
+
+def test_single_constructor():
+    p = PauliString.single(3, 1, "Y")
+    assert p.label() == "IYI"
+    with pytest.raises(CircuitError):
+        PauliString.single(3, 1, "Q")
+
+
+def test_weight_support_diagonal():
+    p = PauliString("ZIXY")
+    assert p.weight == 3
+    assert p.support() == (0, 1, 3)
+    assert not p.is_diagonal
+    assert PauliString("ZZII").is_diagonal
+    assert PauliString.identity(3).is_identity
+
+
+@given(pauli_labels)
+@settings(max_examples=40, deadline=None)
+def test_apply_matches_dense_matrix(label):
+    p = PauliString(label)
+    state = random_state(p.num_qubits, seed=hash(label) % 2**31)
+    assert np.allclose(p.apply(state), p.to_matrix() @ state, atol=1e-10)
+
+
+@given(pauli_labels)
+@settings(max_examples=30, deadline=None)
+def test_expectation_statevector_matches_matrix(label):
+    p = PauliString(label)
+    state = random_state(p.num_qubits, seed=(hash(label) + 7) % 2**31)
+    direct = p.expectation_statevector(state)
+    dense = np.real(np.vdot(state, p.to_matrix() @ state))
+    assert direct == pytest.approx(dense, abs=1e-10)
+
+
+@given(pauli_labels)
+@settings(max_examples=30, deadline=None)
+def test_expectation_density_matches_matrix(label):
+    p = PauliString(label)
+    rho = random_density(p.num_qubits, seed=(hash(label) + 13) % 2**31)
+    direct = p.expectation_density(rho)
+    dense = np.real(np.trace(rho @ p.to_matrix()))
+    assert direct == pytest.approx(dense, abs=1e-10)
+
+
+def test_compose_phases():
+    x = PauliString("X")
+    y = PauliString("Y")
+    phase, result = x.compose(y)
+    # X @ Y = iZ
+    assert result.label() == "Z"
+    assert phase == pytest.approx(1j)
+    phase2, result2 = y.compose(x)
+    assert phase2 == pytest.approx(-1j)
+
+
+@given(pauli_labels, st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_compose_matches_matrix_product(label, seed):
+    n = len(label)
+    a = PauliString(label)
+    b = random_pauli(n, np.random.default_rng(seed))
+    phase, c = a.compose(b)
+    assert np.allclose(a.to_matrix() @ b.to_matrix(), phase * c.to_matrix())
+
+
+def test_commutes_examples():
+    assert PauliString("XX").commutes(PauliString("YY"))
+    assert not PauliString("X").commutes(PauliString("Z"))
+    assert PauliString("ZZ").commutes(PauliString("ZI"))
+
+
+@given(pauli_labels, st.integers(0, 10))
+@settings(max_examples=30, deadline=None)
+def test_commutes_matches_matrices(label, seed):
+    a = PauliString(label)
+    b = random_pauli(a.num_qubits, np.random.default_rng(seed))
+    commutator = a.to_matrix() @ b.to_matrix() - b.to_matrix() @ a.to_matrix()
+    assert a.commutes(b) == np.allclose(commutator, 0, atol=1e-12)
+
+
+def test_qubitwise_commutes():
+    assert PauliString("XI").qubitwise_commutes(PauliString("XZ"))
+    assert not PauliString("XZ").qubitwise_commutes(PauliString("ZZ"))
+    # Full commutation does not imply qubit-wise commutation.
+    assert PauliString("XX").commutes(PauliString("YY"))
+    assert not PauliString("XX").qubitwise_commutes(PauliString("YY"))
+
+
+def test_expectation_counts_diagonal():
+    p = PauliString("ZI")  # Z on qubit 1
+    counts = {0b00: 50, 0b10: 50}
+    assert p.expectation_counts(counts) == pytest.approx(0.0)
+    counts = {0b10: 100}
+    assert p.expectation_counts(counts) == pytest.approx(-1.0)
+
+
+def test_expectation_counts_rejects_offdiagonal():
+    with pytest.raises(CircuitError):
+        PauliString("XI").expectation_counts({0: 10})
+
+
+def test_expectation_counts_rejects_empty():
+    with pytest.raises(CircuitError):
+        PauliString("ZI").expectation_counts({})
+
+
+def test_hash_and_equality():
+    assert PauliString("XZ") == PauliString("XZ")
+    assert hash(PauliString("XZ")) == hash(PauliString("XZ"))
+    assert PauliString("XZ") != PauliString("ZX")
+
+
+def test_random_pauli_no_identity():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        assert not random_pauli(2, rng, allow_identity=False).is_identity

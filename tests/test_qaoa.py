@@ -1,0 +1,98 @@
+"""Unit tests for the QAOA ansatz."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.sim import StatevectorSimulator
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return MaxCutProblem.random(5, 0.6, seed=3)
+
+
+def test_structure(problem):
+    ansatz = QAOAAnsatz(problem.graph, layers=2)
+    ops = ansatz.template.count_ops()
+    edges = problem.graph.number_of_edges()
+    assert ops["h"] == 5
+    assert ops["rzz"] == 2 * edges
+    assert ops["rx"] == 2 * 5
+    assert ansatz.num_parameters == 4
+
+
+def test_layers_validation(problem):
+    with pytest.raises(ReproError):
+        QAOAAnsatz(problem.graph, layers=0)
+
+
+def test_bind_length_checked(problem):
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    with pytest.raises(ReproError):
+        ansatz.bind([0.1])
+
+
+def test_zero_parameters_give_uniform_superposition(problem):
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    qc = ansatz.bind([0.0, 0.0])
+    probs = StatevectorSimulator().probabilities(qc)
+    assert np.allclose(probs, np.full(32, 1 / 32), atol=1e-10)
+
+
+def test_uniform_superposition_energy(problem):
+    """<H> at zero angles equals -(edges)/2 — the random-cut average."""
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    sv = StatevectorSimulator()
+    e = sv.expectation(ansatz.bind([0.0, 0.0]), problem.hamiltonian)
+    assert e == pytest.approx(-problem.graph.number_of_edges() / 2)
+
+
+def test_optimized_p1_beats_random_guess(problem):
+    """Any decent (gamma, beta) from a coarse scan beats the uniform state."""
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    sv = StatevectorSimulator()
+    baseline = sv.expectation(ansatz.bind([0.0, 0.0]), problem.hamiltonian)
+    best = min(
+        sv.expectation(ansatz.bind([g, b]), problem.hamiltonian)
+        for g in np.linspace(0.1, np.pi, 8)
+        for b in np.linspace(0.1, np.pi / 2, 6)
+    )
+    assert best < baseline - 0.3
+
+
+def test_parameter_order_interleaved(problem):
+    ansatz = QAOAAnsatz(problem.graph, layers=3)
+    names = [p.name for p in ansatz.parameter_order]
+    assert names[0].startswith("gamma") and names[1].startswith("beta")
+    assert len(names) == 6
+
+
+def test_random_parameters_ranges(problem):
+    ansatz = QAOAAnsatz(problem.graph, layers=2)
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        x = ansatz.random_parameters(rng)
+        gammas, betas = x[0::2], x[1::2]
+        assert ((0 <= gammas) & (gammas < np.pi)).all()
+        assert ((0 <= betas) & (betas < np.pi / 2)).all()
+
+
+def test_more_layers_can_only_help_ideal(problem):
+    """Best scanned p=2 energy <= best scanned p=1 energy (superset ansatz)."""
+    sv = StatevectorSimulator()
+    a1 = QAOAAnsatz(problem.graph, layers=1)
+    best1 = min(
+        sv.expectation(a1.bind([g, b]), problem.hamiltonian)
+        for g in np.linspace(0.1, np.pi, 6)
+        for b in np.linspace(0.1, np.pi / 2, 4)
+    )
+    a2 = QAOAAnsatz(problem.graph, layers=2)
+    # p=2 with the second layer switched off reproduces p=1.
+    best2 = min(
+        sv.expectation(a2.bind([g, b, 0.0, 0.0]), problem.hamiltonian)
+        for g in np.linspace(0.1, np.pi, 6)
+        for b in np.linspace(0.1, np.pi / 2, 4)
+    )
+    assert best2 == pytest.approx(best1, abs=1e-9)

@@ -1,0 +1,138 @@
+"""Unit tests for the discrete-event queue simulator and policies."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    BestFidelityPolicy,
+    EQCPolicy,
+    FidelityWeightedPolicy,
+    LeastBusyPolicy,
+    LoadWeightedPolicy,
+    QoncordPolicy,
+    QueueSimulator,
+    generate_workload,
+    hypothetical_fleet,
+    standard_policies,
+    sweep_policies,
+)
+from repro.exceptions import SchedulingError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(num_jobs=120, vqa_ratio=0.5, seed=7)
+
+
+def run_policy(policy, workload, seed=0):
+    return QueueSimulator(hypothetical_fleet(), policy, seed=seed).run(workload)
+
+
+def test_all_jobs_complete(workload):
+    result = run_policy(LeastBusyPolicy(), workload)
+    for job_result in result.job_results.values():
+        expected = job_result.job.num_executions
+        assert len(job_result.records) == expected
+
+
+def test_executions_never_overlap_per_device(workload):
+    result = run_policy(LoadWeightedPolicy(), workload)
+    per_device = {}
+    for jr in result.job_results.values():
+        for rec in jr.records:
+            per_device.setdefault(rec.device_name, []).append(rec)
+    for records in per_device.values():
+        records.sort(key=lambda r: r.started_at)
+        for a, b in zip(records, records[1:]):
+            assert b.started_at >= a.finished_at - 1e-9
+
+
+def test_executions_start_after_queueing(workload):
+    result = run_policy(BestFidelityPolicy(), workload)
+    for jr in result.job_results.values():
+        for rec in jr.records:
+            assert rec.started_at >= rec.queued_at - 1e-9
+            assert rec.queued_at >= jr.job.arrival_time - 1e-9
+
+
+def test_best_fidelity_only_uses_top_device(workload):
+    result = run_policy(BestFidelityPolicy(), workload)
+    best = max(d.fidelity for d in result.devices)
+    for jr in result.job_results.values():
+        for rec in jr.records:
+            assert rec.device_fidelity == pytest.approx(best)
+    assert result.mean_relative_fidelity() == pytest.approx(1.0)
+
+
+def test_pinned_policies_keep_job_on_one_device(workload):
+    result = run_policy(FidelityWeightedPolicy(), workload)
+    for jr in result.job_results.values():
+        devices = {rec.device_name for rec in jr.records}
+        assert len(devices) == 1
+
+
+def test_eqc_doubles_vqa_executions(workload):
+    result = run_policy(EQCPolicy(), workload)
+    for jr in result.job_results.values():
+        if jr.job.is_vqa:
+            assert len(jr.records) == 2 * jr.job.num_executions
+
+
+def test_eqc_overhead_validation():
+    with pytest.raises(SchedulingError):
+        EQCPolicy(overhead_factor=0.5)
+
+
+def test_qoncord_reduces_executions_and_splits_tiers(workload):
+    result = run_policy(QoncordPolicy(), workload)
+    fleet_fids = sorted(d.fidelity for d in result.devices)
+    median = fleet_fids[len(fleet_fids) // 2]
+    for jr in result.job_results.values():
+        if not jr.job.is_vqa:
+            continue
+        assert len(jr.records) < jr.job.num_executions
+        ordered = sorted(jr.records, key=lambda r: r.execution_index)
+        explore = max(1, int(round(jr.job.num_executions * 0.4)))
+        cut = sorted(fleet_fids)[int(0.75 * (len(fleet_fids) - 1))]
+        for rec in ordered:
+            if rec.execution_index < explore:
+                assert rec.device_fidelity <= median + 1e-9
+            else:
+                assert rec.device_fidelity >= cut - 1e-9  # top-quantile tier
+
+
+def test_qoncord_policy_validation():
+    with pytest.raises(SchedulingError):
+        QoncordPolicy(explore_fraction=0.0)
+    with pytest.raises(SchedulingError):
+        QoncordPolicy(keep_fraction=0.0)
+
+
+def test_fig12_shape(workload):
+    """Qoncord dominates: near-best fidelity at near-least-busy throughput."""
+    results = sweep_policies(standard_policies(), workload, hypothetical_fleet, seed=1)
+    fid = {name: r.mean_relative_fidelity() for name, r in results.items()}
+    thr = {name: r.throughput for name, r in results.items()}
+    assert fid["best_fidelity"] == pytest.approx(1.0)
+    assert thr["best_fidelity"] < thr["least_busy"] / 2
+    assert fid["qoncord"] > fid["least_busy"] + 0.15
+    assert thr["qoncord"] > thr["best_fidelity"] * 2
+
+
+def test_simulator_validation():
+    with pytest.raises(SchedulingError):
+        QueueSimulator([], LeastBusyPolicy())
+
+
+def test_throughput_and_utilization(workload):
+    result = run_policy(LeastBusyPolicy(), workload)
+    assert result.throughput > 0
+    util = result.device_utilization()
+    assert all(0.0 <= u <= 1.0 + 1e-9 for u in util.values())
+
+
+def test_deterministic_given_seed(workload):
+    r1 = run_policy(LeastBusyPolicy(), workload, seed=5)
+    r2 = run_policy(LeastBusyPolicy(), workload, seed=5)
+    assert r1.makespan == pytest.approx(r2.makespan)
+    assert r1.total_executions == r2.total_executions

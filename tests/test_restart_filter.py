@@ -1,0 +1,104 @@
+"""Unit and property tests for restart filtering and cluster detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RestartFilter, detect_clusters
+from repro.exceptions import SchedulingError
+
+
+def test_validation():
+    with pytest.raises(SchedulingError):
+        RestartFilter(cluster_width=0.0)
+    with pytest.raises(SchedulingError):
+        RestartFilter(min_keep=0)
+    with pytest.raises(SchedulingError):
+        RestartFilter(mode="magic")
+
+
+def test_span_mode_keeps_top_cluster():
+    f = RestartFilter(cluster_width=0.25, min_keep=1)
+    energies = [-9.0, -8.9, -8.8, -3.0, -2.5]
+    decision = f.select(energies)
+    assert set(decision.kept_indices) == {0, 1, 2}
+    assert set(decision.dropped_indices) == {3, 4}
+
+
+def test_min_keep_enforced():
+    f = RestartFilter(cluster_width=0.01, min_keep=3)
+    energies = [-9.0, -5.0, -4.0, -3.0]
+    decision = f.select(energies)
+    assert decision.num_kept == 3
+    assert 0 in decision.kept_indices
+
+
+def test_small_population_all_kept():
+    f = RestartFilter(min_keep=2)
+    decision = f.select([-1.0, -2.0])
+    assert decision.num_kept == 2
+    assert decision.num_dropped == 0
+
+
+def test_degenerate_values_all_kept():
+    f = RestartFilter(min_keep=1)
+    decision = f.select([-5.0, -5.0, -5.0])
+    assert decision.num_kept == 3
+
+
+def test_gap_mode_cuts_at_dominant_gap():
+    f = RestartFilter(mode="gap", min_keep=1)
+    energies = [-9.0, -8.95, -8.9, -4.0, -3.9]
+    decision = f.select(energies)
+    assert set(decision.kept_indices) == {0, 1, 2}
+
+
+def test_gap_mode_single_cluster_keeps_all():
+    f = RestartFilter(mode="gap", min_keep=1)
+    energies = [-9.0, -8.8, -8.6, -8.4, -8.2]
+    decision = f.select(energies)
+    assert decision.num_kept == 5
+
+
+def test_empty_rejected():
+    with pytest.raises(SchedulingError):
+        RestartFilter().select([])
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=0, allow_nan=False), min_size=1, max_size=30),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_filter_invariants(energies, width):
+    f = RestartFilter(cluster_width=width, min_keep=1)
+    decision = f.select(energies)
+    kept = set(decision.kept_indices)
+    dropped = set(decision.dropped_indices)
+    # Partition of all indices.
+    assert kept | dropped == set(range(len(energies)))
+    assert not (kept & dropped)
+    # The best restart is always kept.
+    assert int(np.argmin(energies)) in kept
+    # Everyone kept is at least as good as everyone dropped.
+    if dropped:
+        assert max(energies[i] for i in kept) <= min(energies[i] for i in dropped) + 1e-12
+
+
+def test_detect_clusters_groups_and_orders():
+    values = [1.0, 1.1, 1.05, 5.0, 5.1, 9.0]
+    clusters = detect_clusters(values)
+    assert len(clusters) == 3
+    assert set(clusters[0]) == {0, 1, 2}
+    assert set(clusters[1]) == {3, 4}
+    assert set(clusters[2]) == {5}
+
+
+def test_detect_clusters_single_value():
+    assert detect_clusters([2.0]) == [[0]]
+
+
+def test_detect_clusters_uniform_spacing_is_one_cluster():
+    values = list(np.linspace(0, 1, 10))
+    assert len(detect_clusters(values, gap_factor=2.0)) == 1

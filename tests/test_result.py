@@ -1,0 +1,101 @@
+"""Unit tests for results, entropy, and Hellinger fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian
+from repro.exceptions import SimulationError
+from repro.sim import Result, hellinger_distance, hellinger_fidelity, shannon_entropy
+from repro.sim.result import counts_from_mapping
+
+
+def test_shannon_entropy_uniform():
+    assert shannon_entropy(np.ones(8) / 8) == pytest.approx(3.0)
+
+
+def test_shannon_entropy_pure():
+    p = np.zeros(4)
+    p[2] = 1.0
+    assert shannon_entropy(p) == pytest.approx(0.0)
+
+
+def test_shannon_entropy_empty_rejected():
+    with pytest.raises(SimulationError):
+        shannon_entropy(np.zeros(0))
+
+
+def test_hellinger_identical_distributions():
+    p = np.array([0.25, 0.75])
+    assert hellinger_distance(p, p) == pytest.approx(0.0)
+    assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+
+
+def test_hellinger_disjoint_distributions():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.0, 1.0])
+    assert hellinger_distance(p, q) == pytest.approx(1.0)
+    assert hellinger_fidelity(p, q) == pytest.approx(0.0)
+
+
+def test_hellinger_shape_mismatch():
+    with pytest.raises(SimulationError):
+        hellinger_distance(np.ones(2) / 2, np.ones(4) / 4)
+
+
+def test_result_probabilities_from_counts():
+    r = Result(num_qubits=2, shots=100, counts={0b00: 25, 0b11: 75})
+    p = r.probabilities()
+    assert p[0] == pytest.approx(0.25)
+    assert p[3] == pytest.approx(0.75)
+
+
+def test_result_prefers_exact_probabilities():
+    r = Result(
+        num_qubits=1,
+        counts={0: 100},
+        exact_probabilities=np.array([0.5, 0.5]),
+    )
+    assert r.probabilities()[1] == pytest.approx(0.5)
+
+
+def test_result_counts_as_bitstrings():
+    r = Result(num_qubits=3, counts={0b101: 7})
+    assert r.counts_as_bitstrings() == {"101": 7}
+
+
+def test_result_no_distribution_raises():
+    with pytest.raises(SimulationError):
+        Result(num_qubits=1).probabilities()
+
+
+def test_result_expectation_from_statevector():
+    state = np.array([1.0, 0.0], dtype=complex)
+    r = Result(num_qubits=1, statevector=state)
+    h = Hamiltonian.from_labels({"Z": 1.0})
+    assert r.expectation(h) == pytest.approx(1.0)
+
+
+def test_result_expectation_offdiagonal_from_counts_raises():
+    r = Result(num_qubits=1, counts={0: 10})
+    h = Hamiltonian.from_labels({"X": 1.0})
+    with pytest.raises(SimulationError):
+        r.expectation(h)
+
+
+def test_result_entropy():
+    r = Result(num_qubits=1, exact_probabilities=np.array([0.5, 0.5]))
+    assert r.shannon_entropy() == pytest.approx(1.0)
+
+
+def test_counts_from_mapping():
+    counts = counts_from_mapping({"01": 5, "10": 3}, 2)
+    assert counts == {0b01: 5, 0b10: 3}
+    with pytest.raises(SimulationError):
+        counts_from_mapping({"100": 1}, 2)
+
+
+def test_hellinger_fidelity_between_results():
+    a = Result(num_qubits=1, exact_probabilities=np.array([1.0, 0.0]))
+    b = Result(num_qubits=1, exact_probabilities=np.array([0.5, 0.5]))
+    fid = a.hellinger_fidelity(b)
+    assert 0.0 < fid < 1.0

@@ -1,0 +1,116 @@
+"""Unit and property tests for sampling and readout-error application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.sim.sampling import (
+    apply_readout_error_counts,
+    apply_readout_error_probabilities,
+    confusion_matrix_1q,
+    expected_value_of_bits,
+    marginal_counts,
+    sample_counts,
+)
+
+
+def test_sample_counts_total():
+    rng = np.random.default_rng(0)
+    counts = sample_counts(np.array([0.5, 0.5]), 1000, rng)
+    assert sum(counts.values()) == 1000
+
+
+def test_sample_counts_deterministic_distribution():
+    rng = np.random.default_rng(0)
+    counts = sample_counts(np.array([0.0, 1.0]), 100, rng)
+    assert counts == {1: 100}
+
+
+def test_sample_counts_rejects_bad_input():
+    rng = np.random.default_rng(0)
+    with pytest.raises(SimulationError):
+        sample_counts(np.array([0.5, 0.5]), 0, rng)
+    with pytest.raises(SimulationError):
+        sample_counts(np.zeros(4), 10, rng)
+
+
+def test_sample_counts_normalizes():
+    rng = np.random.default_rng(0)
+    counts = sample_counts(np.array([2.0, 2.0]), 2000, rng)
+    assert abs(counts.get(0, 0) - 1000) < 120
+
+
+def test_confusion_matrix_columns_stochastic():
+    m = confusion_matrix_1q(0.02, 0.05)
+    assert np.allclose(m.sum(axis=0), [1.0, 1.0])
+    with pytest.raises(SimulationError):
+        confusion_matrix_1q(-0.1, 0.0)
+
+
+def test_readout_probabilities_single_qubit():
+    probs = np.array([1.0, 0.0])
+    out = apply_readout_error_probabilities(probs, [(0.1, 0.2)])
+    assert out[0] == pytest.approx(0.9)
+    assert out[1] == pytest.approx(0.1)
+
+
+def test_readout_probabilities_two_qubits_independent():
+    probs = np.zeros(4)
+    probs[0b11] = 1.0
+    out = apply_readout_error_probabilities(probs, [(0.0, 0.5), (0.0, 0.0)])
+    # Qubit 0 flips 1->0 with p=0.5; qubit 1 never flips.
+    assert out[0b11] == pytest.approx(0.5)
+    assert out[0b10] == pytest.approx(0.5)
+
+
+@given(st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_readout_probabilities_preserve_normalization(seed):
+    rng = np.random.default_rng(seed)
+    p = rng.random(8)
+    p /= p.sum()
+    flips = [(rng.random() * 0.2, rng.random() * 0.2) for _ in range(3)]
+    out = apply_readout_error_probabilities(p, flips)
+    assert out.sum() == pytest.approx(1.0)
+    assert (out >= -1e-12).all()
+
+
+def test_readout_counts_statistics():
+    rng = np.random.default_rng(5)
+    counts = {0b0: 20000}
+    noisy = apply_readout_error_counts(counts, [(0.1, 0.0)], rng)
+    flipped = noisy.get(0b1, 0)
+    assert abs(flipped - 2000) < 300
+    assert sum(noisy.values()) == 20000
+
+
+def test_readout_counts_matches_probabilities_on_average():
+    rng = np.random.default_rng(11)
+    probs = np.zeros(4)
+    probs[0b01] = 1.0
+    flips = [(0.05, 0.1), (0.2, 0.02)]
+    exact = apply_readout_error_probabilities(probs, flips)
+    noisy = apply_readout_error_counts({0b01: 50000}, flips, rng)
+    for bits in range(4):
+        empirical = noisy.get(bits, 0) / 50000
+        assert empirical == pytest.approx(exact[bits], abs=0.01)
+
+
+def test_marginal_counts():
+    counts = {0b110: 4, 0b010: 6}
+    marg = marginal_counts(counts, [1])
+    assert marg == {1: 10}
+    # New bit i = old qubits[i]: bit0 = old q2, bit1 = old q1.
+    marg2 = marginal_counts(counts, [2, 1])
+    assert marg2 == {0b11: 4, 0b10: 6}
+
+
+def test_expected_value_of_bits():
+    counts = {0b01: 50, 0b10: 50}
+    p = expected_value_of_bits(counts, 2)
+    assert p[0] == pytest.approx(0.5)
+    assert p[1] == pytest.approx(0.5)
+    with pytest.raises(SimulationError):
+        expected_value_of_bits({}, 2)

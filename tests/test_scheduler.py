@@ -1,0 +1,155 @@
+"""Integration-level tests for the Qoncord scheduler and facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import Qoncord, VQAJob
+from repro.exceptions import SchedulingError
+from repro.noise import ibmq_kolkata, ibmq_toronto
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+
+@pytest.fixture(scope="module")
+def job():
+    problem = MaxCutProblem.random(5, 0.6, seed=3)
+    return problem, VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=1),
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=4,
+        max_iterations_per_stage=18,
+        name="test-job",
+    )
+
+
+@pytest.fixture(scope="module")
+def result(job):
+    _, vqa_job = job
+    q = Qoncord(seed=0, min_fidelity=0.02, patience=6)
+    return q.run(vqa_job, [ibmq_kolkata(), ibmq_toronto()])
+
+
+def test_device_order_low_to_high_fidelity(result):
+    assert result.device_order == ["ibmq_toronto", "ibmq_kolkata"]
+    fids = [result.device_fidelities[d] for d in result.device_order]
+    assert fids[0] < fids[1]
+
+
+def test_every_restart_explored_on_lf(result):
+    for trace in result.restarts:
+        assert trace.stages[0].device_name == "ibmq_toronto"
+        assert trace.stages[0].iterations > 0
+
+
+def test_only_survivors_reach_hf(result):
+    for trace in result.restarts:
+        if trace.survived:
+            assert len(trace.stages) == 2
+            assert trace.stages[1].device_name == "ibmq_kolkata"
+            assert trace.final_energy is not None
+        else:
+            assert len(trace.stages) == 1
+            assert trace.final_energy is None
+
+
+def test_filter_decisions_recorded(result):
+    assert len(result.filter_decisions) == 1
+    decision = result.filter_decisions[0]
+    assert decision.num_kept + decision.num_dropped == 4
+    assert decision.num_kept >= 2  # min_keep default
+
+
+def test_circuit_accounting_consistent(result):
+    per_restart = sum(
+        stage.circuits for trace in result.restarts for stage in trace.stages
+    )
+    # Final evaluations add one circuit per survivor on the HF device.
+    survivors = len(result.surviving_restarts)
+    assert result.total_circuits == per_restart + survivors
+
+
+def test_lf_carries_majority_of_executions(result):
+    """Fig 14's headline: the LF device absorbs most of the load."""
+    lf = result.circuits_per_device["ibmq_toronto"]
+    hf = result.circuits_per_device["ibmq_kolkata"]
+    assert lf > hf
+
+
+def test_entropy_switch_check_recorded(result):
+    for trace in result.surviving_restarts:
+        assert trace.stages[1].entropy_decreased_on_switch is not None
+
+
+def test_queue_seconds_charged_per_stage(result):
+    assert result.queue_seconds_per_device["ibmq_toronto"] > 0
+    assert result.queue_seconds_per_device["ibmq_kolkata"] > 0
+    assert result.total_seconds > sum(result.seconds_per_device.values())
+
+
+def test_best_energy_reasonable(job, result):
+    problem, _ = job
+    ar = problem.approximation_ratio(result.best_energy)
+    assert 0.55 < ar <= 1.0
+
+
+def test_empty_fleet_rejected(job):
+    _, vqa_job = job
+    with pytest.raises(SchedulingError):
+        Qoncord(seed=0).run(vqa_job, [])
+
+
+def test_initial_points_length_checked(job):
+    _, vqa_job = job
+    with pytest.raises(SchedulingError):
+        Qoncord(seed=0, min_fidelity=0.02).run(
+            vqa_job, [ibmq_toronto()], initial_points=[np.zeros(2)]
+        )
+
+
+def test_single_device_fleet_runs_strict_only(job):
+    _, vqa_job = job
+    q = Qoncord(seed=1, min_fidelity=0.02)
+    res = q.run(vqa_job, [ibmq_kolkata()])
+    assert res.device_order == ["ibmq_kolkata"]
+    # No filtering happens with a single stage.
+    assert res.filter_decisions == []
+    assert all(t.survived for t in res.restarts)
+
+
+def test_baseline_runner_matches_job_settings(job):
+    _, vqa_job = job
+    q = Qoncord(seed=0, min_fidelity=0.02, patience=6)
+    baseline = q.run_single_device_baseline(vqa_job, ibmq_kolkata())
+    assert len(baseline.outcomes) == vqa_job.num_restarts
+    assert baseline.total_circuits > 0
+    assert baseline.queue_seconds_per_device["ibmq_kolkata"] > 0
+
+
+def test_job_validation():
+    problem = MaxCutProblem.random(5, 0.6, seed=3)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    with pytest.raises(SchedulingError):
+        VQAJob(ansatz=ansatz, hamiltonian=problem.hamiltonian, num_restarts=0)
+    with pytest.raises(SchedulingError):
+        VQAJob(
+            ansatz=ansatz,
+            hamiltonian=problem.hamiltonian,
+            max_iterations_per_stage=0,
+        )
+
+
+def test_job_initial_points_and_ar():
+    problem = MaxCutProblem.random(5, 0.6, seed=3)
+    job = VQAJob(
+        ansatz=QAOAAnsatz(problem.graph, layers=1),
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=3,
+    )
+    points = job.initial_points(seed=5)
+    assert len(points) == 3
+    assert job.approximation_ratio(problem.ground_energy) == pytest.approx(1.0)
+    job_no_gt = VQAJob(
+        ansatz=job.ansatz, hamiltonian=problem.hamiltonian, num_restarts=3
+    )
+    assert job_no_gt.approximation_ratio(-1.0) is None

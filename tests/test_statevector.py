@@ -1,0 +1,120 @@
+"""Unit tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.sim import StatevectorSimulator, run_statevector, zero_state
+from repro.sim.statevector import apply_unitary, circuit_unitary
+
+
+def test_zero_state():
+    s = zero_state(3)
+    assert s[0] == 1.0
+    assert np.linalg.norm(s) == pytest.approx(1.0)
+
+
+def test_hadamard_superposition():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    s = run_statevector(qc)
+    assert np.allclose(np.abs(s) ** 2, [0.5, 0.5])
+
+
+def test_bell_state():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    s = run_statevector(qc)
+    assert abs(s[0b00]) ** 2 == pytest.approx(0.5)
+    assert abs(s[0b11]) ** 2 == pytest.approx(0.5)
+
+
+def test_ghz_state():
+    qc = QuantumCircuit(4)
+    qc.h(0)
+    for i in range(3):
+        qc.cx(i, i + 1)
+    probs = np.abs(run_statevector(qc)) ** 2
+    assert probs[0] == pytest.approx(0.5)
+    assert probs[-1] == pytest.approx(0.5)
+
+
+def test_apply_unitary_qubit_ordering():
+    # X on qubit 1 of |00> gives |10> (integer 2).
+    x = np.array([[0, 1], [1, 0]], dtype=complex)
+    s = apply_unitary(zero_state(2), x, [1], 2)
+    assert abs(s[0b10]) == pytest.approx(1.0)
+
+
+def test_apply_unitary_two_qubit_ordering():
+    # CX with control qubit 2, target qubit 0 in a 3-qubit register.
+    from repro.circuits.gates import cx_matrix
+
+    state = zero_state(3)
+    state = apply_unitary(state, np.array([[0, 1], [1, 0]], dtype=complex), [2], 3)
+    state = apply_unitary(state, cx_matrix(), [2, 0], 3)
+    assert abs(state[0b101]) == pytest.approx(1.0)
+
+
+def test_apply_unitary_shape_check():
+    with pytest.raises(SimulationError):
+        apply_unitary(zero_state(2), np.eye(4), [0], 2)
+
+
+def test_run_skips_measure_and_barrier():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    qc.barrier()
+    qc.measure(0)
+    s = run_statevector(qc)
+    assert np.allclose(np.abs(s) ** 2, [0.5, 0.5])
+
+
+def test_reset_unsupported():
+    qc = QuantumCircuit(1)
+    qc.reset(0)
+    with pytest.raises(SimulationError):
+        run_statevector(qc)
+
+
+def test_initial_state_dimension_checked():
+    qc = QuantumCircuit(2)
+    with pytest.raises(SimulationError):
+        run_statevector(qc, initial=np.ones(2))
+
+
+def test_circuit_unitary_matches_composition():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    u = circuit_unitary(qc)
+    assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-12)
+    assert np.allclose(u[:, 0], run_statevector(qc))
+
+
+def test_simulator_counts_reproducible():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    r1 = StatevectorSimulator(seed=7).run(qc, shots=500)
+    r2 = StatevectorSimulator(seed=7).run(qc, shots=500)
+    assert r1.counts == r2.counts
+    assert sum(r1.counts.values()) == 500
+
+
+def test_simulator_expectation():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    h = Hamiltonian.from_labels({"ZZ": 1.0})
+    assert StatevectorSimulator().expectation(qc, h) == pytest.approx(1.0)
+
+
+def test_probabilities_sum_to_one():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.ry(0.7, 1)
+    qc.cx(1, 2)
+    p = StatevectorSimulator().probabilities(qc)
+    assert p.sum() == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the Monte-Carlo trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.noise import hypothetical_device, ibmq_toronto
+from repro.sim import DensityMatrixSimulator, TrajectorySimulator
+
+
+def bell():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    return qc
+
+
+def test_rejects_relaxation_models():
+    with pytest.raises(SimulationError):
+        TrajectorySimulator(ibmq_toronto().noise_model())
+
+
+def test_rejects_bad_args():
+    nm = hypothetical_device("d", 0.01).noise_model()
+    with pytest.raises(SimulationError):
+        TrajectorySimulator(nm, trajectories=0)
+    sim = TrajectorySimulator(nm, seed=0)
+    with pytest.raises(SimulationError):
+        sim.run(bell(), shots=0)
+
+
+def test_noise_free_matches_statevector():
+    sim = TrajectorySimulator(trajectories=4, seed=1)
+    h = Hamiltonian.from_labels({"ZZ": 1.0, "XX": 1.0})
+    assert sim.expectation(bell(), h) == pytest.approx(2.0)
+
+
+def test_expectation_converges_to_density_matrix():
+    nm = hypothetical_device("d", 0.02).noise_model()
+    h = Hamiltonian.from_labels({"ZZ": 1.0, "XX": 1.0})
+    exact = DensityMatrixSimulator(nm).expectation(bell(), h)
+    estimate = TrajectorySimulator(nm, trajectories=4000, seed=2).expectation(bell(), h)
+    assert estimate == pytest.approx(exact, abs=0.05)
+
+
+def test_readout_scaling_matches_density_matrix():
+    nm = hypothetical_device("d", 0.0, readout_error=0.08).noise_model()
+    h = Hamiltonian.from_labels({"ZZ": 1.0, "ZI": 0.5})
+    exact = DensityMatrixSimulator(nm).expectation(bell(), h)
+    estimate = TrajectorySimulator(nm, trajectories=8, seed=3).expectation(bell(), h)
+    # Pure readout error is handled analytically: no sampling noise at all.
+    assert estimate == pytest.approx(exact, abs=1e-9)
+
+
+def test_counts_total_and_distribution():
+    nm = hypothetical_device("d", 0.01).noise_model()
+    sim = TrajectorySimulator(nm, trajectories=32, seed=4)
+    result = sim.run(bell(), shots=2000)
+    assert sum(result.counts.values()) == 2000
+    probs = result.probabilities()
+    # Bell state: ~half 00, ~half 11 with small leakage from noise.
+    assert probs[0b00] + probs[0b11] > 0.9
+
+
+def test_handles_more_trajectories_than_shots():
+    nm = hypothetical_device("d", 0.01).noise_model()
+    sim = TrajectorySimulator(nm, trajectories=64, seed=5)
+    result = sim.run(bell(), shots=10)
+    assert sum(result.counts.values()) == 10
+
+
+def test_scales_beyond_density_matrix_limit():
+    nm = hypothetical_device("d", 0.001, num_qubits=14).noise_model()
+    qc = QuantumCircuit(14)
+    qc.h(0)
+    for i in range(13):
+        qc.cx(i, i + 1)
+    sim = TrajectorySimulator(nm, trajectories=4, seed=6)
+    h = Hamiltonian.from_labels({"Z" * 14: 1.0})
+    value = sim.expectation(qc, h)
+    assert -1.0 <= value <= 1.0
