@@ -1,0 +1,142 @@
+"""Circuit-cutting overhead: reconstruction fidelity and wall-clock cost.
+
+Wire cutting is exact in the noise-free limit — the interesting numbers
+are the *overheads*: fragment-variant count and reconstruction work grow
+exponentially with the cut count, so the benchmark reports fidelity and
+wall-clock versus the number of cuts, plus the cost ratio against simply
+simulating the uncut circuit (affordable here, impossible on a too-small
+device — which is the point of the subsystem).
+
+Also times the `circuit_unitary` rewrite: one batched identity-matrix
+evolution versus the old column-by-column loop.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks._helpers import once, print_series
+from repro.circuits import QuantumCircuit
+from repro.cutting import cut_and_run
+from repro.sim import hellinger_fidelity, run_statevector, run_statevector_batch
+from repro.sim.statevector import circuit_unitary
+
+
+def chain_circuit(num_qubits: int, num_clusters: int, seed: int = 0) -> QuantumCircuit:
+    """``num_clusters`` random blocks joined by single CX bridges."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"chain{num_clusters}")
+    bounds = np.linspace(0, num_qubits, num_clusters + 1).astype(int)
+    clusters = [
+        list(range(bounds[i], bounds[i + 1])) for i in range(num_clusters)
+    ]
+    previous_tail = None
+    for cluster in clusters:
+        if previous_tail is not None:
+            qc.cx(previous_tail, cluster[0])
+        for _ in range(2):
+            for q in cluster:
+                qc.ry(rng.uniform(-np.pi, np.pi), q)
+            for a, b in zip(cluster[:-1], cluster[1:]):
+                qc.cx(a, b)
+        previous_tail = cluster[-1]
+    return qc
+
+
+def test_cutting_fidelity_and_wallclock(benchmark):
+    def run():
+        rows = []
+        results = []
+        for num_clusters, width in ((2, 6), (3, 4)):
+            qc = chain_circuit(10, num_clusters, seed=num_clusters)
+            t0 = time.perf_counter()
+            exact = np.abs(run_statevector(qc)) ** 2
+            uncut_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result = cut_and_run(qc, max_fragment_width=width)
+            cut_seconds = time.perf_counter() - t0
+            fidelity = hellinger_fidelity(result.probabilities, exact)
+            rows.append(
+                f"cuts={result.num_cuts} fragments={result.num_fragments} "
+                f"variants={result.executions} fidelity={fidelity:.10f} "
+                f"wallclock x{cut_seconds / max(uncut_seconds, 1e-9):.1f} "
+                f"(cut {cut_seconds * 1e3:.1f} ms vs uncut {uncut_seconds * 1e3:.1f} ms)"
+            )
+            results.append((result, fidelity))
+        print_series("Cutting overhead: fidelity / cost vs cut count", rows)
+        return results
+
+    results = once(benchmark, run)
+    for result, fidelity in results:
+        # Noise-free reconstruction is exact; the overhead is all runtime.
+        assert fidelity > 1.0 - 1e-9
+        assert result.cut.max_fragment_width <= 6
+    # Tighter fragments => more cuts => more fragment variants.
+    assert results[1][0].num_cuts > results[0][0].num_cuts
+    assert results[1][0].executions > results[0][0].executions
+
+
+def test_circuit_unitary_batched_speedup(benchmark):
+    """Satellite: identity-matrix evolution beats 2**n single-column runs."""
+    qc = chain_circuit(8, 2, seed=1)
+    dim = 1 << qc.num_qubits
+
+    def column_by_column() -> np.ndarray:
+        u = np.zeros((dim, dim), dtype=complex)
+        for col in range(dim):
+            basis = np.zeros(dim, dtype=complex)
+            basis[col] = 1.0
+            u[:, col] = run_statevector(qc, initial=basis)
+        return u
+
+    def run():
+        t0 = time.perf_counter()
+        u_loop = column_by_column()
+        loop_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        u_batch = circuit_unitary(qc)
+        batch_seconds = time.perf_counter() - t0
+        speedup = loop_seconds / max(batch_seconds, 1e-9)
+        print_series(
+            "circuit_unitary: one-pass batch vs column loop (8 qubits)",
+            [
+                f"column loop {loop_seconds * 1e3:.1f} ms, "
+                f"batched {batch_seconds * 1e3:.1f} ms, speedup x{speedup:.1f}"
+            ],
+        )
+        return u_loop, u_batch, speedup
+
+    u_loop, u_batch, speedup = once(benchmark, run)
+    assert np.allclose(u_loop, u_batch, atol=1e-10)
+    assert speedup > 2.0  # typically 50-200x; keep the bar conservative
+
+
+def test_batched_sweep_beats_python_loop(benchmark):
+    """The cutting executor's batched entry point vs per-variant evolution."""
+    qc = chain_circuit(6, 1, seed=3)
+    rng = np.random.default_rng(0)
+    raw = rng.normal(size=(192, 64)) + 1j * rng.normal(size=(192, 64))
+    states = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+
+    def run():
+        t0 = time.perf_counter()
+        looped = np.stack(
+            [run_statevector(qc, initial=s) for s in states]
+        )
+        loop_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        batched = run_statevector_batch(qc, states)
+        batch_seconds = time.perf_counter() - t0
+        speedup = loop_seconds / max(batch_seconds, 1e-9)
+        print_series(
+            "run_statevector_batch: 192 variants, 6 qubits",
+            [
+                f"loop {loop_seconds * 1e3:.1f} ms, batch "
+                f"{batch_seconds * 1e3:.1f} ms, speedup x{speedup:.1f}"
+            ],
+        )
+        return looped, batched, speedup
+
+    looped, batched, speedup = once(benchmark, run)
+    assert np.allclose(looped, batched, atol=1e-12)
+    assert speedup > 1.5

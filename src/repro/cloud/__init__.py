@@ -2,6 +2,12 @@
 
 from repro.cloud.device import CloudDevice, hypothetical_fleet
 from repro.cloud.fair_share import FairShareQueue
+from repro.cloud.fragments import (
+    FragmentJob,
+    FragmentVariantSpec,
+    WidthAwarePolicy,
+    fanout_summary,
+)
 from repro.cloud.policies import (
     BestFidelityPolicy,
     EQCPolicy,
@@ -34,6 +40,10 @@ __all__ = [
     "CloudDevice",
     "hypothetical_fleet",
     "FairShareQueue",
+    "FragmentJob",
+    "FragmentVariantSpec",
+    "WidthAwarePolicy",
+    "fanout_summary",
     "BestFidelityPolicy",
     "EQCPolicy",
     "FidelityWeightedPolicy",

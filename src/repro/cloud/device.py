@@ -31,6 +31,10 @@ class CloudDevice:
     #: Executions completed (throughput accounting).
     completed_executions: int = 0
     busy_seconds: float = 0.0
+    #: Register size; ``None`` means "large enough for anything" (the
+    #: Fig 12 study never constrains width).  Fragment fan-out sets this so
+    #: width-aware policies can skip too-small machines.
+    num_qubits: Optional[int] = None
 
     def __post_init__(self):
         if not 0.0 < self.fidelity <= 1.0:

@@ -1,0 +1,186 @@
+"""Fragment fan-out: run a cut circuit's variant sweep across the fleet.
+
+A :class:`~repro.cutting.CutCircuit` turns one over-sized circuit into
+``sum_f 6**k_in(f) * 3**k_out(f)`` small independent variant circuits.
+Unlike a VQA session — whose executions are *sequential* (each optimizer
+step needs the previous result) — fragment variants have no mutual
+dependencies, so the cloud can run them on every free device at once.
+
+:class:`FragmentJob` expands a cut circuit into one single-execution
+:class:`~repro.cloud.workload.JobSpec` per variant (same user, same
+arrival time), each tagged with the fragment's width so
+:class:`WidthAwarePolicy` keeps it off machines that are too small.  The
+whole sweep then flows through the unmodified
+:class:`~repro.cloud.queue_sim.QueueSimulator` and fair-share queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cloud.device import CloudDevice
+from repro.cloud.policies import LeastBusyPolicy, SchedulingPolicy
+from repro.cloud.workload import JobSpec, Workload
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class FragmentVariantSpec:
+    """One schedulable fragment variant (cloud-level view: size + time)."""
+
+    fragment_index: int
+    variant_index: int
+    num_qubits: int
+    base_execution_seconds: float
+
+
+@dataclass
+class FragmentJob:
+    """A cut circuit's full variant sweep, ready for fleet scheduling."""
+
+    name: str
+    variants: List[FragmentVariantSpec]
+    user_id: int = 0
+    arrival_time: float = 0.0
+
+    @classmethod
+    def from_cut_circuit(
+        cls,
+        cut,
+        base_execution_seconds: float = 5.0,
+        user_id: int = 0,
+        arrival_time: float = 0.0,
+        name: Optional[str] = None,
+    ) -> "FragmentJob":
+        """Expand a :class:`~repro.cutting.CutCircuit` into variant specs.
+
+        Execution time scales with the fragment's share of the original
+        gate volume (fragments are strictly smaller circuits).
+        """
+        total_gates = max(cut.original.num_gates(), 1)
+        variants: List[FragmentVariantSpec] = []
+        for fragment in cut.fragments:
+            share = max(fragment.circuit.num_gates(), 1) / total_gates
+            seconds = base_execution_seconds * share
+            for v in range(fragment.num_variants):
+                variants.append(
+                    FragmentVariantSpec(
+                        fragment_index=fragment.index,
+                        variant_index=v,
+                        num_qubits=fragment.width,
+                        base_execution_seconds=seconds,
+                    )
+                )
+        return cls(
+            name=name or f"fragments[{cut.original.name}]",
+            variants=variants,
+            user_id=user_id,
+            arrival_time=arrival_time,
+        )
+
+    @property
+    def num_variants(self) -> int:
+        return len(self.variants)
+
+    @property
+    def max_width(self) -> int:
+        return max(v.num_qubits for v in self.variants)
+
+    def to_jobspecs(self, first_job_id: int = 0) -> List[JobSpec]:
+        """One independent single-execution job per variant.
+
+        All variants share the arrival time, so a width-aware least-busy
+        policy spreads them over every eligible device in parallel.
+        """
+        return [
+            JobSpec(
+                job_id=first_job_id + i,
+                user_id=self.user_id,
+                arrival_time=self.arrival_time,
+                is_vqa=False,
+                num_executions=1,
+                base_execution_seconds=v.base_execution_seconds,
+                num_qubits=v.num_qubits,
+            )
+            for i, v in enumerate(self.variants)
+        ]
+
+    def to_workload(self, first_job_id: int = 0) -> Workload:
+        return Workload(
+            jobs=self.to_jobspecs(first_job_id), vqa_ratio=0.0, seed=0
+        )
+
+    def serial_seconds(self) -> float:
+        """Base execution time if one device ran the sweep back to back."""
+        return sum(v.base_execution_seconds for v in self.variants)
+
+
+class WidthAwarePolicy(SchedulingPolicy):
+    """Wrap any policy with a device-capacity filter.
+
+    Jobs that declare ``num_qubits`` only see devices whose register is
+    large enough (devices with ``num_qubits=None`` accept everything).
+    """
+
+    def __init__(self, inner: Optional[SchedulingPolicy] = None):
+        self.inner = inner or LeastBusyPolicy()
+        self.name = f"width_aware({self.inner.name})"
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def executions_for(self, job: JobSpec) -> int:
+        return self.inner.executions_for(job)
+
+    def eligible_devices(
+        self, job: JobSpec, devices: Sequence[CloudDevice]
+    ) -> List[CloudDevice]:
+        if job.num_qubits <= 0:
+            return list(devices)
+        fitting = [
+            d
+            for d in devices
+            if d.num_qubits is None or d.num_qubits >= job.num_qubits
+        ]
+        if not fitting:
+            raise SchedulingError(
+                f"no device in the fleet has {job.num_qubits} qubits for "
+                f"job {job.job_id}"
+            )
+        return fitting
+
+    def select_device(
+        self, job, execution_index, total_executions, devices, now, rng
+    ) -> CloudDevice:
+        return self.inner.select_device(
+            job,
+            execution_index,
+            total_executions,
+            self.eligible_devices(job, devices),
+            now,
+            rng,
+        )
+
+
+def fanout_summary(result, fragment_job: FragmentJob) -> Dict[str, float]:
+    """Parallelism achieved by a fragment sweep under a queue simulation.
+
+    ``result`` is the :class:`~repro.cloud.queue_sim.SimulationResult` of
+    running ``fragment_job.to_workload()``.  The speedup compares the
+    realized makespan with the same variants executed back to back on one
+    device (sum of realized execution durations).
+    """
+    records = [r for jr in result.job_results.values() for r in jr.records]
+    if not records:
+        raise SchedulingError("fragment simulation produced no executions")
+    serial = sum(r.finished_at - r.started_at for r in records)
+    makespan = max(r.finished_at for r in records) - fragment_job.arrival_time
+    devices_used = len({r.device_name for r in records})
+    return {
+        "variants": float(len(records)),
+        "devices_used": float(devices_used),
+        "serial_seconds": serial,
+        "makespan_seconds": makespan,
+        "parallel_speedup": serial / makespan if makespan > 0 else 1.0,
+    }

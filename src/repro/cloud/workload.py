@@ -33,6 +33,9 @@ class JobSpec:
     base_execution_seconds: float
     #: Classical think-time between consecutive runtime submissions.
     inter_submission_seconds: float = 0.0
+    #: Qubits the circuit needs; 0 means "any device" (width-aware
+    #: policies only constrain jobs that declare a width).
+    num_qubits: int = 0
 
     def __post_init__(self):
         if self.num_executions < 1:

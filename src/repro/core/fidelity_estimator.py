@@ -95,16 +95,25 @@ class ExecutionFidelityEstimator:
     def estimate_transpiled(
         self, circuit: QuantumCircuit, device: DeviceProfile
     ) -> float:
-        """Transpile onto the device first, then estimate (realistic counts)."""
+        """Transpile onto the device first, then estimate (realistic counts).
+
+        A circuit wider than the device cannot be routed; it will execute
+        via wire cutting (:mod:`repro.cutting`), so its estimate uses the
+        basis-translated uncut circuit — the same gate volume every device
+        in the fleet faces, which keeps the fidelity ranking meaningful.
+        """
         from repro.transpile.basis import IBM_BASIS, IONQ_BASIS
-        from repro.transpile.passes import transpile
+        from repro.transpile.passes import fits_on_device, transpile
 
         basis = IONQ_BASIS if device.technology == "trapped_ion" else IBM_BASIS
         bound = circuit
         if circuit.num_parameters:
             # Any binding works: gate counts are parameter-independent.
             bound = circuit.bind([0.1] * circuit.num_parameters)
-        result = transpile(bound, coupling=device.coupling_map(), basis=basis)
+        coupling = (
+            device.coupling_map() if fits_on_device(bound, device) else None
+        )
+        result = transpile(bound, coupling=coupling, basis=basis)
         return self.estimate(result.circuit, device)
 
     def rank_devices(

@@ -33,7 +33,8 @@ from repro.core.job import VQAJob
 from repro.core.restart_filter import FilterDecision, RestartFilter
 from repro.exceptions import SchedulingError
 from repro.noise.devices import DeviceProfile
-from repro.vqa.execution import EnergyEvaluator
+from repro.transpile.passes import fits_on_device
+from repro.vqa.execution import CutEnergyEvaluator, EnergyEvaluator
 from repro.vqa.optimizers import SPSA, StepwiseOptimizer
 
 
@@ -163,13 +164,24 @@ class QoncordScheduler:
         elif len(initial_points) != job.num_restarts:
             raise SchedulingError("initial_points length must match num_restarts")
 
+        # Devices narrower than the ansatz execute it via wire cutting.
         evaluators = {
-            device.name: EnergyEvaluator(
-                job.ansatz,
-                job.hamiltonian,
-                device,
-                shots=job.shots,
-                seed=self.seed + 101 + i,
+            device.name: (
+                EnergyEvaluator(
+                    job.ansatz,
+                    job.hamiltonian,
+                    device,
+                    shots=job.shots,
+                    seed=self.seed + 101 + i,
+                )
+                if fits_on_device(job.ansatz.template, device)
+                else CutEnergyEvaluator(
+                    job.ansatz,
+                    job.hamiltonian,
+                    device,
+                    shots=job.shots,
+                    seed=self.seed + 101 + i,
+                )
             )
             for i, device in enumerate(order)
         }

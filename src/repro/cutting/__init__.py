@@ -1,0 +1,50 @@
+"""Circuit cutting: run circuits wider than any device in the fleet.
+
+Wire cutting partitions one large circuit into fragments that each fit a
+small device; the fragments execute independently (batched on the
+statevector backend, or fanned out across the cloud fleet via
+:mod:`repro.cloud.fragments`) and the full-circuit distribution or
+Hamiltonian expectation is reconstructed by tensor contraction over the
+cut points.
+
+Typical use::
+
+    from repro.cutting import cut_and_run
+
+    result = cut_and_run(circuit, max_fragment_width=6)
+    result.probabilities   # == |statevector|**2 of the uncut circuit
+    result.num_cuts        # cuts the search placed
+    result.executions      # fragment variants simulated
+"""
+
+from repro.cutting.execute import FragmentTensor, execute_fragments
+from repro.cutting.fragments import CutCircuit, Fragment, cut_circuit
+from repro.cutting.reconstruct import (
+    CutRunResult,
+    cut_and_run,
+    reconstruct_expectation,
+    reconstruct_probabilities,
+)
+from repro.cutting.search import CutPoint, find_cuts
+from repro.cutting.variants import (
+    BASIS_LABELS,
+    INIT_LABELS,
+    prepared_fragment_circuit,
+)
+
+__all__ = [
+    "FragmentTensor",
+    "execute_fragments",
+    "CutCircuit",
+    "Fragment",
+    "cut_circuit",
+    "CutRunResult",
+    "cut_and_run",
+    "reconstruct_expectation",
+    "reconstruct_probabilities",
+    "CutPoint",
+    "find_cuts",
+    "BASIS_LABELS",
+    "INIT_LABELS",
+    "prepared_fragment_circuit",
+]

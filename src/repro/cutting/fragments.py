@@ -1,0 +1,321 @@
+"""Fragment generation: split a circuit at wire-cut points.
+
+Cutting a wire divides that qubit's timeline into *segments*; every
+segment becomes its own qubit in whichever fragment it lands in (the
+simulators have no mid-circuit measure/re-init, so a reused wire cannot
+share a fragment qubit).  Fragments are the connected components of the
+segment graph: two segments join when a multi-qubit gate touches both.
+Barriers and delays never merge segments — a full-width barrier is split
+into per-fragment pieces.
+
+Each fragment records three kinds of qubits:
+
+* **input cuts** — segments fed by an upstream cut; executed once per
+  init-basis variant {|0>, |1>, |+>, |−>, |+i>, |−i>}.
+* **output cuts** — segments feeding a downstream cut; executed once per
+  measurement-basis variant {I, X, Y, Z}.
+* **end qubits** — segments carrying a full-circuit qubit's final wire
+  piece; these supply the reconstructed output distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.parameter import Parameter
+from repro.cutting.search import CutPoint, wire_lists
+from repro.exceptions import CuttingError
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One independently executable piece of a cut circuit."""
+
+    index: int
+    circuit: QuantumCircuit
+    #: ``(cut_id, fragment_qubit)`` for wires entering through a cut.
+    input_cuts: Tuple[Tuple[int, int], ...]
+    #: ``(cut_id, fragment_qubit)`` for wires leaving through a cut.
+    output_cuts: Tuple[Tuple[int, int], ...]
+    #: ``(fragment_qubit, full_qubit)`` for final wire segments, ordered by
+    #: *descending* fragment qubit (matching tensor axis order).
+    end_qubits: Tuple[Tuple[int, int], ...]
+
+    @property
+    def width(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def num_variants(self) -> int:
+        """Distinct simulations needed: 6 init x 3 rotation choices per cut."""
+        return (6 ** len(self.input_cuts)) * (3 ** len(self.output_cuts))
+
+
+class CutCircuit:
+    """A circuit split into fragments plus the metadata to re-stitch it."""
+
+    def __init__(
+        self,
+        original: QuantumCircuit,
+        cuts: Sequence[CutPoint],
+        fragments: Sequence[Fragment],
+        idle_qubits: Tuple[int, ...],
+    ):
+        self.original = original
+        self.cuts = tuple(cuts)
+        self.fragments = list(fragments)
+        self.idle_qubits = idle_qubits
+
+    @property
+    def num_cuts(self) -> int:
+        return len(self.cuts)
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def max_fragment_width(self) -> int:
+        return max((f.width for f in self.fragments), default=0)
+
+    @property
+    def total_variants(self) -> int:
+        """Total fragment executions one reconstruction sweep needs."""
+        return sum(f.num_variants for f in self.fragments)
+
+    def __repr__(self) -> str:
+        widths = "+".join(str(f.width) for f in self.fragments)
+        return (
+            f"CutCircuit({self.original.num_qubits}q -> {widths}, "
+            f"cuts={self.num_cuts}, variants={self.total_variants})"
+        )
+
+    def bind(self, values: Mapping[Parameter, float]) -> "CutCircuit":
+        """Bind symbolic parameters in every fragment (cut layout is fixed)."""
+        fragments = [
+            replace(f, circuit=f.circuit.bind(values)) for f in self.fragments
+        ]
+        return CutCircuit(self.original, self.cuts, fragments, self.idle_qubits)
+
+    def end_qubit_owner(self) -> Dict[int, Tuple[int, int]]:
+        """Map each non-idle full qubit to ``(fragment_index, fragment_qubit)``
+        of its final wire segment."""
+        return {
+            full_q: (f.index, fq)
+            for f in self.fragments
+            for fq, full_q in f.end_qubits
+        }
+
+    def resolve_suffix(
+        self, suffix: QuantumCircuit
+    ) -> List[Tuple[int, int, Instruction]]:
+        """Validate suffix gates and resolve each to its owning fragment.
+
+        Returns ``(fragment_index, fragment_qubit, instruction)`` triples;
+        raises :class:`CuttingError` for multi-qubit/non-gate suffix ops or
+        gates on idle qubits (which belong to no fragment).
+        """
+        owner = self.end_qubit_owner()
+        resolved = []
+        for inst in suffix:
+            if not inst.is_gate or inst.num_qubits != 1:
+                raise CuttingError(
+                    "only single-qubit gates can be appended to a cut circuit"
+                )
+            q = inst.qubits[0]
+            if q not in owner:
+                raise CuttingError(
+                    f"cannot rotate idle qubit {q}: it belongs to no fragment"
+                )
+            frag_index, fq = owner[q]
+            resolved.append((frag_index, fq, inst))
+        return resolved
+
+    def with_suffix(self, suffix: QuantumCircuit) -> "CutCircuit":
+        """Append end-of-circuit single-qubit gates into the owning fragments.
+
+        This is how measurement-basis rotations reach a cut circuit: each
+        rotation lands on the fragment holding that qubit's final wire
+        segment.
+        """
+        if suffix.num_qubits != self.original.num_qubits:
+            raise CuttingError("suffix circuit width mismatch")
+        new_circuits = {f.index: f.circuit.copy() for f in self.fragments}
+        for frag_index, fq, inst in self.resolve_suffix(suffix):
+            new_circuits[frag_index].append(inst.name, [fq], inst.params)
+        fragments = [
+            replace(f, circuit=new_circuits[f.index]) for f in self.fragments
+        ]
+        return CutCircuit(self.original, self.cuts, fragments, self.idle_qubits)
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    def add(self, key: Tuple[int, int]) -> None:
+        self.parent.setdefault(key, key)
+
+    def find(self, key: Tuple[int, int]) -> Tuple[int, int]:
+        root = key
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[key] != root:
+            self.parent[key], key = root, self.parent[key]
+        return root
+
+    def union(self, a: Tuple[int, int], b: Tuple[int, int]) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def cut_circuit(
+    circuit: QuantumCircuit, cuts: Sequence[CutPoint]
+) -> CutCircuit:
+    """Split ``circuit`` (measurements stripped) at ``cuts`` into fragments.
+
+    Raises :class:`CuttingError` for out-of-range or duplicate cut points,
+    or for a cut whose two sides end up in the same fragment (our backends
+    cannot measure-and-reinitialize a qubit mid-circuit).
+    """
+    base = circuit.remove_measurements()
+    wires = wire_lists(base)
+    if len(set(cuts)) != len(cuts):
+        raise CuttingError("duplicate cut points")
+    cuts = sorted(cuts)
+    cut_positions: Dict[int, List[int]] = {q: [] for q in wires}
+    for cut in cuts:
+        if cut.qubit not in wires:
+            raise CuttingError(f"cut qubit {cut.qubit} out of range")
+        wire = wires[cut.qubit]
+        if not 0 <= cut.wire_pos < len(wire) - 1:
+            raise CuttingError(
+                f"cut {cut} is not between two instructions on qubit "
+                f"{cut.qubit} (wire has {len(wire)} ops)"
+            )
+        cut_positions[cut.qubit].append(cut.wire_pos)
+    for q in cut_positions:
+        cut_positions[q].sort()
+
+    def segment_of(q: int, wire_index: int) -> Tuple[int, int]:
+        return (q, bisect.bisect_left(cut_positions[q], wire_index))
+
+    # Union segments joined by multi-qubit gates.
+    uf = _UnionFind()
+    pos = {q: 0 for q in wires}
+    seg_keys_per_inst: List[List[Tuple[int, int]]] = []
+    first_seen: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for idx, inst in enumerate(base):
+        keys = []
+        for q in inst.qubits:
+            key = segment_of(q, pos[q])
+            pos[q] += 1
+            keys.append(key)
+            uf.add(key)
+            first_seen.setdefault(key, (idx, q))
+        seg_keys_per_inst.append(keys)
+        if inst.is_gate and len(keys) > 1:
+            for other in keys[1:]:
+                uf.union(keys[0], other)
+
+    if not first_seen:
+        raise CuttingError("cannot cut an empty circuit")
+
+    # Group segments into fragments, ordered by first appearance.
+    root_order: List[Tuple[int, int]] = []
+    segments_by_root: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for key in sorted(first_seen, key=lambda k: first_seen[k]):
+        root = uf.find(key)
+        if root not in segments_by_root:
+            segments_by_root[root] = []
+            root_order.append(root)
+        segments_by_root[root].append(key)
+
+    frag_of_segment: Dict[Tuple[int, int], int] = {}
+    fq_of_segment: Dict[Tuple[int, int], int] = {}
+    frag_widths: List[int] = []
+    for frag_index, root in enumerate(root_order):
+        for fq, key in enumerate(segments_by_root[root]):
+            frag_of_segment[key] = frag_index
+            fq_of_segment[key] = fq
+        frag_widths.append(len(segments_by_root[root]))
+
+    # Emit fragment circuits in original instruction order.
+    frag_circuits = [
+        QuantumCircuit(w, name=f"{base.name}_frag{i}")
+        for i, w in enumerate(frag_widths)
+    ]
+    for idx, inst in enumerate(base):
+        keys = seg_keys_per_inst[idx]
+        if inst.is_gate:
+            frags = {frag_of_segment[k] for k in keys}
+            if len(frags) != 1:
+                raise CuttingError("internal error: gate straddles fragments")
+            frag = frags.pop()
+            frag_circuits[frag].append(
+                inst.name,
+                [fq_of_segment[k] for k in keys],
+                inst.params,
+                inst.metadata,
+            )
+        else:
+            # Directive (barrier / delay): split per fragment.
+            by_frag: Dict[int, List[int]] = {}
+            for k in keys:
+                by_frag.setdefault(frag_of_segment[k], []).append(
+                    fq_of_segment[k]
+                )
+            for frag, fqs in by_frag.items():
+                frag_circuits[frag].append(inst.name, fqs, inst.params, inst.metadata)
+
+    # Attach cut endpoints.
+    input_cuts: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(len(frag_widths))}
+    output_cuts: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(len(frag_widths))}
+    for cut_id, cut in enumerate(cuts):
+        seg_index = cut_positions[cut.qubit].index(cut.wire_pos)
+        source = (cut.qubit, seg_index)
+        target = (cut.qubit, seg_index + 1)
+        if source not in frag_of_segment or target not in frag_of_segment:
+            raise CuttingError(f"cut {cut} does not touch any instruction")
+        if frag_of_segment[source] == frag_of_segment[target]:
+            raise CuttingError(
+                f"cut {cut} does not separate its wire: both sides land in "
+                f"fragment {frag_of_segment[source]} (the backends cannot "
+                f"measure and re-initialize mid-circuit)"
+            )
+        output_cuts[frag_of_segment[source]].append(
+            (cut_id, fq_of_segment[source])
+        )
+        input_cuts[frag_of_segment[target]].append(
+            (cut_id, fq_of_segment[target])
+        )
+
+    # Final wire segments -> end qubits; untouched qubits stay |0>.
+    end_qubits: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(len(frag_widths))}
+    idle: List[int] = []
+    for q in range(base.num_qubits):
+        if not wires[q]:
+            idle.append(q)
+            continue
+        last_segment = (q, len(cut_positions[q]))
+        frag = frag_of_segment[last_segment]
+        end_qubits[frag].append((fq_of_segment[last_segment], q))
+
+    fragments = []
+    for i in range(len(frag_widths)):
+        fragments.append(
+            Fragment(
+                index=i,
+                circuit=frag_circuits[i],
+                input_cuts=tuple(sorted(input_cuts[i])),
+                output_cuts=tuple(sorted(output_cuts[i])),
+                end_qubits=tuple(
+                    sorted(end_qubits[i], key=lambda pair: -pair[0])
+                ),
+            )
+        )
+    return CutCircuit(base, cuts, fragments, tuple(idle))

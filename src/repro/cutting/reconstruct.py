@@ -1,0 +1,215 @@
+"""Reconstruction: stitch fragment tensors back into full-circuit results.
+
+The cut identity channel contributes a factor ``1/2`` per cut and a sum
+over a Pauli basis label per cut, so the full output distribution is
+
+    p(o) = (1/2)^K  sum_{b in {I,X,Y,Z}^K}  prod_f  T_f[b|_f](o|_f)
+
+— a tensor contraction over the K cut indices with each fragment tensor
+evaluated at its own slice of the basis assignment.  The result is an
+exact probability vector for noise-free fragments and a quasi-probability
+(tiny negative entries possible) for noisy ones.
+
+Hamiltonian expectations reuse the measurement-grouping machinery: each
+qubit-wise-commuting group's basis rotation is appended *into the owning
+fragments* (:meth:`CutCircuit.with_suffix`) and the diagonalized terms are
+evaluated against that group's reconstructed distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits import gates
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.hamiltonian import Hamiltonian
+from repro.cutting.execute import (
+    CachedFragmentExecutor,
+    FragmentTensor,
+    execute_fragments,
+)
+from repro.cutting.fragments import CutCircuit
+from repro.cutting.search import find_cuts
+from repro.exceptions import CuttingError
+
+
+def output_permutation(cut: CutCircuit) -> np.ndarray:
+    """Map kron-combined fragment outcomes to full-circuit basis indices.
+
+    Index ``c`` of the fragment-ordered Kronecker product corresponds to
+    full-circuit index ``output_permutation(cut)[c]`` (idle qubits read 0).
+    """
+    msb_first: List[int] = []
+    for fragment in cut.fragments:
+        msb_first.extend(full_q for _, full_q in fragment.end_qubits)
+    combined = np.arange(1 << len(msb_first))
+    full_index = np.zeros_like(combined)
+    for lsb_pos, full_q in enumerate(reversed(msb_first)):
+        full_index |= ((combined >> lsb_pos) & 1) << full_q
+    return full_index
+
+
+def reconstruct_probabilities(
+    cut: CutCircuit,
+    tensors: Optional[Sequence[FragmentTensor]] = None,
+    backend: Optional[object] = None,
+) -> np.ndarray:
+    """Full-circuit output distribution from fragment executions.
+
+    Executes the fragments on ``backend`` when ``tensors`` is not supplied.
+    """
+    if cut.num_cuts > 12:
+        raise CuttingError(
+            f"{cut.num_cuts} cuts means 4**{cut.num_cuts} contraction terms; "
+            f"refusing an intractable reconstruction"
+        )
+    if tensors is None:
+        tensors = execute_fragments(cut, backend)
+    if len(tensors) != cut.num_fragments:
+        raise CuttingError("one tensor per fragment required")
+    by_index = {t.fragment_index: t.tensor for t in tensors}
+    perm = output_permutation(cut)
+    full = np.zeros(1 << cut.original.num_qubits)
+    for assignment in product(range(4), repeat=cut.num_cuts):
+        combined = np.ones(1)
+        for fragment in cut.fragments:
+            idx = tuple(assignment[cid] for cid, _ in fragment.input_cuts)
+            idx += tuple(assignment[cid] for cid, _ in fragment.output_cuts)
+            combined = np.kron(combined, by_index[fragment.index][idx])
+        full[perm] += combined
+    full *= 0.5 ** cut.num_cuts
+    return full
+
+
+def split_idle_rotations(
+    cut: CutCircuit, basis: QuantumCircuit
+) -> Tuple[Optional[QuantumCircuit], Dict[int, float]]:
+    """Separate basis rotations on idle qubits from fragment-owned ones.
+
+    Idle qubits belong to no fragment but sit in |0>, so a measurement
+    rotation R on one is handled analytically: its Z expectation after
+    rotation is ``|<0|R|0>|^2 - |<1|R|0>|^2``.  Returns the suffix circuit
+    with only fragment-owned gates (``None`` if empty) plus the per-idle-
+    qubit Z factors.
+    """
+    idle = set(cut.idle_qubits)
+    owned = QuantumCircuit(cut.original.num_qubits, name="suffix")
+    rotations: Dict[int, np.ndarray] = {}
+    for inst in basis:
+        if inst.is_gate and inst.num_qubits == 1 and inst.qubits[0] in idle:
+            q = inst.qubits[0]
+            matrix = gates.gate_matrix(inst.name, [float(p) for p in inst.params])
+            rotations[q] = matrix @ rotations.get(q, np.eye(2, dtype=complex))
+        else:
+            owned.append(inst.name, inst.qubits, inst.params, inst.metadata)
+    factors = {
+        q: float(abs(u[0, 0]) ** 2 - abs(u[1, 0]) ** 2)
+        for q, u in rotations.items()
+    }
+    return (owned if len(owned) else None), factors
+
+
+def group_energy(
+    probs: np.ndarray,
+    group: Sequence,
+    num_qubits: int,
+    idle_factors: Optional[Dict[int, float]] = None,
+) -> float:
+    """Energy contribution of one diagonalized measurement group.
+
+    ``probs`` is the group's reconstructed distribution, in which every
+    idle qubit reads 0 (so contributes +1 to each Z term); rotated idle
+    qubits are corrected by ``idle_factors``.
+    """
+    energy = 0.0
+    for coeff, zpauli in Hamiltonian.diagonalized_group(group):
+        sub = Hamiltonian(num_qubits, [(coeff, zpauli)])
+        term = float(np.dot(probs, sub.diagonal()))
+        if idle_factors:
+            for q in zpauli.support():
+                if q in idle_factors:
+                    term *= idle_factors[q]
+        energy += term
+    return energy
+
+
+def reconstruct_expectation(
+    cut: CutCircuit,
+    hamiltonian: Hamiltonian,
+    backend: Optional[object] = None,
+) -> float:
+    """<H> of the cut circuit via per-group reconstructions.
+
+    Diagonal Hamiltonians need a single reconstruction; off-diagonal ones
+    run one reconstruction per qubit-wise-commuting measurement group with
+    the group's basis rotation folded into the owning fragments (rotations
+    on idle qubits are applied analytically).
+    """
+    if hamiltonian.num_qubits != cut.original.num_qubits:
+        raise CuttingError("Hamiltonian width does not match the cut circuit")
+    if hamiltonian.is_diagonal:
+        probs = reconstruct_probabilities(cut, backend=backend)
+        return float(np.dot(probs, hamiltonian.diagonal()))
+    # Statevector path: evolve each fragment's init batch once and reuse
+    # it for every group's rotation suffix (groups differ only there).
+    from repro.sim.statevector import StatevectorSimulator
+
+    use_cache = backend is None or isinstance(backend, StatevectorSimulator)
+    executor = CachedFragmentExecutor(cut) if use_cache else None
+    energy = hamiltonian.constant()
+    for group in hamiltonian.grouped_terms():
+        basis = Hamiltonian.measurement_basis_circuit(
+            group, hamiltonian.num_qubits
+        )
+        suffix, idle_factors = split_idle_rotations(cut, basis)
+        if executor is not None:
+            probs = reconstruct_probabilities(cut, executor.tensors(suffix))
+        else:
+            rotated = cut.with_suffix(suffix) if suffix is not None else cut
+            probs = reconstruct_probabilities(rotated, backend=backend)
+        energy += group_energy(
+            probs, group, hamiltonian.num_qubits, idle_factors
+        )
+    return energy
+
+
+@dataclass
+class CutRunResult:
+    """Outcome of :func:`cut_and_run`: distribution plus cutting overhead."""
+
+    probabilities: np.ndarray
+    cut: CutCircuit
+    executions: int
+
+    @property
+    def num_cuts(self) -> int:
+        return self.cut.num_cuts
+
+    @property
+    def num_fragments(self) -> int:
+        return self.cut.num_fragments
+
+
+def cut_and_run(
+    circuit,
+    max_fragment_width: int,
+    backend: Optional[object] = None,
+    strategy: str = "auto",
+) -> CutRunResult:
+    """One-call pipeline: search cuts, fragment, execute, reconstruct."""
+    from repro.cutting.fragments import cut_circuit
+
+    cuts = find_cuts(circuit, max_fragment_width, strategy=strategy)
+    # find_cuts only returns plans whose realized fragments fit the width.
+    cut = cut_circuit(circuit, cuts)
+    tensors = execute_fragments(cut, backend)
+    probs = reconstruct_probabilities(cut, tensors)
+    return CutRunResult(
+        probabilities=probs,
+        cut=cut,
+        executions=sum(t.executions for t in tensors),
+    )

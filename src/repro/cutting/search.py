@@ -1,0 +1,299 @@
+"""Wire-cut search: where to cut a circuit so every fragment fits a device.
+
+A *wire cut* severs one qubit's timeline between two instructions; the
+upstream segment is measured in a tomographic basis and the downstream
+segment is re-initialized from the matching eigenstates (see
+:mod:`repro.cutting.variants`).  The search problem is: pick the fewest cut
+points such that the gate-connectivity graph falls apart into fragments of
+at most ``max_fragment_width`` wire segments each.
+
+Two heuristics are provided (the exact MIQCP formulation of CutQC is a
+ROADMAP follow-up):
+
+* ``"greedy"`` — stream partitioning: scan the instruction list, open a
+  new fragment whenever the current one would exceed the width budget, and
+  cut every live wire that crosses the boundary.  Cheap, and near-optimal
+  when the instruction stream visits the circuit's natural clusters one
+  after another.
+* ``"bisect"`` — graph bisection: grow qubit blocks on the weighted qubit
+  interaction graph, assign each crossing gate to the cheaper side, and
+  cut wherever consecutive instructions on a wire land in different
+  blocks.  Insensitive to instruction interleaving.
+
+``"auto"`` runs both and keeps the plan with fewer cuts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CuttingError
+
+
+@dataclass(frozen=True, order=True)
+class CutPoint:
+    """One wire cut: sever ``qubit``'s wire after its ``wire_pos``-th op.
+
+    ``wire_pos`` indexes the instructions *touching this qubit* (in a
+    measurement-stripped circuit), so the cut sits between that qubit's
+    instructions ``wire_pos`` and ``wire_pos + 1``.
+    """
+
+    qubit: int
+    wire_pos: int
+
+
+def wire_lists(circuit: QuantumCircuit) -> Dict[int, List[int]]:
+    """Per qubit, the instruction indices touching it (measurements stripped)."""
+    wires: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+    for idx, inst in enumerate(circuit):
+        for q in inst.qubits:
+            wires[q].append(idx)
+    return wires
+
+
+def find_cuts(
+    circuit: QuantumCircuit,
+    max_fragment_width: int,
+    strategy: str = "auto",
+    max_cuts: int = 8,
+) -> List[CutPoint]:
+    """Cut points making every fragment at most ``max_fragment_width`` wide.
+
+    Returns an empty list when the circuit already fits.  Raises
+    :class:`CuttingError` when no valid plan is found (a gate's arity
+    exceeds the width budget, or the best plan needs more than
+    ``max_cuts`` cuts — reconstruction cost grows as ``4**cuts`` and
+    fragment variants as ``6**inputs * 3**outputs``, so a densely
+    connected circuit is genuinely uncuttable, not merely hard).
+    """
+    if max_fragment_width < 1:
+        raise CuttingError("max_fragment_width must be at least 1")
+    base = circuit.remove_measurements()
+    if len(base.used_qubits()) <= max_fragment_width:
+        return []
+    for inst in base:
+        if inst.is_gate and inst.num_qubits > max_fragment_width:
+            raise CuttingError(
+                f"gate {inst.name!r} spans {inst.num_qubits} qubits, more than "
+                f"the fragment width budget {max_fragment_width}"
+            )
+    candidates: List[List[CutPoint]] = []
+    if strategy in ("greedy", "auto"):
+        plan = _greedy_stream_cuts(base, max_fragment_width)
+        if plan is not None:
+            candidates.append(plan)
+    if strategy in ("bisect", "auto"):
+        plan = _bisection_cuts(base, max_fragment_width)
+        if plan is not None:
+            candidates.append(plan)
+    if strategy not in ("greedy", "bisect", "auto"):
+        raise CuttingError(f"unknown cut-search strategy {strategy!r}")
+    valid = [c for c in candidates if _plan_is_valid(base, c, max_fragment_width)]
+    if not valid:
+        raise CuttingError(
+            f"no {strategy} cut plan keeps fragments within "
+            f"{max_fragment_width} qubits; the circuit may be too densely "
+            f"connected for wire cutting"
+        )
+    best = min(valid, key=len)
+    if len(best) > max_cuts:
+        raise CuttingError(
+            f"best cut plan needs {len(best)} cuts (> max_cuts={max_cuts}); "
+            f"the 4**cuts reconstruction would be intractable — the circuit "
+            f"is too densely connected for {max_fragment_width}-qubit "
+            f"fragments"
+        )
+    return sorted(best)
+
+
+def _plan_is_valid(
+    base: QuantumCircuit, cuts: Sequence[CutPoint], max_width: int
+) -> bool:
+    from repro.cutting.fragments import cut_circuit
+
+    try:
+        cut = cut_circuit(base, cuts)
+    except CuttingError:
+        return False
+    return cut.max_fragment_width <= max_width
+
+
+# -- greedy stream partitioning ------------------------------------------------
+
+def _greedy_stream_cuts(
+    base: QuantumCircuit, max_width: int
+) -> Optional[List[CutPoint]]:
+    """Scan instructions; close the open fragment when it would overflow."""
+    wires = wire_lists(base)
+    # Remaining *gate* uses of each wire strictly after wire position i.
+    future_gates: Dict[int, List[int]] = {}
+    for q, idxs in wires.items():
+        remaining = 0
+        suffix = [0] * (len(idxs) + 1)
+        for i in range(len(idxs) - 1, -1, -1):
+            suffix[i] = remaining
+            if base.instructions[idxs[i]].is_gate:
+                remaining += 1
+        # suffix[i] = number of gates on q after (excluding) wire position i.
+        future_gates[q] = suffix
+
+    cuts: List[CutPoint] = []
+    open_wires: Dict[int, int] = {}  # qubit -> wire position of last op seen
+    width = 0
+    pos = {q: 0 for q in wires}
+
+    def close_fragment() -> None:
+        nonlocal width
+        for q, last_pos in open_wires.items():
+            # Cut only wires with gates still ahead; idle tails just end.
+            if future_gates[q][last_pos] > 0:
+                cuts.append(CutPoint(q, last_pos))
+        open_wires.clear()
+        width = 0
+
+    for inst in base:
+        if not inst.is_gate:
+            for q in inst.qubits:
+                if q in open_wires:
+                    open_wires[q] = pos[q]
+                pos[q] += 1
+            continue
+        fresh = [q for q in inst.qubits if q not in open_wires]
+        if width + len(fresh) > max_width:
+            close_fragment()
+            fresh = list(inst.qubits)
+        for q in fresh:
+            open_wires[q] = pos[q]
+            width += 1
+        for q in inst.qubits:
+            open_wires[q] = pos[q]
+            pos[q] += 1
+    return cuts
+
+
+# -- qubit-graph bisection ----------------------------------------------------
+
+def _interaction_weights(base: QuantumCircuit) -> Dict[Tuple[int, int], int]:
+    weights: Dict[Tuple[int, int], int] = {}
+    for inst in base:
+        if inst.is_gate and inst.num_qubits == 2:
+            a, b = sorted(inst.qubits)
+            weights[(a, b)] = weights.get((a, b), 0) + 1
+    return weights
+
+
+def _grow_blocks(
+    base: QuantumCircuit, block_size: int
+) -> Dict[int, int]:
+    """Greedy graph-growing partition of qubits into blocks <= block_size."""
+    weights = _interaction_weights(base)
+    qubits = sorted(base.used_qubits())
+    degree = {q: 0 for q in qubits}
+    for (a, b), w in weights.items():
+        degree[a] += w
+        degree[b] += w
+
+    def weight_to_block(q: int, block: List[int]) -> int:
+        return sum(
+            weights.get((min(q, b), max(q, b)), 0) for b in block
+        )
+
+    block_of: Dict[int, int] = {}
+    unassigned = set(qubits)
+    block_index = 0
+    while unassigned:
+        seed = max(sorted(unassigned), key=lambda q: degree[q])
+        block = [seed]
+        unassigned.remove(seed)
+        while len(block) < block_size and unassigned:
+            best = max(
+                sorted(unassigned), key=lambda q: weight_to_block(q, block)
+            )
+            if weight_to_block(best, block) == 0:
+                break  # disconnected: a fresh block costs nothing
+            block.append(best)
+            unassigned.remove(best)
+        for q in block:
+            block_of[q] = block_index
+        block_index += 1
+    return block_of
+
+
+def _bisection_cuts(
+    base: QuantumCircuit, max_width: int
+) -> Optional[List[CutPoint]]:
+    """Qubit-block partition, then cut wires wherever assignments alternate.
+
+    Crossing gates import a foreign wire segment into their block, so a
+    block at the full width budget can overflow; retry with smaller block
+    targets until the realized fragments fit.
+    """
+    for block_size in range(max_width, 0, -1):
+        block_of = _grow_blocks(base, block_size)
+        cuts = _cuts_from_blocks(base, block_of)
+        if _plan_is_valid(base, cuts, max_width):
+            return cuts
+    return None
+
+
+def _cuts_from_blocks(
+    base: QuantumCircuit, block_of: Dict[int, int]
+) -> List[CutPoint]:
+    wires = wire_lists(base)
+    # Assignment of each instruction (per touched qubit) to a block.
+    assignment: Dict[int, int] = {}  # instruction index -> block
+    prev_block: Dict[int, Optional[int]] = {q: None for q in wires}
+    next_fixed: Dict[int, List[Optional[int]]] = {}
+    for q, idxs in wires.items():
+        fixed: List[Optional[int]] = [None] * len(idxs)
+        upcoming: Optional[int] = None
+        for i in range(len(idxs) - 1, -1, -1):
+            fixed[i] = upcoming
+            inst = base.instructions[idxs[i]]
+            blocks = {block_of[p] for p in inst.qubits if p in block_of}
+            if inst.is_gate and len(blocks) == 1:
+                upcoming = blocks.pop()
+        next_fixed[q] = fixed
+
+    pos = {q: 0 for q in wires}
+    for idx, inst in enumerate(base):
+        if not inst.is_gate:
+            for q in inst.qubits:
+                pos[q] += 1
+            continue
+        blocks = sorted({block_of[q] for q in inst.qubits})
+        if len(blocks) == 1:
+            assignment[idx] = blocks[0]
+        else:
+            # Crossing gate: pick the side that disturbs fewer wires.
+            def cost(block: int) -> float:
+                c = 0.0
+                for q in inst.qubits:
+                    if prev_block[q] is not None and prev_block[q] != block:
+                        c += 1.0
+                    ahead = next_fixed[q][pos[q]]
+                    if ahead is not None and ahead != block:
+                        c += 0.5
+                return c
+
+            assignment[idx] = min(blocks, key=lambda b: (cost(b), b))
+        for q in inst.qubits:
+            prev_block[q] = assignment[idx]
+            pos[q] += 1
+
+    cuts: List[CutPoint] = []
+    for q, idxs in wires.items():
+        last: Optional[int] = None
+        last_pos: Optional[int] = None
+        for i, idx in enumerate(idxs):
+            if idx not in assignment:  # directive: stays with its segment
+                continue
+            block = assignment[idx]
+            if last is not None and block != last:
+                cuts.append(CutPoint(q, last_pos))
+            last = block
+            last_pos = i
+    return cuts

@@ -1,0 +1,155 @@
+"""Init-basis and measurement-basis variants for fragment execution.
+
+Wire cutting rests on resolving the identity channel on the cut wire:
+
+    rho  =  (1/2) * sum_{P in {I,X,Y,Z}}  Tr(P rho) P
+
+The *upstream* fragment supplies ``Tr(P rho)`` by measuring the cut qubit
+in basis P; the *downstream* fragment receives each P expanded into pure
+eigenstates, giving the standard six init states
+
+    I = |0><0| + |1><1|        X = |+><+| - |-><-|
+    Z = |0><0| - |1><1|        Y = |+i><+i| - |-i><-i|
+
+so a fragment with ``k_in`` cut inputs and ``k_out`` cut outputs runs
+``6**k_in * 3**k_out`` circuit variants (I and Z share the computational-
+basis measurement; only the sign attribution differs).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.fragments import Fragment
+
+_SQ2 = 1.0 / np.sqrt(2.0)
+
+#: The six tomographically complete init states, indexed 0..5.
+INIT_LABELS: Tuple[str, ...] = ("zero", "one", "plus", "minus", "plus_i", "minus_i")
+INIT_STATES = np.array(
+    [
+        [1.0, 0.0],
+        [0.0, 1.0],
+        [_SQ2, _SQ2],
+        [_SQ2, -_SQ2],
+        [_SQ2, 1j * _SQ2],
+        [_SQ2, -1j * _SQ2],
+    ],
+    dtype=complex,
+)
+#: Gate sequences preparing each init state from |0>.
+INIT_PREP_GATES: Tuple[Tuple[str, ...], ...] = (
+    (),
+    ("x",),
+    ("h",),
+    ("x", "h"),
+    ("h", "s"),
+    ("x", "h", "s"),
+)
+
+#: Pauli bases for cut edges, indexed 0..3.
+BASIS_LABELS: Tuple[str, ...] = ("I", "X", "Y", "Z")
+#: Eigenstate expansion of each basis: ``(init_index, coefficient)`` pairs.
+INIT_DECOMPOSITION: Tuple[Tuple[Tuple[int, float], ...], ...] = (
+    ((0, 1.0), (1, 1.0)),    # I
+    ((2, 1.0), (3, -1.0)),   # X
+    ((4, 1.0), (5, -1.0)),   # Y
+    ((0, 1.0), (1, -1.0)),   # Z
+)
+#: Distinct measurement rotations: 0 = computational, 1 = X, 2 = Y.
+ROTATION_GATES: Tuple[Tuple[str, ...], ...] = ((), ("h",), ("sdg", "h"))
+#: Which rotation each basis uses (I and Z share the computational basis).
+BASIS_TO_ROTATION: Tuple[int, ...] = (0, 1, 2, 0)
+#: Outcome sign attribution per basis: I counts both outcomes +1.
+OUTPUT_SIGNS = np.array(
+    [[1.0, 1.0], [1.0, -1.0], [1.0, -1.0], [1.0, -1.0]]
+)
+
+#: 4x6 matrix mapping init-state probabilities to Pauli-basis entries:
+#: ``D[b, s]`` is the coefficient of init state s in basis b's expansion.
+INIT_BASIS_MATRIX = np.zeros((4, 6))
+for _b, _pairs in enumerate(INIT_DECOMPOSITION):
+    for _s, _c in _pairs:
+        INIT_BASIS_MATRIX[_b, _s] = _c
+
+
+def init_combinations(fragment: Fragment) -> List[Tuple[int, ...]]:
+    """All init-state assignments for the fragment's cut inputs (6^k_in)."""
+    return list(product(range(6), repeat=len(fragment.input_cuts)))
+
+
+def rotation_combinations(fragment: Fragment) -> List[Tuple[int, ...]]:
+    """All rotation assignments for the fragment's cut outputs (3^k_out)."""
+    return list(product(range(3), repeat=len(fragment.output_cuts)))
+
+
+def initial_product_states(
+    fragment: Fragment, combos: Sequence[Tuple[int, ...]]
+) -> np.ndarray:
+    """Batch of initial statevectors, one row per init combination.
+
+    Cut-input qubits carry their variant state; every other fragment qubit
+    starts in |0>.
+    """
+    w = fragment.width
+    input_qubits = [fq for _, fq in fragment.input_cuts]
+    states = np.zeros((len(combos), 1 << w), dtype=complex)
+    zero = np.array([1.0, 0.0], dtype=complex)
+    for row, combo in enumerate(combos):
+        by_qubit = dict(zip(input_qubits, combo))
+        vec = np.array([1.0], dtype=complex)
+        for fq in range(w - 1, -1, -1):  # kron: first factor = highest qubit
+            single = INIT_STATES[by_qubit[fq]] if fq in by_qubit else zero
+            vec = np.kron(vec, single)
+        states[row] = vec
+    return states
+
+
+def prepared_fragment_circuit(
+    fragment: Fragment,
+    init_ids: Sequence[int],
+    rotation_ids: Sequence[int],
+) -> QuantumCircuit:
+    """One concrete variant circuit: init preps + body + basis rotations.
+
+    This is the generic-backend path (density matrix, trajectory); the
+    statevector path skips circuit construction entirely and batches the
+    init states instead.
+    """
+    circ = QuantumCircuit(fragment.width, name=f"{fragment.circuit.name}_v")
+    for (cut_id, fq), init in zip(fragment.input_cuts, init_ids):
+        for gate in INIT_PREP_GATES[init]:
+            circ.append(gate, [fq])
+    circ = circ.compose(fragment.circuit)
+    for (cut_id, fq), rot in zip(fragment.output_cuts, rotation_ids):
+        for gate in ROTATION_GATES[rot]:
+            circ.append(gate, [fq])
+    return circ
+
+
+def contract_output_signs(
+    probs: np.ndarray, fragment: Fragment, basis_ids: Sequence[int]
+) -> np.ndarray:
+    """Fold cut-output outcomes into signs, keeping end-qubit axes.
+
+    ``probs`` has shape ``(batch, 2**width)``; the result has shape
+    ``(batch, 2**num_ends)`` with end qubits ordered exactly like
+    ``fragment.end_qubits`` (descending fragment qubit).
+    """
+    w = fragment.width
+    batch = probs.shape[0]
+    t = probs.reshape((batch,) + (2,) * w)
+    # Contract output-cut axes from the highest axis down so earlier
+    # contractions do not shift the axis indices of later ones.
+    pairs = sorted(
+        zip((fq for _, fq in fragment.output_cuts), basis_ids),
+        key=lambda pair: pair[0],
+    )
+    for fq, basis in pairs:  # ascending qubit = descending axis
+        axis = 1 + (w - 1 - fq)
+        t = np.tensordot(t, OUTPUT_SIGNS[basis], axes=([axis], [0]))
+    return t.reshape(batch, -1)

@@ -37,3 +37,7 @@ class SchedulingError(ReproError):
 
 class ConvergenceError(ReproError):
     """Optimization loop misconfiguration (not a failure to converge)."""
+
+
+class CuttingError(ReproError):
+    """Invalid circuit-cutting request (cut placement, width, reconstruction)."""

@@ -9,7 +9,12 @@ from repro.sim.result import (
     shannon_entropy,
 )
 from repro.sim.sampling import sample_counts
-from repro.sim.statevector import StatevectorSimulator, run_statevector, zero_state
+from repro.sim.statevector import (
+    StatevectorSimulator,
+    run_statevector,
+    run_statevector_batch,
+    zero_state,
+)
 from repro.sim.trajectory import TrajectorySimulator
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "sample_counts",
     "StatevectorSimulator",
     "run_statevector",
+    "run_statevector_batch",
     "zero_state",
     "TrajectorySimulator",
 ]

@@ -4,6 +4,7 @@ from repro.transpile.basis import IBM_BASIS, IONQ_BASIS, decompose_to_basis
 from repro.transpile.coupling import CouplingMap
 from repro.transpile.passes import (
     TranspileResult,
+    fits_on_device,
     optimize,
     permute_hamiltonian,
     transpile,
@@ -16,6 +17,7 @@ __all__ = [
     "decompose_to_basis",
     "CouplingMap",
     "TranspileResult",
+    "fits_on_device",
     "optimize",
     "permute_hamiltonian",
     "transpile",

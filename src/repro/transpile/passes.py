@@ -40,6 +40,26 @@ class TranspileResult:
         return out
 
 
+def fits_on_device(circuit: QuantumCircuit, device) -> bool:
+    """Whether ``circuit`` can be placed on ``device`` without cutting.
+
+    ``device`` may be a qubit count, a :class:`CouplingMap`, or any object
+    with a ``num_qubits`` attribute (e.g. a
+    :class:`~repro.noise.devices.DeviceProfile`).  This is the gate the
+    execution layer uses to decide between direct transpilation and the
+    :mod:`repro.cutting` wire-cut path.
+    """
+    if isinstance(device, int):
+        capacity = device
+    else:
+        capacity = getattr(device, "num_qubits", None)
+        if capacity is None:
+            raise TranspilerError(
+                f"cannot read a qubit capacity from {type(device).__name__}"
+            )
+    return circuit.num_qubits <= int(capacity)
+
+
 def permute_hamiltonian(h: Hamiltonian, layout: Dict[int, int]) -> Hamiltonian:
     """Relabel each Pauli factor from logical qubit q to ``layout[q]``."""
     out = Hamiltonian(h.num_qubits)

@@ -1,7 +1,7 @@
 """VQA stack: problems, ansatz circuits, optimizers, executors, metrics."""
 
 from repro.vqa.ansatz import TwoLocalAnsatz, append_pauli_evolution
-from repro.vqa.execution import EnergyEvaluator, Evaluation
+from repro.vqa.execution import CutEnergyEvaluator, EnergyEvaluator, Evaluation
 from repro.vqa.h2 import (
     h2_correlation_energy,
     h2_ground_energy,
@@ -39,6 +39,7 @@ from repro.vqa.ucc import UCCSDAnsatz, hartree_fock_occupation
 __all__ = [
     "TwoLocalAnsatz",
     "append_pauli_evolution",
+    "CutEnergyEvaluator",
     "EnergyEvaluator",
     "Evaluation",
     "h2_correlation_energy",

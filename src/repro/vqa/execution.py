@@ -41,6 +41,44 @@ class Evaluation:
     hardware_seconds: float
 
 
+def _estimated_circuit_seconds(
+    circuit: QuantumCircuit, device: Optional[DeviceProfile], shots_for_timing: int
+) -> float:
+    """Critical-path duration x assumed shots, plus readout and job overhead."""
+    if device is None:
+        return 0.0
+    d2 = circuit.two_qubit_depth()
+    d1 = max(circuit.depth(count_measurements=False) - d2, 0)
+    per_shot = (
+        d1 * device.duration_1q
+        + d2 * device.duration_2q
+        + device.duration_readout
+    )
+    return per_shot * shots_for_timing + device.job_overhead_seconds
+
+
+def _empirical_distribution(
+    probs: np.ndarray, shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Replace an exact distribution with a sampled one when shots > 0."""
+    if shots <= 0:
+        return probs
+    counts = sample_counts(probs, shots, rng)
+    empirical = np.zeros_like(probs)
+    for bits, c in counts.items():
+        empirical[bits] = c / shots
+    return empirical
+
+
+def _normalized_quasi_probabilities(raw: np.ndarray) -> np.ndarray:
+    """Clip tiny negative quasi-probability entries and renormalize."""
+    probs = np.clip(raw, 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        raise SimulationError("reconstructed distribution is empty")
+    return probs / total
+
+
 class EnergyEvaluator:
     """Noisy ⟨H⟩ evaluation of an ansatz on one device.
 
@@ -146,16 +184,9 @@ class EnergyEvaluator:
 
     def _circuit_seconds(self, circuit: QuantumCircuit) -> float:
         """Critical-path duration x assumed shots, plus readout."""
-        if self.device is None:
-            return 0.0
-        d2 = circuit.two_qubit_depth()
-        d1 = max(circuit.depth(count_measurements=False) - d2, 0)
-        per_shot = (
-            d1 * self.device.duration_1q
-            + d2 * self.device.duration_2q
-            + self.device.duration_readout
+        return _estimated_circuit_seconds(
+            circuit, self.device, self.shots_for_timing
         )
-        return per_shot * self.shots_for_timing + self.device.job_overhead_seconds
 
     def _probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
         """Noisy outcome distribution (readout error included)."""
@@ -184,13 +215,7 @@ class EnergyEvaluator:
 
     def _maybe_sample(self, probs: np.ndarray) -> np.ndarray:
         """Replace the exact distribution with an empirical one if shots > 0."""
-        if self.shots <= 0:
-            return probs
-        counts = sample_counts(probs, self.shots, self._rng)
-        empirical = np.zeros_like(probs)
-        for bits, c in counts.items():
-            empirical[bits] = c / self.shots
-        return empirical
+        return _empirical_distribution(probs, self.shots, self._rng)
 
     # -- public API ----------------------------------------------------------------
 
@@ -267,3 +292,171 @@ class EnergyEvaluator:
     @property
     def transpiled(self) -> TranspileResult:
         return self._transpiled
+
+
+class CutEnergyEvaluator:
+    """Cut-aware ⟨H⟩ evaluation: the ansatz is wider than the device.
+
+    Drop-in replacement for :class:`EnergyEvaluator` used when
+    :func:`~repro.transpile.fits_on_device` says the ansatz cannot be
+    placed directly.  The template is wire-cut once (the cut layout is
+    parameter-independent); each evaluation binds the fragments, executes
+    every init/measurement variant — batched on the statevector backend,
+    per-variant on the device's density-matrix model — and reconstructs
+    energy and entropy by tensor contraction over the cuts.
+
+    Fragments are simulated against the device's *noise model* but not
+    routed onto its topology (fragment layouts across heterogeneous
+    devices are a ROADMAP follow-up), so the observable stays in logical
+    qubit order.
+    """
+
+    def __init__(
+        self,
+        ansatz,
+        hamiltonian: Hamiltonian,
+        device: Optional[DeviceProfile] = None,
+        max_fragment_width: Optional[int] = None,
+        shots: int = 0,
+        seed: Optional[int] = None,
+        shots_for_timing: int = 4000,
+        strategy: str = "auto",
+    ):
+        from repro.cutting import cut_circuit, find_cuts
+
+        self.ansatz = ansatz
+        self.hamiltonian = hamiltonian
+        self.device = device
+        self.shots = int(shots)
+        self.shots_for_timing = int(shots_for_timing)
+        self._rng = np.random.default_rng(seed)
+        self.num_evaluations = 0
+        self.num_circuits = 0
+        self.hardware_seconds = 0.0
+        self.last_evaluation: Optional[Evaluation] = None
+
+        template = ansatz.template
+        width = template.num_qubits
+        if device is not None:
+            width = min(width, device.num_qubits)
+        if max_fragment_width is not None:
+            width = min(width, max_fragment_width)
+        cuts = find_cuts(template, width, strategy=strategy)
+        self._cut = cut_circuit(template, cuts)
+        if device is None:
+            self._backend = None  # batched statevector fast path
+        else:
+            widest = self._cut.max_fragment_width
+            if widest > MAX_DM_QUBITS:
+                raise SimulationError(
+                    f"cut fragments reach {widest} qubits, beyond the "
+                    f"density-matrix limit {MAX_DM_QUBITS}"
+                )
+            self._backend = DensityMatrixSimulator(device.noise_model())
+        self._groups = (
+            None if hamiltonian.is_diagonal else hamiltonian.grouped_terms()
+        )
+        self._param_order = list(ansatz.parameter_order)
+
+    # -- internals ----------------------------------------------------------
+
+    @property
+    def cut(self):
+        """The (unbound) :class:`~repro.cutting.CutCircuit` layout."""
+        return self._cut
+
+    def bound_cut(self, params):
+        values = np.asarray(params, dtype=float)
+        if values.shape[0] != len(self._param_order):
+            raise SimulationError(
+                f"expected {len(self._param_order)} parameters, got {values.shape[0]}"
+            )
+        return self._cut.bind(dict(zip(self._param_order, values)))
+
+    def _sweep_seconds(self, bound_cut) -> float:
+        """Serial hardware time for one full variant sweep on this device."""
+        if self.device is None:
+            return 0.0
+        return sum(
+            f.num_variants
+            * _estimated_circuit_seconds(
+                f.circuit, self.device, self.shots_for_timing
+            )
+            for f in bound_cut.fragments
+        )
+
+    def _maybe_sample(self, probs: np.ndarray) -> np.ndarray:
+        return _empirical_distribution(probs, self.shots, self._rng)
+
+    # -- public API ---------------------------------------------------------
+
+    def evaluate(self, params) -> Evaluation:
+        """Energy + entropy of the cut ansatz at ``params``."""
+        from repro.cutting import reconstruct_probabilities
+        from repro.cutting.execute import CachedFragmentExecutor
+        from repro.cutting.reconstruct import group_energy, split_idle_rotations
+
+        bound = self.bound_cut(params)
+        # On the statevector path the fragment bodies evolve once; each
+        # measurement group only replays its cheap rotation suffix.
+        executor = (
+            CachedFragmentExecutor(bound) if self._backend is None else None
+        )
+
+        def reconstructed(suffix=None) -> np.ndarray:
+            if executor is not None:
+                raw = reconstruct_probabilities(bound, executor.tensors(suffix))
+            else:
+                target = bound if suffix is None else bound.with_suffix(suffix)
+                raw = reconstruct_probabilities(target, backend=self._backend)
+            return _normalized_quasi_probabilities(raw)
+
+        circuits_used = 0
+        seconds = 0.0
+        # Z-basis reconstruction: entropy signal + diagonal terms.
+        probs = self._maybe_sample(reconstructed())
+        entropy = shannon_entropy(probs)
+        circuits_used += bound.total_variants
+        seconds += self._sweep_seconds(bound)
+        if self._groups is None:
+            energy = float(np.dot(probs, self.hamiltonian.diagonal()))
+        else:
+            energy = self.hamiltonian.constant()
+            n = self.hamiltonian.num_qubits
+            for group in self._groups:
+                basis = Hamiltonian.measurement_basis_circuit(group, n)
+                suffix, idle_factors = split_idle_rotations(bound, basis)
+                if suffix is None:
+                    rotated_probs = probs
+                else:
+                    rotated_probs = self._maybe_sample(reconstructed(suffix))
+                    circuits_used += bound.total_variants
+                    seconds += self._sweep_seconds(bound)
+                energy += group_energy(rotated_probs, group, n, idle_factors)
+        self.num_evaluations += 1
+        self.num_circuits += circuits_used
+        self.hardware_seconds += seconds
+        evaluation = Evaluation(
+            energy=energy,
+            entropy=entropy,
+            circuits=circuits_used,
+            hardware_seconds=seconds,
+        )
+        self.last_evaluation = evaluation
+        return evaluation
+
+    def __call__(self, params) -> float:
+        return self.evaluate(params).energy
+
+    def distribution(self, params) -> np.ndarray:
+        """Z-basis distribution (logical order; counters untouched)."""
+        from repro.cutting import reconstruct_probabilities
+
+        return _normalized_quasi_probabilities(
+            reconstruct_probabilities(self.bound_cut(params), backend=self._backend)
+        )
+
+    def reset_counters(self) -> None:
+        self.num_evaluations = 0
+        self.num_circuits = 0
+        self.hardware_seconds = 0.0

@@ -1,0 +1,345 @@
+"""Unit tests for the circuit-cutting subsystem (repro.cutting)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, QuantumCircuit
+from repro.cutting import (
+    CutPoint,
+    cut_and_run,
+    cut_circuit,
+    execute_fragments,
+    find_cuts,
+    reconstruct_expectation,
+    reconstruct_probabilities,
+)
+from repro.cutting.variants import INIT_PREP_GATES, INIT_STATES
+from repro.exceptions import CuttingError, SimulationError
+from repro.sim import StatevectorSimulator, run_statevector, run_statevector_batch
+from repro.sim.statevector import circuit_unitary
+
+
+def clustered_circuit(
+    num_qubits: int, split: int, seed: int = 0, cross_gates: int = 1, depth: int = 2
+) -> QuantumCircuit:
+    """Two random clusters joined by ``cross_gates`` CX bridges."""
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(num_qubits, name=f"clustered{num_qubits}")
+
+    def block(qubits, reps):
+        for _ in range(reps):
+            for q in qubits:
+                qc.ry(rng.uniform(-np.pi, np.pi), q)
+                qc.rz(rng.uniform(-np.pi, np.pi), q)
+            for a, b in zip(qubits[:-1], qubits[1:]):
+                qc.cx(a, b)
+
+    left = list(range(split))
+    right = list(range(split, num_qubits))
+    block(left, depth)
+    for _ in range(cross_gates):
+        qc.cx(left[-1], right[0])
+    block(right, depth)
+    block(left, 1)
+    return qc
+
+
+def exact_probabilities(qc: QuantumCircuit) -> np.ndarray:
+    return np.abs(run_statevector(qc)) ** 2
+
+
+# -- round trips ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "num_qubits,split,width", [(4, 2, 3), (5, 3, 4), (6, 3, 4), (8, 4, 5)]
+)
+def test_round_trip_random_clustered(num_qubits, split, width):
+    qc = clustered_circuit(num_qubits, split, seed=num_qubits * 7)
+    result = cut_and_run(qc, width)
+    assert 1 <= result.num_cuts <= 2
+    assert result.cut.max_fragment_width <= width
+    assert np.allclose(result.probabilities, exact_probabilities(qc), atol=1e-9)
+
+
+def test_round_trip_two_cuts_chain():
+    rng = np.random.default_rng(11)
+    qc = QuantumCircuit(9)
+
+    def block(qubits):
+        for q in qubits:
+            qc.ry(rng.uniform(-np.pi, np.pi), q)
+        for a, b in zip(qubits[:-1], qubits[1:]):
+            qc.cx(a, b)
+
+    block([0, 1, 2])
+    qc.cx(2, 3)
+    block([3, 4, 5])
+    qc.cx(5, 6)
+    block([6, 7, 8])
+    result = cut_and_run(qc, 4)
+    assert result.num_cuts == 2
+    assert np.allclose(result.probabilities, exact_probabilities(qc), atol=1e-9)
+
+
+def test_ten_qubit_circuit_on_six_qubit_fragments():
+    """Acceptance case: 10 qubits cut into <= 6-qubit fragments."""
+    qc = clustered_circuit(10, 5, seed=42)
+    result = cut_and_run(qc, 6)
+    assert result.cut.max_fragment_width <= 6
+    assert np.allclose(result.probabilities, exact_probabilities(qc), atol=1e-9)
+
+
+def test_round_trip_with_mid_circuit_barriers():
+    """Edge case: full-width barriers sit across the cut boundary."""
+    qc = QuantumCircuit(4)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.barrier()
+    qc.cx(1, 2)
+    qc.barrier()
+    qc.cx(2, 3)
+    qc.ry(0.3, 3)
+    result = cut_and_run(qc, 3)
+    assert result.num_cuts >= 1
+    assert np.allclose(result.probabilities, exact_probabilities(qc), atol=1e-9)
+
+
+def test_explicit_cut_point_round_trip():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.ry(0.4, 2)
+    # Wire 1 has ops [cx01, cx12]; cut between them.
+    cut = cut_circuit(qc, [CutPoint(qubit=1, wire_pos=0)])
+    assert cut.num_fragments == 2
+    assert [f.width for f in cut.fragments] == [2, 2]
+    probs = reconstruct_probabilities(cut)
+    assert np.allclose(probs, exact_probabilities(qc), atol=1e-9)
+
+
+def test_idle_qubit_stays_zero():
+    qc = QuantumCircuit(5)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(2, 3)  # qubit 4 untouched
+    cut = cut_circuit(qc, find_cuts(qc, 3))
+    probs = reconstruct_probabilities(cut)
+    assert np.allclose(probs, exact_probabilities(qc), atol=1e-9)
+
+
+def test_measurements_are_stripped():
+    qc = QuantumCircuit(4)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(2, 3)
+    qc.measure_all()
+    result = cut_and_run(qc, 3)
+    assert np.allclose(
+        result.probabilities, exact_probabilities(qc.remove_measurements()),
+        atol=1e-9,
+    )
+
+
+# -- expectation values --------------------------------------------------------
+
+
+def test_expectation_diagonal_hamiltonian():
+    qc = clustered_circuit(6, 3, seed=5)
+    h = Hamiltonian.from_labels({"ZZIIII": 0.5, "IIIZZI": -1.0, "IIIIIZ": 0.25})
+    cut = cut_circuit(qc, find_cuts(qc, 4))
+    expected = StatevectorSimulator().expectation(qc, h)
+    assert reconstruct_expectation(cut, h) == pytest.approx(expected, abs=1e-9)
+
+
+def test_expectation_off_diagonal_hamiltonian():
+    qc = clustered_circuit(5, 3, seed=9)
+    h = Hamiltonian.from_labels(
+        {"XXIII": 0.7, "IIIZZ": -1.2, "IIYIY": 0.45, "ZIIII": 0.3}
+    )
+    cut = cut_circuit(qc, find_cuts(qc, 4))
+    expected = StatevectorSimulator().expectation(qc, h)
+    assert reconstruct_expectation(cut, h) == pytest.approx(expected, abs=1e-8)
+
+
+def test_expectation_with_xy_term_on_idle_qubit():
+    """Rotations on idle qubits are applied analytically, not rejected."""
+    qc = QuantumCircuit(5)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    qc.cx(2, 3)  # qubit 4 idle
+    h = Hamiltonian.from_labels(
+        {"XIIII": 0.5, "YIIII": -0.3, "ZIIII": 0.7, "IIIZZ": 1.0, "XIIIX": 0.4}
+    )
+    cut = cut_circuit(qc, find_cuts(qc, 3))
+    expected = StatevectorSimulator().expectation(qc, h)
+    assert reconstruct_expectation(cut, h) == pytest.approx(expected, abs=1e-9)
+
+
+def test_hamiltonian_expectation_within_1e6():
+    """Acceptance: 10-qubit <H> through <=6-qubit fragments to 1e-6."""
+    qc = clustered_circuit(10, 5, seed=17)
+    h = Hamiltonian.from_labels(
+        {
+            "ZZ" + "I" * 8: 0.8,
+            "I" * 4 + "ZZ" + "I" * 4: -0.6,
+            "I" * 8 + "ZZ": 1.1,
+            "X" + "I" * 9: 0.2,
+            "I" * 9 + "X": -0.35,
+        }
+    )
+    cut = cut_circuit(qc, find_cuts(qc, 6))
+    assert cut.max_fragment_width <= 6
+    expected = StatevectorSimulator().expectation(qc, h)
+    assert reconstruct_expectation(cut, h) == pytest.approx(expected, abs=1e-6)
+
+
+# -- noisy backend path --------------------------------------------------------
+
+
+def test_noisy_backend_reconstruction_is_normalized():
+    from repro.noise import hypothetical_lf
+    from repro.sim import DensityMatrixSimulator
+
+    qc = clustered_circuit(4, 2, seed=2, depth=1)
+    cut = cut_circuit(qc, find_cuts(qc, 3))
+    dm = DensityMatrixSimulator(hypothetical_lf().noise_model())
+    probs = reconstruct_probabilities(cut, backend=dm)
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+    # Noisy quasi-probabilities may dip slightly negative, never grossly.
+    assert probs.min() > -1e-6
+
+
+# -- search and validation -----------------------------------------------------
+
+
+def test_find_cuts_no_cut_when_circuit_fits():
+    qc = clustered_circuit(4, 2)
+    assert find_cuts(qc, 4) == []
+
+
+def test_find_cuts_rejects_dense_circuits():
+    rng = np.random.default_rng(0)
+    qc = QuantumCircuit(6)
+    for _ in range(4):
+        for a in range(6):
+            for b in range(a + 1, 6):
+                qc.cx(a, b)
+                qc.ry(rng.uniform(-1, 1), b)
+    with pytest.raises(CuttingError):
+        find_cuts(qc, 3)
+
+
+def test_find_cuts_rejects_wide_gates():
+    qc = QuantumCircuit(4)
+    qc.cx(0, 1)
+    with pytest.raises(CuttingError):
+        find_cuts(qc, 1)
+
+
+def test_find_cuts_unknown_strategy():
+    qc = clustered_circuit(6, 3)
+    with pytest.raises(CuttingError):
+        find_cuts(qc, 4, strategy="miqcp")
+
+
+def test_find_cuts_interleaved_instruction_order():
+    """Bisection finds the cluster structure greedy streaming misses."""
+    rng = np.random.default_rng(3)
+    qc = QuantumCircuit(6)
+    for _ in range(3):
+        for q in range(6):
+            qc.ry(rng.uniform(-np.pi, np.pi), q)
+        qc.cx(0, 1)
+        qc.cx(3, 4)
+        qc.cx(1, 2)
+        qc.cx(4, 5)
+    qc.cx(2, 3)
+    result = cut_and_run(qc, 4)
+    assert np.allclose(result.probabilities, exact_probabilities(qc), atol=1e-9)
+
+
+def test_cut_circuit_rejects_bad_positions():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    with pytest.raises(CuttingError):
+        cut_circuit(qc, [CutPoint(qubit=1, wire_pos=0)])  # wire has 1 op
+    with pytest.raises(CuttingError):
+        cut_circuit(qc, [CutPoint(qubit=5, wire_pos=0)])  # no such qubit
+
+
+def test_cut_circuit_rejects_non_separating_cut():
+    # Cutting q0 between the two CX leaves both sides connected via q1.
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.cx(0, 1)
+    with pytest.raises(CuttingError):
+        cut_circuit(qc, [CutPoint(qubit=0, wire_pos=0)])
+
+
+def test_variant_counts():
+    qc = clustered_circuit(6, 3, seed=1)
+    cut = cut_circuit(qc, find_cuts(qc, 4))
+    tensors = execute_fragments(cut)
+    assert sum(t.executions for t in tensors) == cut.total_variants
+    for fragment, tensor in zip(cut.fragments, tensors):
+        k_in = len(fragment.input_cuts)
+        k_out = len(fragment.output_cuts)
+        assert tensor.tensor.shape[: k_in + k_out] == (4,) * (k_in + k_out)
+
+
+def test_init_prep_gates_match_states():
+    """The prep gate sequences actually produce the six init states."""
+    for prep, target in zip(INIT_PREP_GATES, INIT_STATES):
+        qc = QuantumCircuit(1)
+        for gate in prep:
+            qc.append(gate, [0])
+        state = run_statevector(qc)
+        # Equal up to global phase.
+        overlap = abs(np.vdot(state, target))
+        assert overlap == pytest.approx(1.0, abs=1e-12)
+
+
+# -- batched statevector entry point -------------------------------------------
+
+
+def test_run_statevector_batch_matches_single_runs():
+    qc = clustered_circuit(4, 2, seed=8, depth=1)
+    rng = np.random.default_rng(0)
+    raw = rng.normal(size=(5, 16)) + 1j * rng.normal(size=(5, 16))
+    states = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+    batch = run_statevector_batch(qc, states)
+    for row in range(5):
+        single = run_statevector(qc, initial=states[row])
+        assert np.allclose(batch[row], single, atol=1e-12)
+
+
+def test_run_statevector_batch_shape_check():
+    qc = QuantumCircuit(2)
+    with pytest.raises(SimulationError):
+        run_statevector_batch(qc, np.ones((2, 3)))
+
+
+def test_circuit_unitary_one_pass_matches_columns():
+    qc = clustered_circuit(4, 2, seed=3, depth=1)
+    u = circuit_unitary(qc)
+    assert np.allclose(u @ u.conj().T, np.eye(16), atol=1e-10)
+    for col in [0, 5, 15]:
+        basis = np.zeros(16, dtype=complex)
+        basis[col] = 1.0
+        assert np.allclose(u[:, col], run_statevector(qc, initial=basis))
+
+
+def test_run_statevector_rejects_unnormalized_initial():
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    with pytest.raises(SimulationError):
+        run_statevector(qc, initial=np.array([1.0, 1.0]))
+    # A properly normalized custom state is fine.
+    ok = np.array([1.0, 1.0]) / np.sqrt(2.0)
+    run_statevector(qc, initial=ok)

@@ -1,0 +1,178 @@
+"""Integration tests: cutting across transpile, vqa, core, and cloud layers."""
+
+import dataclasses
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.cloud import (
+    CloudDevice,
+    FragmentJob,
+    LeastBusyPolicy,
+    QueueSimulator,
+    WidthAwarePolicy,
+    fanout_summary,
+)
+from repro.core import Qoncord, VQAJob
+from repro.cutting import cut_circuit, find_cuts
+from repro.exceptions import SchedulingError
+from repro.noise.devices import hypothetical_device
+from repro.transpile import fits_on_device
+from repro.vqa import CutEnergyEvaluator, EnergyEvaluator, MaxCutProblem, TwoLocalAnsatz
+
+
+def small_device(name: str, error_2q: float, num_qubits: int):
+    return dataclasses.replace(
+        hypothetical_device(name, error_2q), num_qubits=num_qubits
+    )
+
+
+def clustered_ten_qubit_circuit(seed: int = 0) -> QuantumCircuit:
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(10, name="big")
+
+    def block(qubits):
+        for q in qubits:
+            qc.ry(rng.uniform(-np.pi, np.pi), q)
+        for a, b in zip(qubits[:-1], qubits[1:]):
+            qc.cx(a, b)
+
+    block(list(range(5)))
+    qc.cx(4, 5)
+    block(list(range(5, 10)))
+    return qc
+
+
+# -- transpile gate -----------------------------------------------------------
+
+
+def test_fits_on_device():
+    qc = QuantumCircuit(6)
+    assert fits_on_device(qc, 6)
+    assert not fits_on_device(qc, 5)
+    assert fits_on_device(qc, hypothetical_device("dev", 0.01))  # 14 qubits
+    assert not fits_on_device(qc, small_device("tiny", 0.01, 4))
+
+
+# -- cut-aware energy evaluation ----------------------------------------------
+
+
+def test_cut_evaluator_matches_exact_evaluator():
+    problem = MaxCutProblem(nx.path_graph(6))
+    ansatz = TwoLocalAnsatz(6, reps=1)
+    params = np.linspace(-1.0, 1.0, ansatz.num_parameters)
+    exact = EnergyEvaluator(ansatz, problem.hamiltonian, None).evaluate(params)
+    cut_eval = CutEnergyEvaluator(
+        ansatz, problem.hamiltonian, None, max_fragment_width=4
+    )
+    cut = cut_eval.evaluate(params)
+    assert cut.energy == pytest.approx(exact.energy, abs=1e-9)
+    assert cut.entropy == pytest.approx(exact.entropy, abs=1e-9)
+    assert cut_eval.num_circuits == cut.circuits > 1
+
+
+def test_cut_evaluator_counts_hardware_seconds_on_device():
+    problem = MaxCutProblem(nx.path_graph(6))
+    ansatz = TwoLocalAnsatz(6, reps=1)
+    device = small_device("small", 0.005, 4)
+    evaluator = CutEnergyEvaluator(ansatz, problem.hamiltonian, device)
+    evaluation = evaluator.evaluate(np.zeros(ansatz.num_parameters))
+    assert evaluator.cut.max_fragment_width <= 4
+    assert evaluation.circuits == evaluator.cut.total_variants
+    assert evaluation.hardware_seconds > 0
+
+
+def test_qoncord_trains_wider_than_every_device():
+    """Acceptance: a VQA job no device can hold trains end-to-end."""
+    problem = MaxCutProblem(nx.path_graph(6))
+    ansatz = TwoLocalAnsatz(6, reps=1)
+    job = VQAJob(
+        ansatz=ansatz,
+        hamiltonian=problem.hamiltonian,
+        ground_energy=problem.ground_energy,
+        num_restarts=2,
+        max_iterations_per_stage=4,
+        name="wide-job",
+    )
+    devices = [
+        small_device("small_lf", 0.01, 4),
+        small_device("small_hf", 0.001, 4),
+    ]
+    assert all(not fits_on_device(ansatz.template, d) for d in devices)
+    result = Qoncord(seed=0, min_fidelity=1e-4, patience=3).run(job, devices)
+    assert result.best_energy is not None
+    assert result.best_energy < 0  # made optimization progress
+    assert sum(result.circuits_per_device.values()) > 0
+    # Both stages actually executed circuits via the cut path.
+    assert all(count > 0 for count in result.circuits_per_device.values())
+
+
+# -- cloud fragment fan-out ----------------------------------------------------
+
+
+def test_fragment_job_expands_all_variants():
+    qc = clustered_ten_qubit_circuit()
+    cut = cut_circuit(qc, find_cuts(qc, 6))
+    fragment_job = FragmentJob.from_cut_circuit(cut, base_execution_seconds=8.0)
+    assert fragment_job.num_variants == cut.total_variants
+    assert fragment_job.max_width == cut.max_fragment_width
+    specs = fragment_job.to_jobspecs()
+    assert len(specs) == cut.total_variants
+    assert all(spec.num_executions == 1 for spec in specs)
+    assert {spec.num_qubits for spec in specs} == {
+        f.width for f in cut.fragments
+    }
+
+
+def test_fragment_fanout_runs_in_parallel_and_respects_width():
+    qc = clustered_ten_qubit_circuit()
+    cut = cut_circuit(qc, find_cuts(qc, 6))
+    fragment_job = FragmentJob.from_cut_circuit(cut, base_execution_seconds=8.0)
+    fleet = [
+        CloudDevice(f"d{i}", fidelity=0.5 + 0.04 * i,
+                    num_qubits=(4 if i < 2 else 6))
+        for i in range(5)
+    ]
+    sim = QueueSimulator(fleet, WidthAwarePolicy(LeastBusyPolicy()), seed=1)
+    result = sim.run(fragment_job.to_workload())
+    summary = fanout_summary(result, fragment_job)
+    assert summary["variants"] == fragment_job.num_variants
+    assert summary["devices_used"] > 1  # genuinely fanned out
+    assert summary["parallel_speedup"] > 1.0
+    # No fragment landed on a device narrower than itself.
+    too_small = {"d0", "d1"}
+    wide_jobs = {
+        spec.job_id
+        for spec in fragment_job.to_jobspecs()
+        if spec.num_qubits > 4
+    }
+    for job_id in wide_jobs:
+        for record in result.job_results[job_id].records:
+            assert record.device_name not in too_small
+
+
+def test_width_aware_policy_raises_when_nothing_fits():
+    qc = clustered_ten_qubit_circuit()
+    cut = cut_circuit(qc, find_cuts(qc, 6))
+    fragment_job = FragmentJob.from_cut_circuit(cut)
+    fleet = [CloudDevice("tiny", fidelity=0.8, num_qubits=3)]
+    sim = QueueSimulator(fleet, WidthAwarePolicy(LeastBusyPolicy()), seed=0)
+    with pytest.raises(SchedulingError):
+        sim.run(fragment_job.to_workload())
+
+
+def test_width_unconstrained_jobs_see_every_device():
+    policy = WidthAwarePolicy(LeastBusyPolicy())
+    fleet = [
+        CloudDevice("a", fidelity=0.5, num_qubits=3),
+        CloudDevice("b", fidelity=0.6),
+    ]
+    from repro.cloud import JobSpec
+
+    job = JobSpec(
+        job_id=0, user_id=0, arrival_time=0.0, is_vqa=False,
+        num_executions=1, base_execution_seconds=1.0,
+    )
+    assert len(policy.eligible_devices(job, fleet)) == 2
