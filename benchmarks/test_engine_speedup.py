@@ -1,0 +1,269 @@
+"""Compiled-engine speedup benchmark — writes ``BENCH_engine.json``.
+
+Measures the compile-once / execute-many engine against seed-style
+uncompiled execution (gate-by-gate ``apply_unitary`` with per-term Pauli
+expectation) on the two hot paths the ISSUE targets:
+
+* 9-qubit depth>=100 QAOA statevector energy evaluation (optimizer-loop
+  shape: one structure, many parameter rebinds) — target >= 5x;
+* 64-trajectory noisy expectation (batched sweep + vectorized Pauli
+  injection vs. a per-trajectory Python loop) — target >= 3x.
+
+``QONCORD_BENCH_SCALE=smoke`` runs a reduced iteration count and skips the
+wall-clock floor assertions (shared CI runners are too noisy to gate on);
+equivalence is asserted and the JSON is written either way so the perf
+trajectory accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, QuantumCircuit
+from repro.circuits import gates as gatedefs
+from repro.noise import hypothetical_device
+from repro.sim import CompiledCircuit, TrajectorySimulator
+from repro.sim.statevector import apply_unitary, zero_state
+from repro.vqa import MaxCutProblem, QAOAAnsatz
+
+from _helpers import once, print_series
+
+_SCALE = os.environ.get("QONCORD_BENCH_SCALE", "small")
+SMOKE = _SCALE == "smoke"
+FULL = _SCALE == "full"
+
+#: Iterations per timed loop (enough to swamp timer noise without making
+#: the tier-1 suite crawl).
+SV_ITERS = 4 if SMOKE else (40 if FULL else 15)
+TRAJ_REPEATS = 2 if SMOKE else (10 if FULL else 4)
+TRAJECTORIES = 64
+
+#: Required speedups.  Smoke mode records the numbers and still asserts
+#: compiled-vs-uncompiled equivalence, but does not gate on wall-clock
+#: floors: shared CI runners are noisy enough to flake unrelated PRs red.
+SV_TARGET = 5.0
+TRAJ_TARGET = 3.0
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_engine.json",
+)
+
+_PAULI_1Q = {
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+_LABELS_1Q = ("X", "Y", "Z")
+_LABELS_2Q = tuple(a + b for a in "IXYZ" for b in "IXYZ")[1:]
+
+
+def _qaoa_problem():
+    """A 9-qubit QAOA ansatz deep enough to cross depth 100."""
+    problem = MaxCutProblem.random(9, 0.5, seed=4)
+    layers = 1
+    while True:
+        ansatz = QAOAAnsatz(problem.graph, layers=layers)
+        if ansatz.template.depth() >= 100:
+            return problem, ansatz
+        layers += 1
+
+
+def _uncompiled_state(circuit):
+    """Seed-style evolution: re-walk instructions, recompute matrices."""
+    n = circuit.num_qubits
+    state = zero_state(n)
+    for inst in circuit:
+        if inst.is_gate:
+            state = apply_unitary(state, inst.matrix(), inst.qubits, n)
+    return state
+
+
+def _uncompiled_expectation(hamiltonian, state):
+    """Seed-style <H>: one Pauli application per term."""
+    return sum(
+        c * p.expectation_statevector(state) for c, p in hamiltonian.terms
+    )
+
+
+def _uncompiled_trajectory_expectation(circuit, hamiltonian, noise_model, rng):
+    """Seed-style trajectory loop: one Python evolution per trajectory."""
+    n = circuit.num_qubits
+    total = 0.0
+    for _ in range(TRAJECTORIES):
+        state = zero_state(n)
+        for inst in circuit:
+            if not inst.is_gate:
+                continue
+            state = apply_unitary(state, inst.matrix(), inst.qubits, n)
+            if inst.name == "rz":
+                continue
+            arity = gatedefs.GATE_ARITY[inst.name]
+            p = (
+                noise_model.avg_error_1q
+                if arity == 1
+                else noise_model.avg_error_2q
+            )
+            if p > 0.0 and rng.random() < p:
+                if arity == 1:
+                    label = _LABELS_1Q[rng.integers(3)]
+                    state = apply_unitary(
+                        state, _PAULI_1Q[label], inst.qubits, n
+                    )
+                else:
+                    label = _LABELS_2Q[rng.integers(15)]
+                    for char, q in zip(label, inst.qubits):
+                        if char != "I":
+                            state = apply_unitary(state, _PAULI_1Q[char], [q], n)
+        total += _uncompiled_expectation(hamiltonian, state)
+    return total / TRAJECTORIES
+
+
+def _trajectory_circuit(n=10, layers=8):
+    qc = QuantumCircuit(n)
+    for q in range(n):
+        qc.h(q)
+    for layer in range(layers):
+        for q in range(n - 1):
+            qc.rzz(0.3 + 0.01 * layer, q, q + 1)
+        for q in range(n):
+            qc.rx(0.5, q)
+    return qc
+
+
+def test_engine_speedup(benchmark):
+    def body():
+        results = {}
+
+        # -- statevector: QAOA energy across optimizer iterations --------
+        problem, ansatz = _qaoa_problem()
+        hamiltonian = problem.hamiltonian
+        template = ansatz.template
+        order = list(ansatz.parameter_order)
+        rng = np.random.default_rng(0)
+        param_sets = [rng.normal(size=len(order)) for _ in range(SV_ITERS)]
+
+        def baseline_energies():
+            out = []
+            for values in param_sets:
+                bound = template.bind(dict(zip(order, values)))
+                out.append(
+                    _uncompiled_expectation(hamiltonian, _uncompiled_state(bound))
+                )
+            return out
+
+        def compiled_energies(compiled):
+            out = []
+            for values in param_sets:
+                state = compiled.bind(dict(zip(order, values))).run()
+                out.append(hamiltonian.expectation_statevector(state))
+            return out
+
+        baseline_energies()  # warm both paths before timing
+        t0 = time.perf_counter()
+        base_vals = baseline_energies()
+        sv_base = time.perf_counter() - t0
+
+        compiled = CompiledCircuit(template)
+        compiled_energies(compiled)
+        t0 = time.perf_counter()
+        fast_vals = compiled_energies(compiled)
+        sv_fast = time.perf_counter() - t0
+
+        worst = float(np.abs(np.array(base_vals) - np.array(fast_vals)).max())
+        assert worst < 1e-10, f"compiled energies diverge by {worst:.2e}"
+        sv_speedup = sv_base / sv_fast
+
+        results["statevector_qaoa"] = {
+            "qubits": template.num_qubits,
+            "depth": template.depth(),
+            "gates": template.num_gates(),
+            "kernels": compiled.num_kernels,
+            "iterations": SV_ITERS,
+            "uncompiled_seconds": sv_base,
+            "compiled_seconds": sv_fast,
+            "speedup": sv_speedup,
+            "target": SV_TARGET,
+            "max_energy_deviation": worst,
+        }
+
+        # -- trajectory: 64-trajectory noisy expectation -----------------
+        qc = _trajectory_circuit()
+        noise_model = hypothetical_device(
+            "bench", 0.005, num_qubits=qc.num_qubits
+        ).noise_model()
+        h_traj = Hamiltonian.from_labels(
+            {
+                "Z" * qc.num_qubits: 1.0,
+                "X" + "I" * (qc.num_qubits - 1): 0.5,
+                "I" * (qc.num_qubits - 2) + "ZZ": 1.0,
+            }
+        )
+        sim = TrajectorySimulator(
+            noise_model, trajectories=TRAJECTORIES, seed=1
+        )
+        _uncompiled_trajectory_expectation(
+            qc, h_traj, noise_model, np.random.default_rng(1)
+        )
+        sim.expectation(qc, h_traj)
+
+        t0 = time.perf_counter()
+        for r in range(TRAJ_REPEATS):
+            _uncompiled_trajectory_expectation(
+                qc, h_traj, noise_model, np.random.default_rng(100 + r)
+            )
+        traj_base = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(TRAJ_REPEATS):
+            sim.expectation(qc, h_traj)
+        traj_fast = time.perf_counter() - t0
+        traj_speedup = traj_base / traj_fast
+
+        results["trajectory_expectation"] = {
+            "qubits": qc.num_qubits,
+            "gates": qc.num_gates(),
+            "trajectories": TRAJECTORIES,
+            "repeats": TRAJ_REPEATS,
+            "uncompiled_seconds": traj_base,
+            "compiled_seconds": traj_fast,
+            "speedup": traj_speedup,
+            "target": TRAJ_TARGET,
+        }
+
+        payload = {
+            "benchmark": "engine_speedup",
+            "scale": _SCALE,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "results": results,
+        }
+        with open(BENCH_PATH, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+
+        print_series(
+            "Compiled execution engine speedups",
+            [
+                f"statevector QAOA (9q, depth {results['statevector_qaoa']['depth']}): "
+                f"{sv_speedup:.1f}x (target {SV_TARGET:g}x)",
+                f"trajectory expectation ({TRAJECTORIES} trajectories): "
+                f"{traj_speedup:.1f}x (target {TRAJ_TARGET:g}x)",
+            ],
+        )
+        if not SMOKE:
+            assert sv_speedup >= SV_TARGET, (
+                f"statevector speedup {sv_speedup:.2f}x below {SV_TARGET:g}x"
+            )
+            assert traj_speedup >= TRAJ_TARGET, (
+                f"trajectory speedup {traj_speedup:.2f}x below {TRAJ_TARGET:g}x"
+            )
+        return results
+
+    once(benchmark, body)

@@ -10,13 +10,17 @@ truth (Eq 3's denominator).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.pauli import PauliString
+from repro.circuits.pauli import PauliString, gather_table, popcount
 from repro.exceptions import CircuitError
+
+#: Upper bound on cached per-term gather/phase tables (entries = terms x dim).
+#: Beyond this the vectorized expectation recomputes tables term by term.
+_MAX_TABLE_ENTRIES = 1 << 21
 
 
 class Hamiltonian:
@@ -25,10 +29,16 @@ class Hamiltonian:
     def __init__(self, num_qubits: int, terms: Iterable[Tuple[float, PauliString]] = ()):
         self.num_qubits = int(num_qubits)
         self._terms: List[Tuple[float, PauliString]] = []
+        self._invalidate_caches()
         for coeff, pauli in terms:
             self.add_term(coeff, pauli)
 
     # -- construction ---------------------------------------------------------
+
+    def _invalidate_caches(self) -> None:
+        self._diagonal_cache = None
+        self._mask_cache = None
+        self._table_cache = None
 
     def add_term(self, coeff: float, pauli: PauliString) -> "Hamiltonian":
         if pauli.num_qubits != self.num_qubits:
@@ -37,6 +47,7 @@ class Hamiltonian:
                 f"Hamiltonian has {self.num_qubits}"
             )
         self._terms.append((float(coeff), pauli))
+        self._invalidate_caches()
         return self
 
     @classmethod
@@ -105,12 +116,88 @@ class Hamiltonian:
 
     __rmul__ = __mul__
 
+    # -- vectorized term machinery ---------------------------------------------
+
+    def _masks(self):
+        """Per-term ``(coeffs, xmasks, zmasks, i^y phases)`` arrays, cached."""
+        if self._mask_cache is None:
+            coeffs = np.empty(len(self._terms))
+            xmasks = np.empty(len(self._terms), dtype=np.int64)
+            zmasks = np.empty(len(self._terms), dtype=np.int64)
+            phases = np.empty(len(self._terms), dtype=complex)
+            for t, (coeff, pauli) in enumerate(self._terms):
+                xm, zm, y = pauli.masks()
+                coeffs[t] = coeff
+                xmasks[t] = xm
+                zmasks[t] = zm
+                phases[t] = 1j ** y
+            self._mask_cache = (coeffs, xmasks, zmasks, phases)
+        return self._mask_cache
+
+    def _tables(self):
+        """Cached ``(src, phase)`` gather tables of shape ``(terms, 2**n)``.
+
+        ``<psi|P_t|psi> = sum_j conj(psi[j]) * phase[t, j] * psi[src[t, j]]``
+        — the all-terms broadcast form of :func:`repro.circuits.pauli.gather_table`,
+        one pass, no per-term ``np.arange`` allocations.  Returns ``None``
+        when the tables would exceed the cache budget.
+        """
+        if self._table_cache is None:
+            dim = 1 << self.num_qubits
+            if len(self._terms) * dim > _MAX_TABLE_ENTRIES:
+                return None
+            coeffs, xmasks, zmasks, phases = self._masks()
+            idx = np.arange(dim)
+            src = idx[None, :] ^ xmasks[:, None]
+            z_par = popcount(src & zmasks[:, None]) & 1
+            phase = phases[:, None] * np.where(z_par, -1.0, 1.0)
+            self._table_cache = (src, phase)
+        return self._table_cache
+
     # -- expectation values --------------------------------------------------------
 
     def expectation_statevector(self, state: np.ndarray) -> float:
-        return sum(
-            c * p.expectation_statevector(state) for c, p in self._terms
+        """<psi|H|psi>, vectorized across all terms in one pass."""
+        state = np.asarray(state)
+        if self.is_diagonal:
+            return float(np.real(np.dot(np.abs(state) ** 2, self.diagonal())))
+        coeffs, _, _, _ = self._masks()
+        tables = self._tables()
+        if tables is not None:
+            src, phase = tables
+            per_term = (phase * state[src]) @ state.conj()
+            return float(np.real(np.dot(coeffs, per_term)))
+        return float(
+            sum(c * p.expectation_statevector(state) for c, p in self._terms)
         )
+
+    def expectation_statevector_batch(
+        self, states: np.ndarray, term_scales: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Row-wise <psi_b|H|psi_b> for a ``(batch, 2**n)`` block of states.
+
+        ``term_scales`` optionally rescales each term's coefficient (the
+        trajectory backend folds readout error in as ``(1-2e)^weight``).
+        """
+        states = np.asarray(states)
+        if states.ndim != 2 or states.shape[1] != (1 << self.num_qubits):
+            raise CircuitError(
+                f"states must have shape (batch, {1 << self.num_qubits})"
+            )
+        coeffs = self._masks()[0]
+        if term_scales is not None:
+            coeffs = coeffs * np.asarray(term_scales)
+        out = np.zeros(states.shape[0])
+        conj = states.conj()
+        tables = self._tables()
+        for t, (_, pauli) in enumerate(self._terms):
+            if tables is not None:
+                src, phase = tables[0][t], tables[1][t]
+            else:
+                src, phase = gather_table(*pauli.masks(), self.num_qubits)
+            vals = np.einsum("bj,j,bj->b", conj, phase, states[:, src])
+            out += coeffs[t] * np.real(vals)
+        return out
 
     def expectation_density(self, rho: np.ndarray) -> float:
         return sum(c * p.expectation_density(rho) for c, p in self._terms)
@@ -154,20 +241,29 @@ class Hamiltonian:
         return m
 
     def diagonal(self) -> np.ndarray:
-        """The diagonal of H as a real vector (diagonal H only)."""
+        """The diagonal of H as a real vector (diagonal H only, cached)."""
         if not self.is_diagonal:
             raise CircuitError("Hamiltonian is not diagonal")
-        dim = 1 << self.num_qubits
-        idx = np.arange(dim)
-        diag = np.zeros(dim)
-        for coeff, pauli in self._terms:
-            if pauli.is_identity:
-                diag += coeff
-                continue
-            zmask = sum(1 << q for q in range(self.num_qubits) if pauli.z[q])
-            par = _parity(idx & zmask)
-            diag += coeff * np.where(par, -1.0, 1.0)
-        return diag
+        if self._diagonal_cache is None:
+            dim = 1 << self.num_qubits
+            coeffs, _, zmasks, _ = self._masks()
+            diag = np.empty(dim)
+            # All-terms parity matrix in vectorized popcount passes, chunked
+            # over basis blocks so the (terms, block) temporary respects the
+            # table budget — one unchunked pass is multi-GB at the wide
+            # registers the trajectory backend exists for.
+            block = max(1, _MAX_TABLE_ENTRIES // max(1, len(self._terms)))
+            for start in range(0, dim, block):
+                idx = np.arange(start, min(start + block, dim))
+                par = popcount(idx[None, :] & zmasks[:, None]) & 1
+                diag[start : start + idx.shape[0]] = coeffs @ np.where(
+                    par, -1.0, 1.0
+                )
+            # The cache is handed out directly; freeze it so a caller
+            # mutating the returned vector cannot corrupt later energies.
+            diag.flags.writeable = False
+            self._diagonal_cache = diag
+        return self._diagonal_cache
 
     def ground_energy(self) -> float:
         """Exact minimum eigenvalue (brute force / diagonalization)."""
@@ -243,13 +339,3 @@ class Hamiltonian:
             x = np.zeros_like(pauli.x)
             out.append((coeff, PauliString(x, z)))
         return out
-
-
-def _parity(arr: np.ndarray) -> np.ndarray:
-    """Boolean parity of set bits for an integer array."""
-    v = arr.astype(np.int64).copy()
-    par = np.zeros(v.shape, dtype=np.int64)
-    while v.any():
-        par ^= v & 1
-        v >>= 1
-    return par.astype(bool)

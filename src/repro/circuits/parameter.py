@@ -37,6 +37,16 @@ class ParameterExpression:
         """The free parameters appearing in this expression."""
         return set(self._terms)
 
+    @property
+    def linear_terms(self) -> Dict["Parameter", float]:
+        """``{parameter: coefficient}`` of the linear form (read-only view)."""
+        return dict(self._terms)
+
+    @property
+    def offset(self) -> float:
+        """The constant term of the linear form."""
+        return self._offset
+
     def bind(self, values: Mapping["Parameter", Number]) -> Union["ParameterExpression", float]:
         """Substitute ``values``; returns a float once fully bound."""
         terms: Dict[Parameter, float] = {}

@@ -143,12 +143,14 @@ class PauliString:
         """Product ``self @ other`` as ``(phase, PauliString)``."""
         if self.num_qubits != other.num_qubits:
             raise CircuitError("qubit count mismatch")
-        phase = 1.0 + 0.0j
-        for q in range(self.num_qubits):
-            a = _XZ_TO_CHAR[(int(self.x[q]), int(self.z[q]))]
-            b = _XZ_TO_CHAR[(int(other.x[q]), int(other.z[q]))]
-            phase *= _PAULI_PRODUCT_PHASE[(a, b)]
-        return phase, PauliString(self.x ^ other.x, self.z ^ other.z)
+        exps = _PHASE_EXPONENT[
+            self.x.astype(np.intp),
+            self.z.astype(np.intp),
+            other.x.astype(np.intp),
+            other.z.astype(np.intp),
+        ]
+        phase = 1j ** (int(exps.sum()) % 4)
+        return complex(phase), PauliString(self.x ^ other.x, self.z ^ other.z)
 
     def qubitwise_commutes(self, other: "PauliString") -> bool:
         """Qubit-wise commutation: per qubit, factors are equal or one is I.
@@ -157,12 +159,12 @@ class PauliString:
         """
         if self.num_qubits != other.num_qubits:
             raise CircuitError("qubit count mismatch")
-        for q in range(self.num_qubits):
-            a = (self.x[q], self.z[q])
-            b = (other.x[q], other.z[q])
-            if a != (False, False) and b != (False, False) and a != b:
-                return False
-        return True
+        conflict = (
+            (self.x | self.z)
+            & (other.x | other.z)
+            & ((self.x ^ other.x) | (self.z ^ other.z))
+        )
+        return not bool(conflict.any())
 
     # -- action on states -----------------------------------------------------------
 
@@ -182,29 +184,23 @@ class PauliString:
         dim = 1 << n
         if state.shape[0] != dim:
             raise CircuitError("statevector dimension mismatch")
-        idx = np.arange(dim)
-        xmask = 0
-        zmask = 0
-        y_count = 0
-        for q in range(n):
-            if self.x[q]:
-                xmask |= 1 << q
-            if self.z[q]:
-                zmask |= 1 << q
-            if self.x[q] and self.z[q]:
-                y_count += 1
-        flipped = idx ^ xmask
-        # Z-type phase: (-1)^{popcount(i & zmask)} acting on the source index
-        # of each output amplitude.  P|i> = i^{y} (-1)^{i·z} |i ^ x>, so the
-        # amplitude at output index j comes from i = j ^ x with phase
-        # i^{y} (-1)^{(j^x)·z}.
-        src = idx ^ xmask
-        z_par = _popcount(src & zmask) & 1
-        phase = ((-1.0) ** z_par) * (1j ** y_count)
-        out = np.empty_like(state)
-        out[idx] = phase * state[src]
-        del flipped
-        return out
+        # P|i> = i^{y} (-1)^{i·z} |i ^ x>: the amplitude at output index j
+        # comes from i = j ^ x with phase i^{y} (-1)^{(j^x)·z}.
+        src, phase = gather_table(*self.masks(), n)
+        return phase * state[src]
+
+    def masks(self) -> Tuple[int, int, int]:
+        """``(xmask, zmask, y_count)`` index-arithmetic form of the operator.
+
+        Bit ``q`` of ``xmask``/``zmask`` is the X/Z component on qubit ``q``;
+        ``y_count`` counts qubits carrying a Y factor.
+        """
+        bits = np.left_shift(np.int64(1), np.arange(self.num_qubits, dtype=np.int64))
+        return (
+            int(bits[self.x].sum()),
+            int(bits[self.z].sum()),
+            int(np.count_nonzero(self.x & self.z)),
+        )
 
     def expectation_statevector(self, state: np.ndarray) -> float:
         """<psi| P |psi> (always real for Hermitian P)."""
@@ -217,9 +213,7 @@ class PauliString:
         if rho.shape != (dim, dim):
             raise CircuitError("density matrix dimension mismatch")
         idx = np.arange(dim)
-        xmask = sum(1 << q for q in range(n) if self.x[q])
-        zmask = sum(1 << q for q in range(n) if self.z[q])
-        y_count = int(np.count_nonzero(self.x & self.z))
+        xmask, zmask, y_count = self.masks()
         src = idx ^ xmask
         # tr(rho P) = sum_j rho[j, j^x] * P[j^x, j]; the matrix element
         # P[j^x, j] carries the phase of P acting on |j> — evaluate the
@@ -263,15 +257,53 @@ for _a in "IXYZ":
                 _PAULI_PRODUCT_PHASE[(_a, _b)] = complex(ratio)
                 break
 
+#: Product phase as a power of i, indexed ``[x1, z1, x2, z2]`` per qubit so
+#: :meth:`PauliString.compose` can sum exponents in one vectorized lookup.
+_PHASE_EXPONENT = np.zeros((2, 2, 2, 2), dtype=np.int64)
+for (_a, _b), _ph in _PAULI_PRODUCT_PHASE.items():
+    _xa, _za = _CHAR_TO_XZ[_a]
+    _xb, _zb = _CHAR_TO_XZ[_b]
+    _PHASE_EXPONENT[_xa, _za, _xb, _zb] = round(
+        np.angle(_ph) / (np.pi / 2)
+    ) % 4
 
-def _popcount(arr: np.ndarray) -> np.ndarray:
-    """Vectorised popcount for int64 arrays."""
-    v = arr.astype(np.int64).copy()
-    count = np.zeros_like(v)
-    while v.any():
-        count += v & 1
-        v >>= 1
-    return count
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount(arr: np.ndarray) -> np.ndarray:
+        """Vectorised popcount (hardware ``popcnt`` via numpy >= 2.0)."""
+        return np.bitwise_count(np.asarray(arr, dtype=np.uint64)).astype(np.int64)
+
+else:
+    _POPCOUNT_TABLE = np.array(
+        [bin(_i).count("1") for _i in range(256)], dtype=np.uint8
+    )
+
+    def _popcount(arr: np.ndarray) -> np.ndarray:
+        """Vectorised popcount via a per-byte lookup table."""
+        v = np.ascontiguousarray(np.asarray(arr, dtype=np.uint64))
+        nibbles = v.view(np.uint8).reshape(v.shape + (8,))
+        return _POPCOUNT_TABLE[nibbles].sum(axis=-1, dtype=np.int64)
+
+
+#: Public alias: other modules (hamiltonian, trajectory) share this kernel.
+popcount = _popcount
+
+
+def gather_table(
+    xmask: int, zmask: int, y_count: int, num_qubits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(src, phase)`` arrays applying a Pauli by index arithmetic.
+
+    ``out[j] = phase[j] * state[src[j]]`` with
+    ``phase[j] = i^y (-1)^{popcount((j^x)·z)}`` — the single shared
+    implementation of the gather form used by :meth:`PauliString.apply`,
+    the Hamiltonian expectation tables, and trajectory error injection.
+    """
+    src = np.arange(1 << num_qubits) ^ xmask
+    z_par = _popcount(src & zmask) & 1
+    phase = ((-1.0) ** z_par) * (1j ** y_count)
+    return src, phase
 
 
 def random_pauli(

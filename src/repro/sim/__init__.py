@@ -1,5 +1,6 @@
 """Simulators: statevector (ideal), density matrix (noisy), trajectory (scalable)."""
 
+from repro.sim.compile import CompiledCircuit, CompiledProgram, compile_circuit
 from repro.sim.density_matrix import DensityMatrixSimulator
 from repro.sim.kraus import KrausChannel, identity_channel, unitary_channel
 from repro.sim.result import (
@@ -18,6 +19,9 @@ from repro.sim.statevector import (
 from repro.sim.trajectory import TrajectorySimulator
 
 __all__ = [
+    "CompiledCircuit",
+    "CompiledProgram",
+    "compile_circuit",
     "DensityMatrixSimulator",
     "KrausChannel",
     "identity_channel",

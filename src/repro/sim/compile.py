@@ -1,0 +1,502 @@
+"""Compile-once / execute-many circuit engine.
+
+Every optimizer loop, Qoncord schedule, and circuit-cutting fan-out in this
+repo bottoms out in thousands of simulations of *structurally identical*
+circuits.  Walking the instruction list in Python and recomputing each
+``inst.matrix()`` per run wastes most of that time, so this module lowers a
+:class:`~repro.circuits.circuit.QuantumCircuit` into a flat list of
+specialized kernels once and re-executes the lowered program cheaply:
+
+* adjacent single-qubit gates on the same qubit fuse into one 2x2 matrix;
+* runs of diagonal gates (rz/z/s/t/p/cz/rzz/crz/...) fuse into a single
+  elementwise phase vector over the full ``2**n`` dimension — a whole QAOA
+  cost layer becomes one vector multiply;
+* every gate matrix is computed exactly once per compile;
+* a parameter-rebinding path (:meth:`CompiledCircuit.bind`) re-concretizes
+  only the parameterized kernels, so an ansatz compiles once per
+  *structure* and re-executes across optimizer iterations with new angles.
+
+The fusion pass reorders operations only across disjoint qubit sets (where
+they commute); per-qubit operation order is preserved exactly, so compiled
+and uncompiled execution agree to machine precision.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits import gates as gatedefs
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.parameter import Parameter, ParameterExpression
+from repro.exceptions import ParameterError, SimulationError
+
+#: Gates whose matrix is diagonal in the computational basis for every
+#: parameter value.  Runs of these fuse into one elementwise phase vector.
+DIAGONAL_GATES = frozenset(
+    {"id", "z", "s", "sdg", "t", "tdg", "rz", "p", "cz", "rzz", "crz"}
+)
+
+#: Kernel kinds in a lowered program.
+KERNEL_MATRIX = 0  #: k-qubit unitary applied by tensor contraction
+KERNEL_DIAG = 1  #: full-dimension phase vector applied elementwise
+
+_basis_index_cache: Dict[int, np.ndarray] = {}
+_qubit_key_cache: Dict[Tuple[Tuple[int, ...], int], np.ndarray] = {}
+
+
+class PlanCache:
+    """Weakref-guarded per-circuit-object cache of lowered plans.
+
+    Shared by the density-matrix and trajectory backends, which both
+    re-simulate single circuit objects (tests, repeated ``run`` calls)
+    and must not re-lower per call.  Keyed on ``id(circuit)``; an entry
+    keeps strong refs to the instruction objects, so element-wise
+    identity is a sound staleness check (ids cannot be recycled while
+    the entry holds them).  Dead entries — the circuit itself was
+    collected, as happens every optimizer iteration when a fresh bound
+    circuit is built — are swept on each insert so their full-dimension
+    plans do not accumulate up to the cap.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        self._max = max_entries
+        self._entries: Dict[int, Tuple[weakref.ref, Tuple, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, circuit: QuantumCircuit) -> Optional[Any]:
+        entry = self._entries.get(id(circuit))
+        if entry is None or entry[0]() is not circuit:
+            return None
+        insts = circuit.instructions
+        if len(entry[1]) == len(insts) and all(
+            a is b for a, b in zip(entry[1], insts)
+        ):
+            return entry[2]
+        return None
+
+    def put(self, circuit: QuantumCircuit, plan: Any) -> Any:
+        for key in [k for k, v in self._entries.items() if v[0]() is None]:
+            del self._entries[key]
+        if len(self._entries) >= self._max:
+            # Evict the oldest live entry (insertion order) rather than
+            # clearing: a clear-all would cost every cached plan whenever
+            # >max circuits cycle round-robin.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[id(circuit)] = (
+            weakref.ref(circuit),
+            circuit.instructions,
+            plan,
+        )
+        return plan
+
+
+def basis_indices(num_qubits: int) -> np.ndarray:
+    """Cached ``arange(2**n)`` (shared; treat as read-only)."""
+    idx = _basis_index_cache.get(num_qubits)
+    if idx is None:
+        idx = np.arange(1 << num_qubits)
+        _basis_index_cache[num_qubits] = idx
+    return idx
+
+
+def qubit_key(qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Sub-register index of ``qubits`` for every full-register basis index.
+
+    ``key[j]`` packs bit ``qubits[slot]`` of ``j`` into bit ``slot`` —
+    exactly the row index of a little-endian gate matrix on ``qubits``.
+    Cached per ``(qubits, n)``; treat the result as read-only.
+    """
+    cache_key = (tuple(qubits), num_qubits)
+    key = _qubit_key_cache.get(cache_key)
+    if key is None:
+        idx = basis_indices(num_qubits)
+        key = np.zeros(1 << num_qubits, dtype=np.int64)
+        for slot, q in enumerate(qubits):
+            key |= ((idx >> q) & 1) << slot
+        if len(_qubit_key_cache) > 1024:
+            _qubit_key_cache.clear()
+        _qubit_key_cache[cache_key] = key
+    return key
+
+
+def embedded_diagonal(
+    diag: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Expand a small gate diagonal to a full ``2**n`` phase vector."""
+    return diag[qubit_key(qubits, num_qubits)]
+
+
+def _resolve_params(
+    inst: Instruction, values: Optional[Mapping[Parameter, float]]
+) -> List[float]:
+    out: List[float] = []
+    for p in inst.params:
+        if isinstance(p, ParameterExpression):
+            if values is None:
+                raise ParameterError(
+                    f"gate {inst.name!r} has unbound parameters"
+                )
+            out.append(p.value(values))
+        else:
+            out.append(float(p))
+    return out
+
+
+#: d/d(theta) of the diagonal's phase angles for each parametric diagonal
+#: gate (all are unit-modulus with angles linear in the single parameter).
+_DIAG_ANGLE_SLOPES: Dict[str, np.ndarray] = {
+    "rz": np.array([-0.5, 0.5]),
+    "p": np.array([0.0, 1.0]),
+    "rzz": np.array([-0.5, 0.5, 0.5, -0.5]),
+    "crz": np.array([0.0, -0.5, 0.0, 0.5]),
+}
+
+
+class _Segment:
+    """One fusion group: a contiguous-per-qubit run of source instructions."""
+
+    __slots__ = (
+        "kind",
+        "qubits",
+        "insts",
+        "parameterized",
+        "_const_angle",
+        "_slopes",
+    )
+
+    def __init__(self, kind: int, qubits: Tuple[int, ...]):
+        self.kind = kind
+        self.qubits = qubits
+        self.insts: List[Instruction] = []
+        self.parameterized = False
+        self._const_angle: Optional[np.ndarray] = None
+        self._slopes: Optional[List[Tuple[Parameter, np.ndarray]]] = None
+
+    def prepare(self, num_qubits: int) -> None:
+        """Precompute the rebinding plan of a parameterized diagonal segment.
+
+        Every diagonal gate here is unit-modulus with phase angles *linear*
+        in its parameter, and parameter expressions are linear in the free
+        parameters, so the segment's full phase vector is
+        ``exp(i * (const + sum_p values[p] * slope_p))`` — rebinding costs
+        one axpy per free parameter plus one ``exp``, independent of how
+        many gates fused into the run.
+        """
+        if self.kind != KERNEL_DIAG or not self.parameterized:
+            return
+        dim = 1 << num_qubits
+        const = np.zeros(dim)
+        slopes: Dict[Parameter, np.ndarray] = {}
+        for inst in self.insts:
+            if inst.is_parameterized:
+                slope_full = embedded_diagonal(
+                    _DIAG_ANGLE_SLOPES[inst.name], inst.qubits, num_qubits
+                )
+                expr = inst.params[0]
+                const += slope_full * expr.offset
+                for param, coeff in expr.linear_terms.items():
+                    if param in slopes:
+                        slopes[param] = slopes[param] + slope_full * coeff
+                    else:
+                        slopes[param] = slope_full * coeff
+            else:
+                d = np.diag(
+                    gatedefs.gate_matrix(
+                        inst.name, [float(p) for p in inst.params]
+                    )
+                )
+                const += embedded_diagonal(np.angle(d), inst.qubits, num_qubits)
+        self._const_angle = const
+        self._slopes = list(slopes.items())
+
+    def concretize(
+        self, num_qubits: int, values: Optional[Mapping[Parameter, float]] = None
+    ) -> np.ndarray:
+        """Fused matrix (KERNEL_MATRIX) or phase vector (KERNEL_DIAG)."""
+        if self.kind == KERNEL_MATRIX:
+            matrix: Optional[np.ndarray] = None
+            for inst in self.insts:
+                m = gatedefs.gate_matrix(inst.name, _resolve_params(inst, values))
+                matrix = m if matrix is None else m @ matrix
+            return matrix
+        if self._const_angle is not None:
+            if values is None:
+                raise ParameterError("diagonal run has unbound parameters")
+            angle = self._const_angle.copy()
+            try:
+                for param, slope in self._slopes:
+                    angle += values[param] * slope
+            except KeyError as exc:
+                raise ParameterError(f"unbound parameter: {exc.args[0]}")
+            return np.exp(1j * angle)
+        phase = np.ones(1 << num_qubits, dtype=complex)
+        for inst in self.insts:
+            d = np.diag(
+                gatedefs.gate_matrix(inst.name, _resolve_params(inst, values))
+            )
+            phase *= embedded_diagonal(d, inst.qubits, num_qubits)
+        return phase
+
+
+def _lower(circuit: QuantumCircuit) -> List[_Segment]:
+    """Single-pass fusion lowering.
+
+    Invariant: every qubit is *held* by at most one pending structure (its
+    1q chain or the open diagonal run).  A new instruction that cannot join
+    the structure holding its qubits flushes that structure first, so
+    per-qubit order is preserved; pending structures on disjoint qubits may
+    be emitted out of program order, which is safe because they commute.
+    """
+    segments: List[_Segment] = []
+    pending_1q: Dict[int, _Segment] = {}
+    pending_diag: Optional[_Segment] = None
+    holder: Dict[int, str] = {}
+
+    def flush_1q(q: int) -> None:
+        seg = pending_1q.pop(q, None)
+        if seg is not None:
+            segments.append(seg)
+            holder.pop(q, None)
+
+    def flush_diag() -> None:
+        nonlocal pending_diag
+        if pending_diag is not None:
+            segments.append(pending_diag)
+            for q in [q for q, h in holder.items() if h == "diag"]:
+                del holder[q]
+            pending_diag = None
+
+    for inst in circuit:
+        if not inst.is_gate:
+            if inst.name == "reset":
+                raise SimulationError(
+                    "reset is not supported in pure-state evolution"
+                )
+            continue  # measure / barrier / delay are no-ops here
+        if inst.name == "id":
+            continue
+        if inst.name in DIAGONAL_GATES:
+            if len(inst.qubits) == 1 and holder.get(inst.qubits[0]) == "1q":
+                # A diagonal 1q gate extends the qubit's open 1q chain.
+                pending_1q[inst.qubits[0]].insts.append(inst)
+                continue
+            for q in inst.qubits:
+                if holder.get(q) == "1q":
+                    flush_1q(q)
+            if pending_diag is None:
+                pending_diag = _Segment(KERNEL_DIAG, ())
+            pending_diag.insts.append(inst)
+            for q in inst.qubits:
+                holder[q] = "diag"
+            continue
+        if len(inst.qubits) == 1:
+            q = inst.qubits[0]
+            if holder.get(q) == "diag":
+                flush_diag()
+            seg = pending_1q.get(q)
+            if seg is None:
+                seg = _Segment(KERNEL_MATRIX, inst.qubits)
+                pending_1q[q] = seg
+                holder[q] = "1q"
+            seg.insts.append(inst)
+            continue
+        # Non-diagonal multi-qubit gate: a hard fusion barrier on its qubits.
+        if any(holder.get(q) == "diag" for q in inst.qubits):
+            flush_diag()
+        for q in inst.qubits:
+            if holder.get(q) == "1q":
+                flush_1q(q)
+        seg = _Segment(KERNEL_MATRIX, inst.qubits)
+        seg.insts.append(inst)
+        segments.append(seg)
+    flush_diag()
+    for q in sorted(pending_1q):
+        flush_1q(q)
+    for seg in segments:
+        seg.parameterized = any(i.is_parameterized for i in seg.insts)
+    return segments
+
+
+def _apply_1q_inplace(state: np.ndarray, m: np.ndarray, qubit: int) -> None:
+    """Apply a 2x2 matrix to one qubit of an owned statevector, in place.
+
+    Specialized kernel: two strided slices and four scalar-vector products —
+    no ``moveaxis``/``tensordot`` bookkeeping, no full-array reallocation.
+    Works on ``(dim,)`` and ``(batch, dim)`` buffers alike.
+    """
+    view = state.reshape(state.shape[:-1] + (-1, 2, 1 << qubit))
+    s0 = view[..., 0, :]
+    s1 = view[..., 1, :]
+    new0 = m[0, 0] * s0 + m[0, 1] * s1
+    new1 = m[1, 0] * s0 + m[1, 1] * s1
+    view[..., 0, :] = new0
+    view[..., 1, :] = new1
+
+
+class CompiledProgram:
+    """An executable lowered circuit: a flat list of concrete kernels."""
+
+    __slots__ = ("num_qubits", "ops")
+
+    def __init__(
+        self,
+        num_qubits: int,
+        ops: List[Tuple[int, Tuple[int, ...], np.ndarray]],
+    ):
+        self.num_qubits = num_qubits
+        #: ``(kind, qubits, array)`` triples; arrays may be shared with the
+        #: owning :class:`CompiledCircuit` cache — never mutated in place.
+        self.ops = ops
+
+    def run(
+        self,
+        initial: Optional[np.ndarray] = None,
+        check_normalized: bool = True,
+    ) -> np.ndarray:
+        """Evolve one statevector (``|0...0>`` when ``initial`` is None).
+
+        A user-supplied ``initial`` must be normalized (a silently
+        unnormalized state would corrupt every downstream probability);
+        internal callers chaining programs over already-evolved states may
+        pass ``check_normalized=False``.
+        """
+        from repro.sim.statevector import (
+            _check_normalized,
+            apply_unitary,
+            zero_state,
+        )
+
+        n = self.num_qubits
+        if initial is None:
+            state = zero_state(n)
+        else:
+            state = np.array(initial, dtype=complex)
+            if state.shape != (1 << n,):
+                raise SimulationError("initial state dimension mismatch")
+            if check_normalized:
+                _check_normalized(state)
+        for kind, qubits, arr in self.ops:
+            if kind == KERNEL_DIAG:
+                state *= arr
+            elif len(qubits) == 1:
+                _apply_1q_inplace(state, arr, qubits[0])
+            else:
+                state = apply_unitary(state, arr, qubits, n)
+        return state
+
+    def run_batch(
+        self, states: np.ndarray, check_normalized: bool = True
+    ) -> np.ndarray:
+        """Evolve a ``(batch, 2**n)`` block of states in one sweep."""
+        from repro.sim.statevector import _check_normalized, apply_unitary_batch
+
+        n = self.num_qubits
+        states = np.array(states, dtype=complex)
+        if states.ndim != 2 or states.shape[1] != (1 << n):
+            raise SimulationError(
+                f"states must have shape (batch, {1 << n}), got {states.shape}"
+            )
+        if check_normalized:
+            _check_normalized(states)
+        for kind, qubits, arr in self.ops:
+            if kind == KERNEL_DIAG:
+                states *= arr[None, :]
+            elif len(qubits) == 1:
+                _apply_1q_inplace(states, arr, qubits[0])
+            else:
+                states = apply_unitary_batch(states, arr, qubits, n)
+        return states
+
+
+class CompiledCircuit:
+    """A circuit lowered to fused kernels, compiled once per *structure*.
+
+    Non-parameterized kernels are concretized at compile time and shared by
+    every execution; :meth:`bind` re-concretizes only the parameterized
+    kernels, which is what makes optimizer loops cheap.
+    """
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.num_qubits = circuit.num_qubits
+        self.name = circuit.name
+        self.parameters: List[Parameter] = circuit.parameters
+        self._segments = _lower(circuit)
+        for seg in self._segments:
+            seg.prepare(self.num_qubits)
+        self._static: List[Optional[np.ndarray]] = [
+            None if seg.parameterized else seg.concretize(self.num_qubits)
+            for seg in self._segments
+        ]
+        self._program: Optional[CompiledProgram] = None
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    @property
+    def num_kernels(self) -> int:
+        """Number of fused kernels the program executes."""
+        return len(self._segments)
+
+    @property
+    def num_source_gates(self) -> int:
+        """Number of source gate instructions the kernels cover."""
+        return sum(len(seg.insts) for seg in self._segments)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"kernels={self.num_kernels}, gates={self.num_source_gates})"
+        )
+
+    # -- concretization -----------------------------------------------------
+
+    def program(self) -> CompiledProgram:
+        """The executable program of a fully bound circuit (cached)."""
+        if self._program is None:
+            if self.is_parameterized:
+                names = sorted(p.name for p in self.parameters)
+                raise ParameterError(f"unbound parameters: {names}")
+            ops = [
+                (seg.kind, seg.qubits, arr)
+                for seg, arr in zip(self._segments, self._static)
+            ]
+            self._program = CompiledProgram(self.num_qubits, ops)
+        return self._program
+
+    def bind(
+        self, values: Union[Mapping[Parameter, float], Sequence[float]]
+    ) -> CompiledProgram:
+        """Concretize with new parameter values; static kernels are reused.
+
+        ``values`` may be a mapping or a sequence matched against
+        :attr:`parameters` order (same convention as
+        :meth:`QuantumCircuit.bind`).
+        """
+        if not self.is_parameterized:
+            return self.program()
+        if not isinstance(values, Mapping):
+            vals = [float(v) for v in values]
+            if len(vals) != len(self.parameters):
+                raise ParameterError(
+                    f"expected {len(self.parameters)} values, got {len(vals)}"
+                )
+            values = dict(zip(self.parameters, vals))
+        ops = []
+        for seg, arr in zip(self._segments, self._static):
+            if arr is None:
+                arr = seg.concretize(self.num_qubits, values)
+            ops.append((seg.kind, seg.qubits, arr))
+        return CompiledProgram(self.num_qubits, ops)
+
+
+def compile_circuit(circuit: QuantumCircuit) -> CompiledCircuit:
+    """Lower ``circuit`` into a :class:`CompiledCircuit`."""
+    return CompiledCircuit(circuit)

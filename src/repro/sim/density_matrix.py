@@ -23,6 +23,7 @@ import numpy as np
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.hamiltonian import Hamiltonian
 from repro.exceptions import SimulationError
+from repro.sim.compile import PlanCache, qubit_key
 from repro.sim.result import Result
 from repro.sim.sampling import (
     apply_readout_error_probabilities,
@@ -117,6 +118,10 @@ class DensityMatrixSimulator:
         #: Compiled superoperators: noise-only (per kind) and gate+noise.
         self._noise_superops: Dict[str, Optional[np.ndarray]] = {}
         self._gate_superops: Dict[Tuple, np.ndarray] = {}
+        #: Diagonal-or-not decision (and the diagonal itself) per unique gate.
+        self._diag_decisions: Dict[Tuple, Optional[np.ndarray]] = {}
+        #: Fully compiled per-circuit evolution plans (weakref-guarded).
+        self._plan_cache = PlanCache()
 
     # -- superoperator compilation -------------------------------------------
 
@@ -124,11 +129,13 @@ class DensityMatrixSimulator:
         """Superoperator of all noise channels attached to ``inst`` (or None)."""
         arity = len(inst.qubits)
         if inst.name == "delay":
-            key = f"delay:{inst.metadata.get('duration', 0.0)!r}"
+            key = f"delay:{inst.metadata.get('duration', 0.0)!r}:{inst.qubits}"
         else:
-            # Per gate *name*: rz is virtual/noiseless while other 1q gates
-            # are not, so an arity-level key would conflate them.
-            key = f"gate:{inst.name}"
+            # Keyed per gate *name* (rz is virtual/noiseless while other 1q
+            # gates are not) *and* per qubit tuple: ``channels_for`` may
+            # return qubit-dependent channels for heterogeneous models, so
+            # a name-only key would serve stale superoperators.
+            key = f"gate:{inst.name}:{inst.qubits}"
         if key not in self._noise_superops:
             channels = self.noise_model.channels_for(inst)
             if not channels:
@@ -148,17 +155,73 @@ class DensityMatrixSimulator:
         return self._noise_superops[key]
 
     def _gate_superop(self, inst: Instruction, noise: Optional[np.ndarray]) -> np.ndarray:
-        """Combined (noise ∘ unitary) superoperator for a non-diagonal gate."""
-        key = (inst.name, tuple(float(p) for p in inst.params))
+        """Combined (noise ∘ unitary) superoperator for a non-diagonal gate.
+
+        Keyed on qubits too because the baked-in noise may be
+        qubit-dependent under heterogeneous models.
+        """
+        key = (inst.name, tuple(float(p) for p in inst.params), inst.qubits)
         if key not in self._gate_superops:
             u = inst.matrix()
             s = channel_superop([u])
             if noise is not None:
                 s = noise @ s
+            if len(self._gate_superops) > 4096:
+                self._gate_superops.clear()
             self._gate_superops[key] = s
         return self._gate_superops[key]
 
+    def _gate_diagonal(self, inst: Instruction) -> Optional[np.ndarray]:
+        """Cached diagonal of the gate unitary (None when not diagonal)."""
+        key = (inst.name, tuple(float(p) for p in inst.params))
+        if key not in self._diag_decisions:
+            if len(self._diag_decisions) > 4096:
+                self._diag_decisions.clear()
+            self._diag_decisions[key] = _diagonal_of(inst.matrix())
+        return self._diag_decisions[key]
+
     # -- evolution ----------------------------------------------------------------
+
+    #: Plan opcodes: elementwise D rho D† (+ optional noise), dense superop,
+    #: and per-qubit noise for delay directives.
+    _OP_DIAG = 0
+    _OP_SUPEROP = 1
+    _OP_NOISE_EACH = 2
+
+    def compile_plan(self, circuit: QuantumCircuit) -> list:
+        """Lower ``circuit`` into a flat evolution plan, compiled once.
+
+        Every per-gate decision — is the unitary diagonal, which noise
+        superoperator attaches, which basis-index gather embeds a small
+        diagonal — happens here exactly once per circuit (and hits
+        per-unique-gate caches across circuits); :meth:`evolve` then runs a
+        tight loop over concrete kernels.  Plans are cached per circuit
+        object (weakref-guarded, invalidated when the instruction list
+        changes), so repeated evolutions of one circuit skip lowering
+        entirely.
+        """
+        n = circuit.num_qubits
+        cached = self._plan_cache.get(circuit)
+        if cached is not None:
+            return cached
+        plan: list = []
+        for inst in circuit:
+            if inst.is_gate:
+                noise = self._noise_superop(inst)
+                diag = self._gate_diagonal(inst)
+                if diag is not None:
+                    dfull = diag[qubit_key(inst.qubits, n)]
+                    plan.append((self._OP_DIAG, dfull, noise, inst.qubits))
+                else:
+                    s = self._gate_superop(inst, noise)
+                    plan.append((self._OP_SUPEROP, s, None, inst.qubits))
+            elif inst.name == "reset":
+                raise SimulationError("reset is not supported")
+            elif inst.name == "delay":
+                noise = self._noise_superop(inst)
+                if noise is not None:
+                    plan.append((self._OP_NOISE_EACH, noise, None, inst.qubits))
+        return self._plan_cache.put(circuit, plan)
 
     def evolve(self, circuit: QuantumCircuit) -> np.ndarray:
         """Final density matrix after the circuit's unitary+noise dynamics."""
@@ -169,34 +232,17 @@ class DensityMatrixSimulator:
                 f"{MAX_DM_QUBITS}; use TrajectorySimulator"
             )
         rho = zero_density(n)
-        dim = 1 << n
-        basis_index = np.arange(dim)
-        for inst in circuit:
-            if inst.is_gate:
-                noise = self._noise_superop(inst)
-                u = inst.matrix()
-                diag = _diagonal_of(u)
-                if diag is not None:
-                    # Diagonal unitaries act elementwise: rho -> D rho D†.
-                    key = np.zeros(dim, dtype=np.int64)
-                    for slot, q in enumerate(inst.qubits):
-                        key |= ((basis_index >> q) & 1) << slot
-                    dfull = diag[key]
-                    rho = (dfull[:, None] * rho) * dfull.conj()[None, :]
-                    if noise is not None:
-                        rho = apply_superop(rho, noise, inst.qubits, n)
-                else:
-                    s = self._gate_superop(inst, noise)
-                    rho = apply_superop(rho, s, inst.qubits, n)
-            elif inst.name == "reset":
-                raise SimulationError("reset is not supported")
-            else:
-                noise = (
-                    self._noise_superop(inst) if inst.name == "delay" else None
-                )
+        for op, payload, noise, qubits in self.compile_plan(circuit):
+            if op == self._OP_DIAG:
+                # Diagonal unitaries act elementwise: rho -> D rho D†.
+                rho = (payload[:, None] * rho) * payload.conj()[None, :]
                 if noise is not None:
-                    for q in inst.qubits:
-                        rho = apply_superop(rho, noise, (q,), n)
+                    rho = apply_superop(rho, noise, qubits, n)
+            elif op == self._OP_SUPEROP:
+                rho = apply_superop(rho, payload, qubits, n)
+            else:
+                for q in qubits:
+                    rho = apply_superop(rho, payload, (q,), n)
         return rho
 
     # -- public API ----------------------------------------------------------------

@@ -78,6 +78,33 @@ def apply_unitary_batch(
     return np.ascontiguousarray(st).reshape(batch, -1)
 
 
+def apply_diagonal_batch(
+    states: np.ndarray, diag: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> None:
+    """Multiply every row of ``(batch, 2**n)`` by a k-qubit gate diagonal.
+
+    In place.  Same index conventions as :func:`apply_unitary_batch`, but a
+    diagonal acts elementwise, so the small diagonal broadcasts straight
+    onto the target qubit axes — no index tables, no full-dimension
+    embedded vector.
+    """
+    k = len(qubits)
+    if diag.shape != (1 << k,):
+        raise SimulationError(
+            f"diagonal shape {diag.shape} does not match {k} qubits"
+        )
+    batch = states.shape[0]
+    st = states.reshape((batch,) + (2,) * num_qubits)
+    # Diagonal axis j holds gate-index bit k-1-j, i.e. qubit qubits[k-1-j],
+    # which lives on state axis 1 + (n-1-q).
+    dest = [1 + num_qubits - 1 - qubits[k - 1 - j] for j in range(k)]
+    d = np.transpose(diag.reshape((2,) * k), np.argsort(dest))
+    shape = [1] * (1 + num_qubits)
+    for pos in dest:
+        shape[pos] = 2
+    st *= d.reshape(shape)
+
+
 def _check_normalized(state: np.ndarray, tol: float = 1e-8) -> None:
     norms = np.linalg.norm(state, axis=-1)
     worst = float(np.abs(norms - 1.0).max())
@@ -88,20 +115,15 @@ def _check_normalized(state: np.ndarray, tol: float = 1e-8) -> None:
 
 
 def run_statevector(circuit: QuantumCircuit, initial: Optional[np.ndarray] = None) -> np.ndarray:
-    """Evolve the circuit's unitary part; measurements/directives are skipped."""
-    n = circuit.num_qubits
-    state = zero_state(n) if initial is None else np.asarray(initial, dtype=complex).copy()
-    if state.shape[0] != (1 << n):
-        raise SimulationError("initial state dimension mismatch")
-    if initial is not None:
-        _check_normalized(state)
-    for inst in circuit:
-        if inst.is_gate:
-            state = apply_unitary(state, inst.matrix(), inst.qubits, n)
-        elif inst.name == "reset":
-            raise SimulationError("reset is not supported in pure-state evolution")
-        # measure / barrier / delay are no-ops for the ideal statevector
-    return state
+    """Evolve the circuit's unitary part; measurements/directives are skipped.
+
+    The circuit is lowered through :mod:`repro.sim.compile` (gate fusion +
+    matrix caching) before execution; callers that re-run one structure
+    many times should compile once and rebind instead.
+    """
+    from repro.sim.compile import CompiledCircuit
+
+    return CompiledCircuit(circuit).program().run(initial)
 
 
 def run_statevector_batch(
@@ -112,22 +134,12 @@ def run_statevector_batch(
     ``initial_states`` has shape ``(batch, 2**n)``; the return value has the
     same shape with row b holding ``U |initial_states[b]>``.  This is the
     vectorized entry point the circuit-cutting executor uses to run
-    thousands of fragment variants without per-variant Python overhead.
+    thousands of fragment variants without per-variant Python overhead; the
+    circuit is lowered to fused kernels before the sweep.
     """
-    n = circuit.num_qubits
-    states = np.asarray(initial_states, dtype=complex)
-    if states.ndim != 2 or states.shape[1] != (1 << n):
-        raise SimulationError(
-            f"initial_states must have shape (batch, {1 << n}), got {states.shape}"
-        )
-    _check_normalized(states)
-    states = states.copy()
-    for inst in circuit:
-        if inst.is_gate:
-            states = apply_unitary_batch(states, inst.matrix(), inst.qubits, n)
-        elif inst.name == "reset":
-            raise SimulationError("reset is not supported in pure-state evolution")
-    return states
+    from repro.sim.compile import CompiledCircuit
+
+    return CompiledCircuit(circuit).program().run_batch(initial_states)
 
 
 def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
@@ -186,3 +198,15 @@ class StatevectorSimulator:
     ) -> np.ndarray:
         """Vectorized sweep: evolve ``(batch, 2**n)`` states through ``circuit``."""
         return run_statevector_batch(circuit.remove_measurements(), initial_states)
+
+    @staticmethod
+    def compile(circuit: QuantumCircuit):
+        """Lower ``circuit`` once for repeated execution / rebinding.
+
+        Returns a :class:`~repro.sim.compile.CompiledCircuit`; bind new
+        parameters per optimizer iteration instead of re-simulating the
+        instruction list.
+        """
+        from repro.sim.compile import CompiledCircuit
+
+        return CompiledCircuit(circuit.remove_measurements())

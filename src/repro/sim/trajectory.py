@@ -8,34 +8,65 @@ depolarizing channel).  Readout error is applied per sampled shot.
 Averaging expectation values across trajectories converges to the exact
 density-matrix result; the estimator is unbiased for the depolarizing +
 readout noise models of Fig 17/18.
+
+Performance design: trajectories evolve together as ``(rows, 2**n)``
+batches of at most ``batch_rows`` rows (bounding peak memory at wide
+registers).  The circuit is lowered once into a flat kernel plan
+(diagonal gates become elementwise phase vectors; runs of noiseless
+diagonal gates fuse), each kernel is applied to the whole batch in one
+BLAS call, and Pauli errors are injected per *row* via vectorized index
+arithmetic — no per-trajectory Python loop, no per-error
+``apply_unitary``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.circuits import gates as gatedefs
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.hamiltonian import Hamiltonian
+from repro.circuits.pauli import gather_table, popcount
 from repro.exceptions import SimulationError
+from repro.sim.compile import DIAGONAL_GATES, PlanCache
 from repro.sim.result import Result
 from repro.sim.sampling import (
     apply_readout_error_counts,
     sample_counts,
 )
-from repro.sim.statevector import apply_unitary, zero_state
+from repro.sim.statevector import apply_diagonal_batch, apply_unitary_batch
 
-_PAULI_MATRICES = {
-    "X": np.array([[0, 1], [1, 0]], dtype=complex),
-    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
-    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
-}
+#: (xmask-bit, zmask-bit) of each single-qubit Pauli error, indexed 0..2.
+_PAULI_XZ = {"X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
 _PAULI_LABELS_1Q = ("X", "Y", "Z")
 _PAULI_LABELS_2Q = tuple(
     a + b for a in ("I", "X", "Y", "Z") for b in ("I", "X", "Y", "Z")
 )[1:]
+
+
+class _PlanOp:
+    """One kernel of a lowered trajectory program.
+
+    Exactly one of ``phase`` (full-dim vector for a fused noiseless
+    diagonal run), ``diag`` (small ``2**k`` gate diagonal of one noisy
+    diagonal gate — kept small so wide-register plans stay light), or
+    ``matrix`` is set; all three ``None`` means a noise-only op (e.g. a
+    noisy identity gate).  ``error_p``/``error_qubits`` describe the
+    depolarizing event sampled after the kernel (``error_p == 0`` for
+    noiseless kernels).
+    """
+
+    __slots__ = ("phase", "diag", "matrix", "qubits", "error_p", "error_qubits")
+
+    def __init__(self, phase, diag, matrix, qubits, error_p, error_qubits):
+        self.phase = phase
+        self.diag = diag
+        self.matrix = matrix
+        self.qubits = qubits
+        self.error_p = error_p
+        self.error_qubits = error_qubits
 
 
 class TrajectorySimulator:
@@ -67,39 +98,219 @@ class TrajectorySimulator:
         if trajectories < 1:
             raise SimulationError("need at least one trajectory")
         self.trajectories = trajectories
+        #: Max trajectories evolved as one batch.  Caps peak memory at
+        #: ``batch_rows * 2**n * 16`` bytes — this backend exists for
+        #: registers too wide for the density matrix, so an unchunked
+        #: (trajectories, 2**n) batch could exceed RAM where the old
+        #: one-at-a-time loop ran fine.  64 rows keeps full BLAS batching
+        #: for the default trajectory count.
+        self.batch_rows = 64
         self._rng = np.random.default_rng(seed)
+        #: Per-(xmask, zmask) Pauli application tables (src or None, phase).
+        self._pauli_table_cache: Dict[
+            Tuple[int, int, int], Tuple[Optional[np.ndarray], np.ndarray]
+        ] = {}
+        #: Compiled per-circuit plans (shared weakref-guarded cache) so
+        #: repeated run()/expectation() calls on one circuit object skip
+        #: re-lowering (O(gates * 2**n) phase-vector allocation).  Optimizer
+        #: loops bind a *fresh* circuit per iteration and still miss here;
+        #: structural (parameter-slot) rebinding is a ROADMAP follow-up.
+        self._plan_cache = PlanCache()
 
-    # -- single trajectory ---------------------------------------------------
+    # -- circuit lowering ---------------------------------------------------
 
-    def _evolve_once(
-        self, circuit: QuantumCircuit, rng: np.random.Generator
-    ) -> np.ndarray:
+    def _compiled_plan(self, circuit: QuantumCircuit) -> List[_PlanOp]:
+        """Cached :meth:`_compile_plan` of ``circuit`` sans measurements."""
+        plan = self._plan_cache.get(circuit)
+        if plan is None:
+            plan = self._plan_cache.put(
+                circuit, self._compile_plan(circuit.remove_measurements())
+            )
+        return plan
+
+    def _compile_plan(self, circuit: QuantumCircuit) -> List[_PlanOp]:
+        """Lower the circuit into per-gate kernels with noise points.
+
+        Fusion is restricted to *noiseless* diagonal gates (rz runs): every
+        noisy gate keeps its own kernel so the error-injection point after
+        it is preserved exactly, and a noiseless diagonal may only merge
+        forward into a directly following diagonal kernel (merging backward
+        would move it before the previous gate's error event).
+        """
         n = circuit.num_qubits
-        state = zero_state(n)
         nm = self.noise_model
+        plan: List[_PlanOp] = []
+        pending_phase: Optional[np.ndarray] = None
         for inst in circuit:
-            if inst.is_gate:
-                state = apply_unitary(state, inst.matrix(), inst.qubits, n)
+            if not inst.is_gate:
+                if inst.name == "reset":
+                    raise SimulationError(
+                        "reset is not supported in pure-state evolution"
+                    )
+                continue
+            if inst.name == "id":
+                # Identity needs no kernel, but it is still a noisy 1q gate
+                # (the DM backend attaches a depolarizing channel to it), so
+                # keep its error-injection point — after any pending phase,
+                # which does not commute with the sampled Paulis.
+                p = nm.avg_error_1q
+                if p > 0.0:
+                    if pending_phase is not None:
+                        plan.append(
+                            _PlanOp(pending_phase, None, None, (), 0.0, ())
+                        )
+                        pending_phase = None
+                    plan.append(_PlanOp(None, None, None, (), p, inst.qubits))
+                continue
+            noiseless = inst.name == "rz"
+            p = 0.0
+            if not noiseless:
                 arity = gatedefs.GATE_ARITY[inst.name]
-                if inst.name == "rz":
-                    continue  # virtual, noiseless
                 p = nm.avg_error_1q if arity == 1 else nm.avg_error_2q
-                if p > 0.0 and rng.random() < p:
-                    state = self._apply_random_pauli(state, inst.qubits, n, rng)
-        return state
+            if inst.name in DIAGONAL_GATES:
+                small = np.diag(inst.matrix())
+                if noiseless or p == 0.0:
+                    # Accumulate into one full-dim phase via the broadcast
+                    # kernel (no gather tables); the run keeps one vector.
+                    if pending_phase is None:
+                        pending_phase = np.ones(1 << n, dtype=complex)
+                    apply_diagonal_batch(
+                        pending_phase[None, :], small, inst.qubits, n
+                    )
+                    continue
+                if pending_phase is not None:
+                    plan.append(_PlanOp(pending_phase, None, None, (), 0.0, ()))
+                    pending_phase = None
+                # Noisy diagonal: keep only the 2**k gate diagonal — a
+                # full-dim vector per noisy cz/rzz would make plan memory
+                # O(gates * 2**n) at the wide registers this backend
+                # exists for.
+                plan.append(
+                    _PlanOp(None, small, None, inst.qubits, p, inst.qubits)
+                )
+                continue
+            if pending_phase is not None:
+                plan.append(_PlanOp(pending_phase, None, None, (), 0.0, ()))
+                pending_phase = None
+            plan.append(
+                _PlanOp(None, None, inst.matrix(), inst.qubits, p, inst.qubits)
+            )
+        if pending_phase is not None:
+            plan.append(_PlanOp(pending_phase, None, None, (), 0.0, ()))
+        return plan
 
-    @staticmethod
-    def _apply_random_pauli(
-        state: np.ndarray, qubits, n: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    # -- vectorized Pauli-error injection -----------------------------------
+
+    def _pauli_table(
+        self, xmask: int, zmask: int, num_qubits: int
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """``(src, phase)`` arrays applying the Pauli with these masks.
+
+        ``out[j] = phase[j] * state[src[j]]`` (``src`` is None when the
+        Pauli is diagonal).  Cached per (n, xmask, zmask).
+        """
+        key = (num_qubits, xmask, zmask)
+        entry = self._pauli_table_cache.get(key)
+        if entry is None:
+            y_count = int(popcount(np.asarray([xmask & zmask]))[0])
+            src, phase = gather_table(xmask, zmask, y_count, num_qubits)
+            entry = (src if xmask else None, phase)
+            if len(self._pauli_table_cache) > 256:
+                self._pauli_table_cache.clear()
+            self._pauli_table_cache[key] = entry
+        return entry
+
+    def _inject_pauli_errors(
+        self,
+        states: np.ndarray,
+        qubits: Tuple[int, ...],
+        p: float,
+        num_qubits: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Fire a uniform random Pauli on each row independently (prob p)."""
+        fire = rng.random(states.shape[0]) < p
+        hits = int(fire.sum())
+        if not hits:
+            return
+        rows = np.nonzero(fire)[0]
         if len(qubits) == 1:
-            label = _PAULI_LABELS_1Q[rng.integers(3)]
-            return apply_unitary(state, _PAULI_MATRICES[label], qubits, n)
-        label = _PAULI_LABELS_2Q[rng.integers(15)]
-        for char, q in zip(label, qubits):
-            if char != "I":
-                state = apply_unitary(state, _PAULI_MATRICES[char], [q], n)
-        return state
+            labels = rng.integers(0, 3, size=hits)
+            label_set = _PAULI_LABELS_1Q
+        else:
+            labels = rng.integers(0, 15, size=hits)
+            label_set = _PAULI_LABELS_2Q
+        for lab in np.unique(labels):
+            sel = rows[labels == lab]
+            xmask = 0
+            zmask = 0
+            for char, q in zip(label_set[lab], qubits):
+                if char == "I":
+                    continue
+                xb, zb = _PAULI_XZ[char]
+                xmask |= xb << q
+                zmask |= zb << q
+            src, phase = self._pauli_table(xmask, zmask, num_qubits)
+            if src is None:
+                states[sel] *= phase
+            else:
+                states[sel] = states[sel][:, src] * phase
+
+    # -- batched evolution --------------------------------------------------
+
+    def _state_blocks(
+        self,
+        circuit: QuantumCircuit,
+        n_traj: int,
+        rng: np.random.Generator,
+    ):
+        """Yield trajectory batches of at most ``batch_rows`` rows each.
+
+        The compiled plan is shared across blocks, so chunking costs no
+        re-lowering; it only bounds the live batch memory.
+        """
+        plan = self._compiled_plan(circuit)
+        n = circuit.num_qubits
+        done = 0
+        while done < n_traj:
+            rows = min(self.batch_rows, n_traj - done)
+            states = np.zeros((rows, 1 << n), dtype=complex)
+            states[:, 0] = 1.0
+            for op in plan:
+                if op.phase is not None:
+                    states *= op.phase[None, :]
+                elif op.diag is not None:
+                    apply_diagonal_batch(states, op.diag, op.qubits, n)
+                elif op.matrix is not None:
+                    states = apply_unitary_batch(states, op.matrix, op.qubits, n)
+                if op.error_p > 0.0:
+                    self._inject_pauli_errors(
+                        states, op.error_qubits, op.error_p, n, rng
+                    )
+            yield states
+            done += rows
+
+    def trajectory_states(
+        self,
+        circuit: QuantumCircuit,
+        trajectories: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Evolve all trajectories; returns ``(trajectories, 2**n)``.
+
+        Each row is one stochastic noise realization of the circuit
+        (measurements are ignored).  This materializes the full batch;
+        :meth:`run` and :meth:`expectation` stream ``batch_rows``-sized
+        blocks instead, so prefer them at wide registers with many
+        trajectories.
+        """
+        rng = rng or self._rng
+        n_traj = self.trajectories if trajectories is None else int(trajectories)
+        if n_traj < 1:
+            raise SimulationError("need at least one trajectory")
+        return np.concatenate(
+            list(self._state_blocks(circuit, n_traj, rng)), axis=0
+        )
 
     # -- public API --------------------------------------------------------------
 
@@ -114,23 +325,26 @@ class TrajectorySimulator:
             raise SimulationError("shots must be positive")
         rng = rng or self._rng
         n = circuit.num_qubits
-        bare = circuit.remove_measurements()
         n_traj = min(self.trajectories, shots)
         base = shots // n_traj
         counts: Dict[int, int] = {}
         flips = self.noise_model.readout_flip_probabilities(n)
         has_ro = self.noise_model.avg_readout_error > 0
-        for t in range(n_traj):
-            shots_here = base + (1 if t < shots % n_traj else 0)
-            if shots_here == 0:
-                continue
-            state = self._evolve_once(bare, rng)
-            probs = np.abs(state) ** 2
-            traj_counts = sample_counts(probs, shots_here, rng)
-            if has_ro:
-                traj_counts = apply_readout_error_counts(traj_counts, flips, rng)
-            for bits, c in traj_counts.items():
-                counts[bits] = counts.get(bits, 0) + c
+        t = 0
+        for states in self._state_blocks(circuit, n_traj, rng):
+            probs = np.abs(states) ** 2
+            for row in range(states.shape[0]):
+                shots_here = base + (1 if t < shots % n_traj else 0)
+                t += 1
+                if shots_here == 0:
+                    continue
+                traj_counts = sample_counts(probs[row], shots_here, rng)
+                if has_ro:
+                    traj_counts = apply_readout_error_counts(
+                        traj_counts, flips, rng
+                    )
+                for bits, c in traj_counts.items():
+                    counts[bits] = counts.get(bits, 0) + c
         return Result(num_qubits=n, shots=shots, counts=counts)
 
     def expectation(
@@ -142,31 +356,27 @@ class TrajectorySimulator:
         """Trajectory-averaged <H> with analytic per-trajectory evaluation.
 
         Evaluating <H> exactly on each trajectory statevector removes shot
-        noise, leaving only trajectory (noise-realization) variance.
+        noise, leaving only trajectory (noise-realization) variance.  All
+        trajectories are evaluated in one vectorized pass over the batch.
         Readout error on diagonal Hamiltonians is folded in analytically
         via the per-qubit flip probabilities.
         """
         rng = rng or self._rng
-        bare = circuit.remove_measurements()
-        total = 0.0
-        for _ in range(self.trajectories):
-            state = self._evolve_once(bare, rng)
-            total += self._expectation_with_readout(state, hamiltonian)
-        return total / self.trajectories
-
-    def _expectation_with_readout(
-        self, state: np.ndarray, hamiltonian: Hamiltonian
-    ) -> float:
         ro = self.noise_model.avg_readout_error
-        if ro == 0.0:
-            return hamiltonian.expectation_statevector(state)
-        # A symmetric readout flip with probability e scales each Z factor's
-        # contribution by (1 - 2e); a weight-w diagonal term scales by
-        # (1-2e)^w.  Off-diagonal terms are measured after basis rotation,
-        # where the same scaling applies to their diagonalized form.
-        scale_base = 1.0 - 2.0 * ro
+        term_scales = None
+        if ro > 0.0:
+            # A symmetric readout flip with probability e scales each Z
+            # factor's contribution by (1 - 2e); a weight-w diagonal term
+            # scales by (1-2e)^w.  Off-diagonal terms are measured after
+            # basis rotation, where the same scaling applies to their
+            # diagonalized form.
+            term_scales = np.array(
+                [(1.0 - 2.0 * ro) ** pauli.weight for _, pauli in hamiltonian.terms]
+            )
         total = 0.0
-        for coeff, pauli in hamiltonian.terms:
-            scale = scale_base ** pauli.weight
-            total += coeff * scale * pauli.expectation_statevector(state)
-        return total
+        for states in self._state_blocks(circuit, self.trajectories, rng):
+            values = hamiltonian.expectation_statevector_batch(
+                states, term_scales=term_scales
+            )
+            total += float(values.sum())
+        return total / self.trajectories

@@ -150,9 +150,13 @@ class EnergyEvaluator:
             if n <= dm_limit:
                 self._backend = DensityMatrixSimulator(self._noise_model)
             elif not self._noise_model.has_relaxation:
+                # The batched trajectory engine made trajectories ~6x
+                # cheaper, so spend some of that on estimator variance:
+                # 32 trajectories per evaluation still runs well under the
+                # old cost of 16.
                 self._backend = TrajectorySimulator(
                     self._noise_model,
-                    trajectories=16,
+                    trajectories=32,
                     seed=None if seed is None else seed + 1,
                 )
             elif n <= MAX_DM_QUBITS:
@@ -172,14 +176,47 @@ class EnergyEvaluator:
         )
         self._param_order = list(ansatz.parameter_order)
 
+        # Noise-free evaluation goes through the compiled engine: the ansatz
+        # structure is lowered once here, and each optimizer iteration only
+        # rebinds angles into the parameterized kernels.  Measurement-basis
+        # rotations and per-group diagonals are parameter-independent, so
+        # they are precomputed too.
+        self._compiled = None
+        self._basis_programs = None
+        self._group_diagonals = None
+        if isinstance(self._backend, StatevectorSimulator):
+            from repro.sim.compile import CompiledCircuit
+
+            n = self._transpiled.circuit.num_qubits
+            self._compiled = CompiledCircuit(
+                self._transpiled.circuit.remove_measurements()
+            )
+            if self._groups is not None:
+                self._basis_programs = [
+                    CompiledCircuit(
+                        Hamiltonian.measurement_basis_circuit(group, n)
+                    ).program()
+                    for group in self._groups
+                ]
+                self._group_diagonals = [
+                    Hamiltonian(
+                        n, Hamiltonian.diagonalized_group(group)
+                    ).diagonal()
+                    for group in self._groups
+                ]
+
     # -- internals ----------------------------------------------------------
 
-    def bound_circuit(self, params) -> QuantumCircuit:
+    def _validated_values(self, params) -> np.ndarray:
         values = np.asarray(params, dtype=float)
         if values.shape[0] != len(self._param_order):
             raise SimulationError(
                 f"expected {len(self._param_order)} parameters, got {values.shape[0]}"
             )
+        return values
+
+    def bound_circuit(self, params) -> QuantumCircuit:
+        values = self._validated_values(params)
         return self._transpiled.circuit.bind(dict(zip(self._param_order, values)))
 
     def _circuit_seconds(self, circuit: QuantumCircuit) -> float:
@@ -201,13 +238,8 @@ class EnergyEvaluator:
         from repro.sim.sampling import apply_readout_error_probabilities
 
         backend: TrajectorySimulator = self._backend
-        bare = circuit.remove_measurements()
-        dim = 1 << circuit.num_qubits
-        probs = np.zeros(dim)
-        for _ in range(backend.trajectories):
-            state = backend._evolve_once(bare, self._rng)
-            probs += np.abs(state) ** 2
-        probs /= backend.trajectories
+        states = backend.trajectory_states(circuit, rng=self._rng)
+        probs = (np.abs(states) ** 2).mean(axis=0)
         if self._noise_model is not None and self._noise_model.avg_readout_error > 0:
             flips = self._noise_model.readout_flip_probabilities(circuit.num_qubits)
             probs = apply_readout_error_probabilities(probs, flips)
@@ -219,8 +251,58 @@ class EnergyEvaluator:
 
     # -- public API ----------------------------------------------------------------
 
+    def _evaluate_compiled(self, params) -> Evaluation:
+        """Noise-free fast path: rebind the compiled ansatz, no re-lowering.
+
+        Mirrors :meth:`evaluate`'s grouped-energy bookkeeping with
+        precomputed diagonals/basis programs.  It hard-codes
+        ``hardware_seconds=0.0`` (and skips the accumulator), which is
+        only sound while the compiled path is gated to the device-less
+        ``StatevectorSimulator`` backend; a future device-backed compiled
+        path must restore :meth:`evaluate`'s seconds accounting.
+        """
+        values = self._validated_values(params)
+        state = self._compiled.bind(dict(zip(self._param_order, values))).run()
+        circuits_used = 0
+        if self._groups is None:
+            probs = self._maybe_sample(np.abs(state) ** 2)
+            energy = float(np.dot(probs, self._h_physical.diagonal()))
+            entropy = shannon_entropy(probs)
+            circuits_used = 1
+        else:
+            energy = self._h_physical.constant()
+            entropy = None
+            for program, diag in zip(self._basis_programs, self._group_diagonals):
+                rotated = (
+                    program.run(state, check_normalized=False)
+                    if program.ops
+                    else state
+                )
+                probs = self._maybe_sample(np.abs(rotated) ** 2)
+                energy += float(np.dot(probs, diag))
+                if entropy is None and not program.ops:
+                    entropy = shannon_entropy(probs)
+                circuits_used += 1
+            if entropy is None:
+                # No identity-basis group: one extra Z-basis execution.
+                probs = self._maybe_sample(np.abs(state) ** 2)
+                entropy = shannon_entropy(probs)
+                circuits_used += 1
+        self.num_evaluations += 1
+        self.num_circuits += circuits_used
+        evaluation = Evaluation(
+            energy=energy,
+            entropy=entropy,
+            circuits=circuits_used,
+            hardware_seconds=0.0,
+        )
+        self.last_evaluation = evaluation
+        return evaluation
+
     def evaluate(self, params) -> Evaluation:
         """Energy + entropy of the ansatz at ``params`` on this device."""
+        if self._compiled is not None:
+            return self._evaluate_compiled(params)
         circuit = self.bound_circuit(params)
         circuits_used = 0
         seconds = 0.0

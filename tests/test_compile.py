@@ -1,0 +1,434 @@
+"""Equivalence suite for the compiled-circuit execution engine.
+
+Compiled execution (gate fusion, diagonal phase vectors, parameter
+rebinding) must agree with gate-by-gate reference evolution to 1e-10
+across all four execution paths: statevector, batched statevector,
+trajectory, and density matrix — including barriers/measure/delay
+handling, parameter rebinding, and the circuit-cutting round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, Parameter, QuantumCircuit
+from repro.circuits import gates as gatedefs
+from repro.circuits.pauli import PauliString
+from repro.exceptions import ParameterError, SimulationError
+from repro.noise import hypothetical_device
+from repro.sim import (
+    CompiledCircuit,
+    StatevectorSimulator,
+    TrajectorySimulator,
+    compile_circuit,
+    run_statevector,
+    run_statevector_batch,
+)
+from repro.sim.compile import DIAGONAL_GATES, KERNEL_DIAG
+from repro.sim.statevector import apply_unitary, zero_state
+
+GATE_POOL_1Q = ["x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg", "id"]
+GATE_POOL_1Q_PARAM = ["rx", "ry", "rz", "p"]
+GATE_POOL_2Q = ["cx", "cz", "swap"]
+GATE_POOL_2Q_PARAM = ["rzz", "rxx", "ryy", "crz"]
+
+
+def random_circuit(n, depth, rng, with_directives=True):
+    """A random circuit over the full gate vocabulary."""
+    qc = QuantumCircuit(n)
+    for _ in range(depth):
+        k = rng.integers(6)
+        if k == 0:
+            qc.append(rng.choice(GATE_POOL_1Q), [int(rng.integers(n))])
+        elif k == 1:
+            qc.append(
+                rng.choice(GATE_POOL_1Q_PARAM),
+                [int(rng.integers(n))],
+                [float(rng.normal())],
+            )
+        elif k == 2:
+            a, b = rng.choice(n, 2, replace=False)
+            qc.append(rng.choice(GATE_POOL_2Q), [int(a), int(b)])
+        elif k == 3:
+            a, b = rng.choice(n, 2, replace=False)
+            qc.append(
+                rng.choice(GATE_POOL_2Q_PARAM),
+                [int(a), int(b)],
+                [float(rng.normal())],
+            )
+        elif k == 4:
+            qc.u(
+                float(rng.normal()),
+                float(rng.normal()),
+                float(rng.normal()),
+                int(rng.integers(n)),
+            )
+        elif with_directives:
+            j = rng.integers(3)
+            if j == 0:
+                qc.barrier()
+            elif j == 1:
+                qc.measure(int(rng.integers(n)))
+            else:
+                qc.delay(1e-8, int(rng.integers(n)))
+    return qc
+
+
+def reference_statevector(circuit, initial=None):
+    """Seed-style gate-by-gate evolution (the uncompiled reference)."""
+    n = circuit.num_qubits
+    state = zero_state(n) if initial is None else np.asarray(initial, complex).copy()
+    for inst in circuit:
+        if inst.is_gate:
+            state = apply_unitary(state, inst.matrix(), inst.qubits, n)
+    return state
+
+
+def random_state(n, rng):
+    v = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    return v / np.linalg.norm(v)
+
+
+# -- statevector equivalence --------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_compiled_matches_reference_random_circuits(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    qc = random_circuit(n, 40, rng)
+    assert np.allclose(
+        run_statevector(qc), reference_statevector(qc), atol=1e-10
+    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_compiled_batch_matches_reference(seed):
+    rng = np.random.default_rng(100 + seed)
+    n = 4
+    qc = random_circuit(n, 30, rng)
+    states = np.vstack([random_state(n, rng) for _ in range(5)])
+    evolved = run_statevector_batch(qc.remove_measurements(), states)
+    for b in range(states.shape[0]):
+        ref = reference_statevector(qc, initial=states[b])
+        assert np.allclose(evolved[b], ref, atol=1e-10)
+
+
+def test_compiled_with_initial_state():
+    rng = np.random.default_rng(5)
+    qc = random_circuit(3, 25, rng)
+    init = random_state(3, rng)
+    assert np.allclose(
+        run_statevector(qc, initial=init),
+        reference_statevector(qc, initial=init),
+        atol=1e-10,
+    )
+
+
+def test_diagonal_runs_fuse_into_phase_kernels():
+    qc = QuantumCircuit(4)
+    for q in range(4):
+        qc.h(q)
+    for q in range(3):
+        qc.rzz(0.3 + q, q, q + 1)
+        qc.rz(0.1, q)
+        qc.cz(q, q + 1)
+    compiled = compile_circuit(qc)
+    diag_kernels = [s for s in compiled._segments if s.kind == KERNEL_DIAG]
+    # The whole 9-gate diagonal block fuses into a single phase vector.
+    assert len(diag_kernels) == 1
+    assert compiled.num_kernels == 5  # 4 fused H chains + 1 diagonal run
+    assert np.allclose(
+        compiled.program().run(), reference_statevector(qc), atol=1e-10
+    )
+
+
+def test_adjacent_1q_gates_fuse():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.t(0)  # diagonal joins the open 1q chain
+    qc.sx(0)
+    qc.ry(0.4, 0)
+    qc.h(1)
+    compiled = compile_circuit(qc)
+    assert compiled.num_kernels == 2
+    assert np.allclose(
+        compiled.program().run(), reference_statevector(qc), atol=1e-10
+    )
+
+
+def test_fusion_preserves_order_across_diag_boundaries():
+    # Interleave 1q chains and diagonal runs on the same qubit: x and rz do
+    # not commute, so any reordering on one qubit would show up here.
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.rz(0.7, 0)
+    qc.cz(0, 1)
+    qc.x(0)
+    qc.rzz(0.3, 0, 1)
+    qc.h(0)
+    qc.rz(-0.2, 1)
+    qc.cx(1, 0)
+    assert np.allclose(
+        run_statevector(qc), reference_statevector(qc), atol=1e-10
+    )
+
+
+def test_compiled_run_rejects_unnormalized_initial_state():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    program = compile_circuit(qc).program()
+    bad = np.array([1.0, 1.0, 0.0, 0.0], dtype=complex)  # norm sqrt(2)
+    with pytest.raises(SimulationError):
+        program.run(bad)
+    with pytest.raises(SimulationError):
+        program.run_batch(bad[None, :])
+    with pytest.raises(SimulationError):
+        run_statevector(qc, initial=bad)
+    # Internal chaining over already-evolved states can opt out.
+    good = program.run(bad / np.linalg.norm(bad))
+    assert np.isclose(np.linalg.norm(good), 1.0)
+
+
+def test_directives_are_noops_and_reset_raises():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.barrier()
+    qc.measure(0)
+    qc.delay(1e-8, 1)
+    qc.cx(0, 1)
+    assert np.allclose(
+        run_statevector(qc), reference_statevector(qc), atol=1e-10
+    )
+    qc2 = QuantumCircuit(1)
+    qc2.reset(0)
+    with pytest.raises(SimulationError):
+        compile_circuit(qc2)
+
+
+# -- parameter rebinding ------------------------------------------------------
+
+
+def test_rebinding_matches_bound_compilation():
+    rng = np.random.default_rng(42)
+    theta = [Parameter(f"t{i}") for i in range(4)]
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.rx(theta[0], 0)
+    qc.rzz(2.0 * theta[1], 0, 1)
+    qc.rz(theta[1] + 0.5, 1)  # expression reusing a parameter
+    qc.cx(1, 2)
+    qc.ry(theta[2], 2)
+    qc.crz(theta[3], 2, 0)
+    compiled = compile_circuit(qc)
+    assert compiled.is_parameterized
+    for _ in range(5):
+        values = rng.normal(size=4)
+        bound = qc.bind(dict(zip(theta, values)))
+        ref = reference_statevector(bound)
+        # Sequence binding follows circuit.parameters order (sorted by name).
+        by_order = compiled.bind(
+            [values[theta.index(p)] for p in compiled.parameters]
+        ).run()
+        by_mapping = compiled.bind(dict(zip(theta, values))).run()
+        assert np.allclose(by_order, ref, atol=1e-10)
+        assert np.allclose(by_mapping, ref, atol=1e-10)
+
+
+def test_rebinding_random_parameterized_circuits():
+    rng = np.random.default_rng(77)
+    for trial in range(4):
+        n = 4
+        params = [Parameter(f"p{trial}_{i}") for i in range(6)]
+        qc = QuantumCircuit(n)
+        for i, p in enumerate(params):
+            qc.h(i % n)
+            qc.rx(p, i % n)
+            a, b = (i % n), ((i + 1) % n)
+            qc.rzz(0.5 * p - 0.1, a, b)
+            qc.append("cx", [a, b])
+        compiled = compile_circuit(qc)
+        for _ in range(3):
+            values = dict(zip(params, rng.normal(size=len(params))))
+            assert np.allclose(
+                compiled.bind(values).run(),
+                reference_statevector(qc.bind(values)),
+                atol=1e-10,
+            )
+
+
+def test_unbound_parameters_raise():
+    theta = Parameter("theta")
+    qc = QuantumCircuit(1)
+    qc.rx(theta, 0)
+    with pytest.raises(ParameterError):
+        run_statevector(qc)
+    with pytest.raises(ParameterError):
+        compile_circuit(qc).program()
+    with pytest.raises(ParameterError):
+        compile_circuit(qc).bind([0.3, 0.4])
+
+
+def test_static_kernels_shared_across_binds():
+    theta = Parameter("theta")
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.rx(theta, 1)
+    compiled = compile_circuit(qc)
+    p1 = compiled.bind([0.1])
+    p2 = compiled.bind([0.9])
+    # Non-parameterized kernels are concretized once and shared.
+    assert p1.ops[0][2] is p2.ops[0][2]
+    assert p1.ops[1][2] is p2.ops[1][2]
+
+
+# -- backend equivalence ------------------------------------------------------
+
+
+def test_trajectory_noiseless_matches_statevector_exactly():
+    rng = np.random.default_rng(11)
+    qc = random_circuit(4, 30, rng)
+    sim = TrajectorySimulator(trajectories=3, seed=0)
+    states = sim.trajectory_states(qc)
+    ref = reference_statevector(qc.remove_measurements())
+    for row in states:
+        assert np.allclose(row, ref, atol=1e-10)
+    h = Hamiltonian.from_labels({"ZZII": 0.7, "XIXI": -0.3, "IYZI": 0.2})
+    exact = h.expectation_statevector(ref)
+    assert sim.expectation(qc, h) == pytest.approx(exact, abs=1e-10)
+
+
+def test_trajectory_error_injection_preserves_norm():
+    nm = hypothetical_device("d", 0.5).noise_model()  # errors fire constantly
+    qc = QuantumCircuit(3)
+    for q in range(3):
+        qc.h(q)
+    for q in range(2):
+        qc.cx(q, q + 1)
+        qc.sx(q)
+    sim = TrajectorySimulator(nm, trajectories=16, seed=3)
+    states = sim.trajectory_states(qc)
+    assert np.allclose(np.linalg.norm(states, axis=1), 1.0, atol=1e-10)
+
+
+def test_trajectory_converges_to_density_matrix():
+    from repro.sim import DensityMatrixSimulator
+
+    nm = hypothetical_device("d", 0.03).noise_model()
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    h = Hamiltonian.from_labels({"ZZ": 1.0, "XX": 1.0})
+    exact = DensityMatrixSimulator(nm).expectation(qc, h)
+    estimate = TrajectorySimulator(nm, trajectories=6000, seed=5).expectation(qc, h)
+    assert estimate == pytest.approx(exact, abs=0.05)
+
+
+def test_density_matrix_plan_matches_reference():
+    from repro.sim import DensityMatrixSimulator
+    from repro.sim.kraus import _embed_apply
+    from repro.sim.density_matrix import zero_density
+
+    nm = hypothetical_device("d", 0.02, readout_error=0.0).noise_model()
+    rng = np.random.default_rng(21)
+    qc = random_circuit(3, 25, rng, with_directives=False)
+    rho_fast = DensityMatrixSimulator(nm).evolve(qc)
+    rho = zero_density(3)
+    for inst in qc:
+        if inst.is_gate:
+            rho = _embed_apply(rho, inst.matrix(), inst.qubits, 3)
+        for channel, qubits in nm.channels_for(inst):
+            out = np.zeros_like(rho)
+            for k in channel.operators:
+                out += _embed_apply(rho, k, qubits, 3)
+            rho = out
+    assert np.allclose(rho_fast, rho, atol=1e-10)
+
+
+def test_density_matrix_plan_cache_invalidated_on_append():
+    from repro.sim import DensityMatrixSimulator
+
+    sim = DensityMatrixSimulator()
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    rho1 = sim.evolve(qc)
+    qc.s(0)  # mutate the same object: plan must be rebuilt (S|+> = |+i>)
+    rho2 = sim.evolve(qc)
+    assert not np.allclose(rho1, rho2, atol=1e-3)
+    ref = reference_statevector(qc)
+    assert np.allclose(rho2, np.outer(ref, ref.conj()), atol=1e-10)
+
+
+# -- observable vectorization -------------------------------------------------
+
+
+def test_hamiltonian_vectorized_expectation_matches_per_term():
+    rng = np.random.default_rng(9)
+    n = 4
+    labels = ["".join(rng.choice(list("IXYZ"), size=n)) for _ in range(12)]
+    h = Hamiltonian(n)
+    for lab in labels:
+        h.add_term(float(rng.normal()), PauliString(lab))
+    state = random_state(n, rng)
+    naive = sum(
+        c * p.expectation_statevector(state) for c, p in h.terms
+    )
+    assert h.expectation_statevector(state) == pytest.approx(naive, abs=1e-10)
+    batch = np.vstack([random_state(n, rng) for _ in range(6)])
+    vals = h.expectation_statevector_batch(batch)
+    for b in range(6):
+        naive_b = sum(
+            c * p.expectation_statevector(batch[b]) for c, p in h.terms
+        )
+        assert vals[b] == pytest.approx(naive_b, abs=1e-10)
+
+
+def test_hamiltonian_caches_invalidate_on_add_term():
+    h = Hamiltonian.from_labels({"ZZ": 1.0})
+    d1 = h.diagonal()
+    state = random_state(2, np.random.default_rng(0))
+    e1 = h.expectation_statevector(state)
+    h.add_term(0.5, PauliString("IZ"))
+    assert not np.allclose(h.diagonal(), d1)
+    assert h.expectation_statevector(state) != pytest.approx(e1, abs=1e-12)
+
+
+def test_hamiltonian_diagonal_cached_between_calls():
+    h = Hamiltonian.from_labels({"ZZ": 1.0, "ZI": 0.5})
+    assert h.diagonal() is h.diagonal()
+
+
+# -- cutting round trip -------------------------------------------------------
+
+
+def test_cutting_roundtrip_through_compiled_engine():
+    from repro.cutting import cut_circuit, find_cuts, reconstruct_probabilities
+
+    qc = QuantumCircuit(5)
+    for q in range(5):
+        qc.h(q)
+    for q in range(4):
+        qc.rzz(0.4 + 0.1 * q, q, q + 1)
+    for q in range(5):
+        qc.rx(0.3, q)
+    cuts = find_cuts(qc, 3)
+    cut = cut_circuit(qc, cuts)
+    probs = reconstruct_probabilities(cut)
+    ref = np.abs(reference_statevector(qc)) ** 2
+    assert np.allclose(probs, ref, atol=1e-10)
+
+
+# -- engine bookkeeping -------------------------------------------------------
+
+
+def test_kernel_counts_and_repr():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.h(1)
+    qc.cz(0, 1)
+    qc.rz(0.1, 0)
+    compiled = compile_circuit(qc)
+    assert compiled.num_source_gates == 4
+    assert compiled.num_kernels == 3  # h, h, fused diagonal run
+    assert "kernels=3" in repr(compiled)
+    assert DIAGONAL_GATES >= {"rz", "cz", "rzz"}

@@ -150,3 +150,56 @@ def test_superop_cache_reused_across_calls():
     cached = len(sim._gate_superops)
     sim.evolve(qc)
     assert len(sim._gate_superops) == cached
+
+
+class PerQubitNoiseModel(NoiseModel):
+    """Heterogeneous model: depolarizing strength depends on the qubit hit.
+
+    Regression guard for the superoperator cache key — a name-only key
+    would serve qubit 0's noise to every other qubit.
+    """
+
+    def __init__(self, rates):
+        super().__init__(name="per_qubit")
+        self.rates = dict(rates)
+
+    def channels_for(self, inst):
+        from repro.noise.channels import depolarizing_channel
+
+        if not inst.is_gate or inst.name == "rz":
+            return []
+        return [
+            (depolarizing_channel(self.rates[q], 1), (q,))
+            for q in inst.qubits
+            if self.rates.get(q, 0.0) > 0.0
+        ]
+
+
+def test_heterogeneous_noise_not_conflated_by_superop_cache():
+    nm = PerQubitNoiseModel({0: 0.3, 1: 0.0})
+    qc = QuantumCircuit(2)
+    qc.x(0)  # noisy: primes the cache for gate "x"
+    qc.x(1)  # noiseless on qubit 1 — must NOT reuse qubit 0's superop
+    rho = DensityMatrixSimulator(nm).evolve(qc)
+    # Qubit 1 saw no noise: its marginal must be exactly |1><1|.
+    marg1 = np.real(rho[0b10, 0b10] + rho[0b11, 0b11])
+    assert marg1 == pytest.approx(1.0, abs=1e-12)
+    # Qubit 0 is depolarized: its |1| population drops below 1.
+    marg0 = np.real(rho[0b01, 0b01] + rho[0b11, 0b11])
+    assert marg0 < 0.9
+
+
+def test_heterogeneous_noise_matches_bruteforce_kraus():
+    nm = PerQubitNoiseModel({0: 0.2, 1: 0.05, 2: 0.0})
+    qc = random_circuit(3, 20, seed=9)
+    rho_fast = DensityMatrixSimulator(nm).evolve(qc)
+    rho = zero_density(3)
+    for inst in qc:
+        if inst.is_gate:
+            rho = _embed_apply(rho, inst.matrix(), inst.qubits, 3)
+        for channel, qubits in nm.channels_for(inst):
+            out = np.zeros_like(rho)
+            for k in channel.operators:
+                out += _embed_apply(rho, k, qubits, 3)
+            rho = out
+    assert np.allclose(rho_fast, rho, atol=1e-11)

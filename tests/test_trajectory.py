@@ -53,6 +53,43 @@ def test_readout_scaling_matches_density_matrix():
     assert estimate == pytest.approx(exact, abs=1e-9)
 
 
+def test_id_gates_still_inject_noise():
+    # `id` has no kernel in the compiled plan, but it is a noisy 1q gate:
+    # the plan must keep its error-injection point so idle-placeholder
+    # circuits converge to the density-matrix result (regression for the
+    # lowering pass silently dropping the noise with the gate).
+    nm = hypothetical_device("d", 0.1).noise_model()
+    qc = QuantumCircuit(1)
+    qc.x(0)
+    for _ in range(20):
+        qc.id(0)
+    h = Hamiltonian.from_labels({"Z": 1.0})
+    exact = DensityMatrixSimulator(nm).expectation(qc, h)
+    estimate = TrajectorySimulator(nm, trajectories=6000, seed=9).expectation(qc, h)
+    assert estimate == pytest.approx(exact, abs=0.04)
+    # Sanity: the id-gate noise events must visibly decay <Z>; a plan that
+    # drops them converges near the ids-free value instead (gap > 0.1).
+    ids_free = QuantumCircuit(1)
+    ids_free.x(0)
+    broken = DensityMatrixSimulator(nm).expectation(ids_free, h)
+    assert abs(exact - broken) > 0.1
+    assert abs(estimate - broken) > 0.1
+
+
+def test_plan_cache_reuses_and_invalidates():
+    nm = hypothetical_device("d", 0.01).noise_model()
+    sim = TrajectorySimulator(nm, trajectories=2, seed=8)
+    qc = bell()
+    plan1 = sim._compiled_plan(qc)
+    assert sim._compiled_plan(qc) is plan1
+    qc.rz(0.7, 0)  # structural change must invalidate the cached plan
+    plan2 = sim._compiled_plan(qc)
+    assert plan2 is not plan1
+    h = Hamiltonian.from_labels({"ZZ": 1.0})
+    value = sim.expectation(qc, h)
+    assert -1.0 <= value <= 1.0
+
+
 def test_counts_total_and_distribution():
     nm = hypothetical_device("d", 0.01).noise_model()
     sim = TrajectorySimulator(nm, trajectories=32, seed=4)
