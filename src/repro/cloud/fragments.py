@@ -33,6 +33,8 @@ class FragmentVariantSpec:
     variant_index: int
     num_qubits: int
     base_execution_seconds: float
+    #: Shots this variant is sampled with (0 = exact/analytic execution).
+    shots: int = 0
 
 
 @dataclass
@@ -52,17 +54,28 @@ class FragmentJob:
         user_id: int = 0,
         arrival_time: float = 0.0,
         name: Optional[str] = None,
+        shots_per_variant: int = 0,
+        reference_shots: int = 4000,
     ) -> "FragmentJob":
         """Expand a :class:`~repro.cutting.CutCircuit` into variant specs.
 
         Execution time scales with the fragment's share of the original
         gate volume (fragments are strictly smaller circuits).
+
+        ``shots_per_variant`` tags every variant with its sampled shot
+        budget (matching the shots-sampled fragment sweep in
+        :mod:`repro.cutting.execute`) and scales the execution time
+        linearly against ``reference_shots`` — the assumed shot count
+        behind ``base_execution_seconds``.
         """
         total_gates = max(cut.original.num_gates(), 1)
+        shot_scale = (
+            shots_per_variant / reference_shots if shots_per_variant > 0 else 1.0
+        )
         variants: List[FragmentVariantSpec] = []
         for fragment in cut.fragments:
             share = max(fragment.circuit.num_gates(), 1) / total_gates
-            seconds = base_execution_seconds * share
+            seconds = base_execution_seconds * share * shot_scale
             for v in range(fragment.num_variants):
                 variants.append(
                     FragmentVariantSpec(
@@ -70,6 +83,7 @@ class FragmentJob:
                         variant_index=v,
                         num_qubits=fragment.width,
                         base_execution_seconds=seconds,
+                        shots=shots_per_variant,
                     )
                 )
         return cls(
@@ -82,6 +96,11 @@ class FragmentJob:
     @property
     def num_variants(self) -> int:
         return len(self.variants)
+
+    @property
+    def total_shots(self) -> int:
+        """Total sampled shots across the sweep (0 for analytic variants)."""
+        return sum(v.shots for v in self.variants)
 
     @property
     def max_width(self) -> int:

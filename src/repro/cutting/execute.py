@@ -30,6 +30,7 @@ from repro.cutting.variants import (
     rotation_combinations,
 )
 from repro.exceptions import CuttingError
+from repro.sim.sampling import empirical_probabilities_batch
 from repro.sim.statevector import (
     StatevectorSimulator,
     apply_unitary_batch,
@@ -52,25 +53,35 @@ class FragmentTensor:
 
 
 def execute_fragments(
-    cut: CutCircuit, backend: Optional[object] = None
+    cut: CutCircuit,
+    backend: Optional[object] = None,
+    shots: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[FragmentTensor]:
     """Run every variant of every fragment and assemble the tensors.
 
     ``backend=None`` (or a :class:`StatevectorSimulator`) uses the batched
     statevector sweep; any other object must expose
     ``probabilities(circuit) -> np.ndarray``.
+
+    ``shots`` switches every variant's distribution from exact to
+    finite-shot sampled (``shots`` draws per variant).  On the batched
+    path the whole init-state block of a rotation combination is sampled
+    with one multinomial call — the shots-sampled compiled sweep.
     """
     use_batch = backend is None or isinstance(backend, StatevectorSimulator)
     if not use_batch and not hasattr(backend, "probabilities"):
         raise CuttingError(
             f"backend {type(backend).__name__} has no probabilities() method"
         )
+    if shots is not None and rng is None:
+        rng = np.random.default_rng()
     tensors = []
     for fragment in cut.fragments:
         if use_batch:
-            probs_by_rot = _statevector_probabilities(fragment)
+            probs_by_rot = _statevector_probabilities(fragment, shots, rng)
         else:
-            probs_by_rot = _generic_probabilities(fragment, backend)
+            probs_by_rot = _generic_probabilities(fragment, backend, shots, rng)
         tensors.append(
             FragmentTensor(
                 fragment_index=fragment.index,
@@ -82,9 +93,16 @@ def execute_fragments(
 
 
 def _rotated_probabilities(
-    fragment: Fragment, evolved: np.ndarray
+    fragment: Fragment,
+    evolved: np.ndarray,
+    shots: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dict[Tuple[int, ...], np.ndarray]:
-    """Apply every cut-output rotation combination to an evolved batch."""
+    """Apply every cut-output rotation combination to an evolved batch.
+
+    With ``shots`` each variant row becomes a finite-shot empirical
+    distribution, drawn for the whole batch in one multinomial call.
+    """
     probs_by_rot: Dict[Tuple[int, ...], np.ndarray] = {}
     for rotation in rotation_combinations(fragment):
         batch = evolved
@@ -93,18 +111,23 @@ def _rotated_probabilities(
                 batch = apply_unitary_batch(
                     batch, gates.gate_matrix(gate), [fq], fragment.width
                 )
-        probs_by_rot[rotation] = np.abs(batch) ** 2
+        probs = np.abs(batch) ** 2
+        if shots is not None:
+            probs = empirical_probabilities_batch(probs, shots, rng)
+        probs_by_rot[rotation] = probs
     return probs_by_rot
 
 
 def _statevector_probabilities(
     fragment: Fragment,
+    shots: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dict[Tuple[int, ...], np.ndarray]:
     """Batched noise-free path: one sweep for the body, cheap rotations after."""
     combos = init_combinations(fragment)
     states = initial_product_states(fragment, combos)
     evolved = run_statevector_batch(fragment.circuit, states)
-    return _rotated_probabilities(fragment, evolved)
+    return _rotated_probabilities(fragment, evolved, shots, rng)
 
 
 class CachedFragmentExecutor:
@@ -127,12 +150,19 @@ class CachedFragmentExecutor:
             self._evolved[fragment.index] = run_statevector_batch(
                 fragment.circuit, states
             )
-    def tensors(self, suffix=None) -> List[FragmentTensor]:
+    def tensors(
+        self,
+        suffix=None,
+        shots: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[FragmentTensor]:
         """Fragment tensors, optionally with end-of-circuit rotations.
 
         ``suffix`` is a full-width circuit of single-qubit gates (a
         measurement-basis change); each gate is applied to the cached
         batch of the fragment owning that qubit's final wire segment.
+        ``shots`` samples every variant's distribution (``shots`` draws
+        per variant) instead of using exact probabilities.
         """
         extra: Dict[int, List[Tuple[str, Tuple[float, ...], int]]] = {}
         if suffix is not None:
@@ -140,6 +170,8 @@ class CachedFragmentExecutor:
                 extra.setdefault(frag_index, []).append(
                     (inst.name, tuple(float(p) for p in inst.params), fq)
                 )
+        if shots is not None and rng is None:
+            rng = np.random.default_rng()
         out = []
         for fragment in self.cut.fragments:
             batch = self._evolved[fragment.index]
@@ -150,7 +182,7 @@ class CachedFragmentExecutor:
                     [fq],
                     fragment.width,
                 )
-            probs_by_rot = _rotated_probabilities(fragment, batch)
+            probs_by_rot = _rotated_probabilities(fragment, batch, shots, rng)
             out.append(
                 FragmentTensor(
                     fragment_index=fragment.index,
@@ -162,19 +194,26 @@ class CachedFragmentExecutor:
 
 
 def _generic_probabilities(
-    fragment: Fragment, backend: object
+    fragment: Fragment,
+    backend: object,
+    shots: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> Dict[Tuple[int, ...], np.ndarray]:
     """Noisy-backend path: one concrete circuit per (init, rotation) variant."""
     combos = init_combinations(fragment)
     probs_by_rot: Dict[Tuple[int, ...], np.ndarray] = {}
     for rotation in rotation_combinations(fragment):
-        rows = [
-            backend.probabilities(
-                prepared_fragment_circuit(fragment, init_ids, rotation)
-            )
-            for init_ids in combos
-        ]
-        probs_by_rot[rotation] = np.vstack(rows)
+        rows = np.vstack(
+            [
+                backend.probabilities(
+                    prepared_fragment_circuit(fragment, init_ids, rotation)
+                )
+                for init_ids in combos
+            ]
+        )
+        if shots is not None:
+            rows = empirical_probabilities_batch(rows, shots, rng)
+        probs_by_rot[rotation] = rows
     return probs_by_rot
 
 

@@ -57,10 +57,15 @@ def reconstruct_probabilities(
     cut: CutCircuit,
     tensors: Optional[Sequence[FragmentTensor]] = None,
     backend: Optional[object] = None,
+    shots: Optional[int] = None,
+    rng=None,
 ) -> np.ndarray:
     """Full-circuit output distribution from fragment executions.
 
-    Executes the fragments on ``backend`` when ``tensors`` is not supplied.
+    Executes the fragments on ``backend`` when ``tensors`` is not
+    supplied; ``shots``/``rng`` then sample each variant's distribution
+    instead of using exact probabilities (ignored when ``tensors`` are
+    given — they were already executed).
     """
     if cut.num_cuts > 12:
         raise CuttingError(
@@ -68,7 +73,7 @@ def reconstruct_probabilities(
             f"refusing an intractable reconstruction"
         )
     if tensors is None:
-        tensors = execute_fragments(cut, backend)
+        tensors = execute_fragments(cut, backend, shots=shots, rng=rng)
     if len(tensors) != cut.num_fragments:
         raise CuttingError("one tensor per fragment required")
     by_index = {t.fragment_index: t.tensor for t in tensors}

@@ -11,10 +11,19 @@ specialized kernels once and re-executes the lowered program cheaply:
 * runs of diagonal gates (rz/z/s/t/p/cz/rzz/crz/...) fuse into a single
   elementwise phase vector over the full ``2**n`` dimension — a whole QAOA
   cost layer becomes one vector multiply;
+* consecutive non-diagonal 2q gates on one qubit pair — together with any
+  interleaved 1q and diagonal gates inside the pair, the cx–rz–cx ladders
+  transpiled ansätze are made of — fuse into a single 4x4 kernel;
 * every gate matrix is computed exactly once per compile;
 * a parameter-rebinding path (:meth:`CompiledCircuit.bind`) re-concretizes
   only the parameterized kernels, so an ansatz compiles once per
   *structure* and re-executes across optimizer iterations with new angles.
+
+The noisy backends share the structural machinery through
+:func:`structural_key` and :class:`StructuralPlanCache`: plans are keyed on
+circuit *structure* with every gate-parameter position treated as a
+rebinding slot, so the fresh bound circuit an optimizer builds each
+iteration rebinds into the cached plan instead of re-lowering.
 
 The fusion pass reorders operations only across disjoint qubit sets (where
 they commute); per-qubit operation order is preserved exactly, so compiled
@@ -95,6 +104,54 @@ class PlanCache:
         return plan
 
 
+def structural_key(circuit: QuantumCircuit) -> Tuple:
+    """Hashable identity of a circuit's *structure*.
+
+    Two circuits share a key iff they have the same width and the same
+    instruction sequence up to the concrete values of gate parameters:
+    every parameter position is a rebinding slot, so two bindings of one
+    ansatz map to the same key while any change of gate name, qubit
+    operands, or instruction order changes it.  Delay durations are part
+    of the key because the attached noise channels depend on them.
+    """
+    items: List[Tuple] = []
+    for inst in circuit.instructions:
+        if inst.name == "delay":
+            items.append(
+                (inst.name, inst.qubits, inst.metadata.get("duration", 0.0))
+            )
+        elif inst.params:
+            items.append((inst.name, inst.qubits, len(inst.params)))
+        else:
+            items.append((inst.name, inst.qubits))
+    return (circuit.num_qubits, tuple(items))
+
+
+class StructuralPlanCache:
+    """Bounded FIFO cache of lowered plans keyed on :func:`structural_key`.
+
+    Unlike :class:`PlanCache` there is nothing to invalidate: the key *is*
+    the structure, so a mutated circuit simply hashes to a different entry.
+    Entries hold full-dimension kernel arrays, hence the cap.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        self._max = max_entries
+        self._entries: Dict[Tuple, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[Any]:
+        return self._entries.get(key)
+
+    def put(self, key: Tuple, plan: Any) -> Any:
+        if key not in self._entries and len(self._entries) >= self._max:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = plan
+        return plan
+
+
 def basis_indices(num_qubits: int) -> np.ndarray:
     """Cached ``arange(2**n)`` (shared; treat as read-only)."""
     idx = _basis_index_cache.get(num_qubits)
@@ -156,6 +213,46 @@ _DIAG_ANGLE_SLOPES: Dict[str, np.ndarray] = {
     "crz": np.array([0.0, -0.5, 0.0, 0.5]),
 }
 
+_diag_angle_base_cache: Dict[str, np.ndarray] = {}
+
+
+def diag_angle_parts(name: str) -> Tuple[np.ndarray, np.ndarray]:
+    """``(base, slope)`` phase angles of a parametric diagonal gate.
+
+    The gate's ``2**k`` diagonal is ``exp(i * (base + theta * slope))`` —
+    all supported parametric diagonal gates are unit-modulus with angles
+    linear in their single parameter.  Shared by the noisy backends'
+    structural rebinding paths; treat the arrays as read-only.
+    """
+    base = _diag_angle_base_cache.get(name)
+    if base is None:
+        base = np.angle(np.diag(gatedefs.gate_matrix(name, [0.0])))
+        _diag_angle_base_cache[name] = base
+    return base, _DIAG_ANGLE_SLOPES[name]
+
+
+_EYE2 = np.eye(2, dtype=complex)
+#: Index permutation swapping the two bit positions of a 4x4 gate matrix.
+_SWAP_PERM = np.array([0, 2, 1, 3])
+
+
+def _embed_in_frame(
+    m: np.ndarray, qubits: Tuple[int, ...], frame: Tuple[int, ...]
+) -> np.ndarray:
+    """Express a 1q/2q gate matrix in the little-endian basis of ``frame``.
+
+    ``frame`` is the qubit order of a fused two-qubit segment; gates
+    absorbed into the segment may act on one of its qubits or on both in
+    reversed order.
+    """
+    if len(qubits) == 1:
+        # frame[0] is matrix bit 0 (the kron *low* factor).
+        if qubits[0] == frame[0]:
+            return np.kron(_EYE2, m)
+        return np.kron(m, _EYE2)
+    # Same pair, reversed operand order: swap index-bit significance.
+    return m[_SWAP_PERM][:, _SWAP_PERM]
+
 
 class _Segment:
     """One fusion group: a contiguous-per-qubit run of source instructions."""
@@ -215,13 +312,31 @@ class _Segment:
         self._slopes = list(slopes.items())
 
     def concretize(
-        self, num_qubits: int, values: Optional[Mapping[Parameter, float]] = None
+        self,
+        num_qubits: int,
+        values: Optional[Mapping[Parameter, float]] = None,
+        memo: Optional[Dict[Tuple, np.ndarray]] = None,
     ) -> np.ndarray:
-        """Fused matrix (KERNEL_MATRIX) or phase vector (KERNEL_DIAG)."""
+        """Fused matrix (KERNEL_MATRIX) or phase vector (KERNEL_DIAG).
+
+        ``memo`` (shared across the segments of one bind) deduplicates
+        gate matrices: an ansatz mixer layer applies the same rx(beta) to
+        every qubit, so one concretization serves them all.
+        """
         if self.kind == KERNEL_MATRIX:
             matrix: Optional[np.ndarray] = None
             for inst in self.insts:
-                m = gatedefs.gate_matrix(inst.name, _resolve_params(inst, values))
+                params = _resolve_params(inst, values)
+                if memo is None:
+                    m = gatedefs.gate_matrix(inst.name, params)
+                else:
+                    key = (inst.name, tuple(params))
+                    m = memo.get(key)
+                    if m is None:
+                        m = gatedefs.gate_matrix(inst.name, params)
+                        memo[key] = m
+                if inst.qubits != self.qubits:
+                    m = _embed_in_frame(m, inst.qubits, self.qubits)
                 matrix = m if matrix is None else m @ matrix
             return matrix
         if self._const_angle is not None:
@@ -247,21 +362,38 @@ def _lower(circuit: QuantumCircuit) -> List[_Segment]:
     """Single-pass fusion lowering.
 
     Invariant: every qubit is *held* by at most one pending structure (its
-    1q chain or the open diagonal run).  A new instruction that cannot join
-    the structure holding its qubits flushes that structure first, so
-    per-qubit order is preserved; pending structures on disjoint qubits may
-    be emitted out of program order, which is safe because they commute.
+    1q chain, the open diagonal run, or an open 2q-pair segment).  A new
+    instruction that cannot join the structure holding its qubits flushes
+    that structure first, so per-qubit order is preserved; pending
+    structures on disjoint qubits may be emitted out of program order,
+    which is safe because they commute.
+
+    A non-diagonal 2q gate opens a *pair segment*: while it stays pending,
+    any gate entirely inside the pair (1q gates on either qubit, diagonal
+    or non-diagonal 2q gates on the same pair in either operand order) is
+    absorbed into one 4x4 kernel — the cx–rz–cx ladders of transpiled
+    ansätze become single kernels.  Any gate crossing the pair boundary
+    flushes it.
     """
     segments: List[_Segment] = []
     pending_1q: Dict[int, _Segment] = {}
+    pending_2q: Dict[Tuple[int, int], _Segment] = {}
     pending_diag: Optional[_Segment] = None
-    holder: Dict[int, str] = {}
+    #: holder[q] is "1q", "diag", or the (min, max) key of a pair segment.
+    holder: Dict[int, Any] = {}
 
     def flush_1q(q: int) -> None:
         seg = pending_1q.pop(q, None)
         if seg is not None:
             segments.append(seg)
             holder.pop(q, None)
+
+    def flush_2q(pair: Tuple[int, int]) -> None:
+        seg = pending_2q.pop(pair, None)
+        if seg is not None:
+            segments.append(seg)
+            for q in pair:
+                holder.pop(q, None)
 
     def flush_diag() -> None:
         nonlocal pending_diag
@@ -280,14 +412,32 @@ def _lower(circuit: QuantumCircuit) -> List[_Segment]:
             continue  # measure / barrier / delay are no-ops here
         if inst.name == "id":
             continue
+        if len(inst.qubits) == 1:
+            q = inst.qubits[0]
+            held = holder.get(q)
+            if isinstance(held, tuple):
+                # Inside an open pair segment: absorb (embedded at
+                # concretize time), preserving this qubit's order.
+                pending_2q[held].insts.append(inst)
+                continue
+        elif len(inst.qubits) == 2:
+            pair = (min(inst.qubits), max(inst.qubits))
+            seg = pending_2q.get(pair)
+            if seg is not None:
+                seg.insts.append(inst)
+                continue
         if inst.name in DIAGONAL_GATES:
             if len(inst.qubits) == 1 and holder.get(inst.qubits[0]) == "1q":
                 # A diagonal 1q gate extends the qubit's open 1q chain.
                 pending_1q[inst.qubits[0]].insts.append(inst)
                 continue
             for q in inst.qubits:
-                if holder.get(q) == "1q":
+                held = holder.get(q)
+                if held == "1q":
                     flush_1q(q)
+                elif isinstance(held, tuple):
+                    # Diagonal gate crossing a pair boundary.
+                    flush_2q(held)
             if pending_diag is None:
                 pending_diag = _Segment(KERNEL_DIAG, ())
             pending_diag.insts.append(inst)
@@ -305,16 +455,25 @@ def _lower(circuit: QuantumCircuit) -> List[_Segment]:
                 holder[q] = "1q"
             seg.insts.append(inst)
             continue
-        # Non-diagonal multi-qubit gate: a hard fusion barrier on its qubits.
+        # Non-diagonal 2q gate on a fresh pair: flush whatever holds its
+        # qubits, then open a pair segment in this gate's operand order.
         if any(holder.get(q) == "diag" for q in inst.qubits):
             flush_diag()
         for q in inst.qubits:
-            if holder.get(q) == "1q":
+            held = holder.get(q)
+            if held == "1q":
                 flush_1q(q)
+            elif isinstance(held, tuple):
+                flush_2q(held)
         seg = _Segment(KERNEL_MATRIX, inst.qubits)
         seg.insts.append(inst)
-        segments.append(seg)
+        pair = (min(inst.qubits), max(inst.qubits))
+        pending_2q[pair] = seg
+        for q in inst.qubits:
+            holder[q] = pair
     flush_diag()
+    for pair in sorted(pending_2q):
+        flush_2q(pair)
     for q in sorted(pending_1q):
         flush_1q(q)
     for seg in segments:
@@ -412,6 +571,41 @@ class CompiledProgram:
                 states = apply_unitary_batch(states, arr, qubits, n)
         return states
 
+    def sample(
+        self,
+        shots: int,
+        rng: np.random.Generator,
+        initial: Optional[np.ndarray] = None,
+    ) -> Dict[int, int]:
+        """Sample measurement counts directly from the final state.
+
+        The shots-based fast path: evolves once and draws counts from the
+        final probability amplitudes without materializing a
+        :class:`~repro.sim.result.Result` (or a dense empirical
+        distribution) in between.
+        """
+        from repro.sim.sampling import sample_counts
+
+        state = self.run(initial)
+        return sample_counts(np.abs(state) ** 2, shots, rng)
+
+    def sample_batch(
+        self,
+        initial_states: np.ndarray,
+        shots: Union[int, np.ndarray],
+        rng: np.random.Generator,
+    ) -> Dict[int, int]:
+        """Aggregate counts sampled from every evolved row of a batch.
+
+        ``shots`` is the per-row shot count (scalar, or a ``(batch,)``
+        array for uneven allocations); all rows are sampled in one batched
+        multinomial draw and merged into a single counts mapping.
+        """
+        from repro.sim.sampling import sample_counts_batch
+
+        states = self.run_batch(initial_states)
+        return sample_counts_batch(np.abs(states) ** 2, shots, rng)
+
 
 class CompiledCircuit:
     """A circuit lowered to fused kernels, compiled once per *structure*.
@@ -490,9 +684,10 @@ class CompiledCircuit:
                 )
             values = dict(zip(self.parameters, vals))
         ops = []
+        memo: Dict[Tuple, np.ndarray] = {}
         for seg, arr in zip(self._segments, self._static):
             if arr is None:
-                arr = seg.concretize(self.num_qubits, values)
+                arr = seg.concretize(self.num_qubits, values, memo)
             ops.append((seg.kind, seg.qubits, arr))
         return CompiledProgram(self.num_qubits, ops)
 

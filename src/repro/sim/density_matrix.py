@@ -20,10 +20,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.circuits import gates as gatedefs
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.hamiltonian import Hamiltonian
 from repro.exceptions import SimulationError
-from repro.sim.compile import PlanCache, qubit_key
+from repro.sim.compile import (
+    DIAGONAL_GATES,
+    PlanCache,
+    StructuralPlanCache,
+    _resolve_params,
+    diag_angle_parts,
+    qubit_key,
+    structural_key,
+)
 from repro.sim.result import Result
 from repro.sim.sampling import (
     apply_readout_error_probabilities,
@@ -70,6 +79,85 @@ def _embed_1q_ops(ops: Sequence[np.ndarray], slot: int) -> List[np.ndarray]:
     return [np.kron(k, eye) for k in ops]
 
 
+def _unitary_superop(u: np.ndarray) -> np.ndarray:
+    """``kron(u, conj(u))`` via broadcasting (no ``np.kron`` overhead)."""
+    d = u.shape[0]
+    return (u[:, None, :, None] * u.conj()[None, :, None, :]).reshape(
+        d * d, d * d
+    )
+
+
+def _embed_gather(
+    qubits: Tuple[int, ...], frame: Tuple[int, ...]
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """``(A, M)`` such that ``S_frame = S[A[:,None], A[None,:]] * M``.
+
+    ``A[t]`` gathers the member superop sub-index out of each frame
+    superop index (bit layout: row bits of the frame qubits, then column
+    bits); ``M`` masks entries where the spectator bits differ (``None``
+    when the member covers the whole frame).  Precomputed once per spec so
+    rebinding never touches ``np.kron``.
+    """
+    nf = len(frame)
+    m = len(qubits)
+    idx = np.arange(1 << (2 * nf))
+    a = np.zeros_like(idx)
+    for i, q in enumerate(qubits):
+        j = frame.index(q)
+        a |= ((idx >> (nf + j)) & 1) << (m + i)
+        a |= ((idx >> j) & 1) << i
+    rest = [j for j, q in enumerate(frame) if q not in qubits]
+    if not rest:
+        return a, None
+    b = np.zeros_like(idx)
+    for i, j in enumerate(rest):
+        b |= ((idx >> (nf + j)) & 1) << (len(rest) + i)
+        b |= ((idx >> j) & 1) << i
+    return a, (b[:, None] == b[None, :])
+
+
+def _superop_in_frame(
+    s: np.ndarray, qubits: Tuple[int, ...], frame: Tuple[int, ...]
+) -> np.ndarray:
+    """Express a 1q/2q superoperator in the frame of a fused pair group.
+
+    ``s`` acts on ``qubits`` (its own operand order); the result acts on
+    the two-qubit space of ``frame``.  Superoperators compose by plain
+    matrix product, so this is what lets consecutive (gate + noise)
+    channels on one qubit pair fuse into a single 16x16 kernel.
+    """
+    if qubits == frame:
+        return s
+    a, mask = _embed_gather(qubits, frame)
+    out = s[a[:, None], a[None, :]]
+    if mask is not None:
+        out = out * mask
+    return out
+
+
+_superop_perm_cache: Dict[Tuple[Tuple[int, ...], int], Tuple[tuple, tuple]] = {}
+
+
+def _superop_perms(
+    qubits: Sequence[int], num_qubits: int
+) -> Tuple[tuple, tuple]:
+    """Cached (forward, inverse) axis permutations for :func:`apply_superop`."""
+    key = (tuple(qubits), num_qubits)
+    entry = _superop_perm_cache.get(key)
+    if entry is None:
+        n = num_qubits
+        front = [n - 1 - q for q in reversed(qubits)] + [
+            2 * n - 1 - q for q in reversed(qubits)
+        ]
+        rest = [ax for ax in range(2 * n) if ax not in front]
+        perm = front + rest
+        entry = (tuple(perm), tuple(np.argsort(perm)))
+        if len(_superop_perm_cache) > 1024:
+            _superop_perm_cache.clear()
+        _superop_perm_cache[key] = entry
+    return entry
+
+
 def apply_superop(
     rho: np.ndarray, superop: np.ndarray, qubits: Sequence[int], num_qubits: int
 ) -> np.ndarray:
@@ -87,16 +175,112 @@ def apply_superop(
     # Row axis of qubit q is n-1-q; column axis is 2n-1-q.  The superop
     # index packs (row bits desc, col bits desc) with qubits[-1] as the
     # high bit — matching kron(K, conj(K)) with little-endian gate matrices.
-    front = [n - 1 - q for q in reversed(qubits)] + [
-        2 * n - 1 - q for q in reversed(qubits)
-    ]
-    rest = [ax for ax in range(2 * n) if ax not in front]
-    perm = front + rest
+    perm, inv_perm = _superop_perms(qubits, n)
     moved = np.transpose(full, perm).reshape(d2, -1)
     out = superop @ moved
-    out = out.reshape([2] * (2 * k) + [2] * (2 * n - 2 * k))
-    out = np.transpose(out, np.argsort(perm))
+    out = out.reshape([2] * (2 * n))
+    out = np.transpose(out, inv_perm)
     return np.ascontiguousarray(out).reshape(dim, dim)
+
+
+class _DMSlot:
+    """A standalone parametric diagonal op of a structural plan.
+
+    Everything value-independent — the attached noise superoperator, the
+    basis-index gather, the angle base/slope of the phase — is precomputed
+    at structural lowering; rebinding is one small ``exp`` plus a gather.
+    """
+
+    __slots__ = ("position", "inst_index", "qubits", "noise", "qk", "base",
+                 "slope")
+
+    def __init__(self, position, inst_index, qubits, noise, qk, base, slope):
+        self.position = position
+        self.inst_index = inst_index
+        self.qubits = qubits
+        self.noise = noise
+        self.qk = qk
+        self.base = base
+        self.slope = slope
+
+
+class _DMGroupSpec:
+    """A fused run of (gate + noise) superoperators on one qubit or pair.
+
+    ``members`` is the program-order mix of collapsed static products
+    (``("s", superop)``, already in the group frame), diagonal parametric
+    markers (``("d", inst_index, beta, sigma, noise_emb)`` — the embedded
+    superop diagonal is ``exp(i(beta + theta * sigma))``, so rebinding is
+    an exp + elementwise row scale), and generic parametric markers
+    (``("m", inst_index, name, embed, noise)`` — rebinding rebuilds the
+    small unitary superop and gathers it into the frame).  Everything
+    shape-dependent is precomputed here; rebinding never calls
+    ``np.kron``.
+    """
+
+    __slots__ = ("position", "frame", "members")
+
+    def __init__(self, position, frame, members):
+        self.position = position
+        self.frame = frame
+        self.members = members
+
+
+class _DMGroupBuilder:
+    """Accumulates one fusion group during structural lowering."""
+
+    __slots__ = ("frame", "members")
+
+    def __init__(self, frame: Tuple[int, ...]):
+        self.frame = frame
+        self.members: list = []
+
+    def add_static(self, s: np.ndarray, qubits: Tuple[int, ...]) -> None:
+        if qubits != self.frame:
+            s = _superop_in_frame(s, qubits, self.frame)
+        if self.members and self.members[-1][0] == "s":
+            self.members[-1] = ("s", s @ self.members[-1][1])
+        else:
+            self.members.append(("s", s))
+
+    def add_parametric(self, inst_index: int, inst, noise) -> None:
+        qubits = inst.qubits
+        if inst.name in DIAGONAL_GATES:
+            base_g, slope_g = diag_angle_parts(inst.name)
+            m = len(qubits)
+            rc = np.arange(1 << (2 * m))
+            r = rc >> m
+            c = rc & ((1 << m) - 1)
+            a, _ = _embed_gather(qubits, self.frame)
+            beta = (base_g[r] - base_g[c])[a]
+            sigma = (slope_g[r] - slope_g[c])[a]
+            noise_emb = (
+                None
+                if noise is None
+                else _superop_in_frame(noise, qubits, self.frame)
+            )
+            self.members.append(("d", inst_index, beta, sigma, noise_emb))
+            return
+        embed = (
+            None if qubits == self.frame else _embed_gather(qubits, self.frame)
+        )
+        self.members.append(("m", inst_index, inst.name, embed, noise))
+
+    @property
+    def has_parametric(self) -> bool:
+        return any(m[0] != "s" for m in self.members)
+
+
+class _DMPlanSpec:
+    """A structurally lowered circuit: static ops plus rebinding entries."""
+
+    __slots__ = ("template", "rebinds")
+
+    def __init__(self, template: list, rebinds: list):
+        #: Concrete op tuples at static positions, ``None`` at rebind slots.
+        self.template = template
+        #: Mixed :class:`_DMSlot` / :class:`_DMGroupSpec` entries.
+        self.rebinds = rebinds
 
 
 class DensityMatrixSimulator:
@@ -108,6 +292,7 @@ class DensityMatrixSimulator:
         self,
         noise_model=None,
         seed: Optional[int] = None,
+        structural_rebind: bool = True,
     ):
         if noise_model is None:
             from repro.noise.model import ideal_noise_model
@@ -122,6 +307,15 @@ class DensityMatrixSimulator:
         self._diag_decisions: Dict[Tuple, Optional[np.ndarray]] = {}
         #: Fully compiled per-circuit evolution plans (weakref-guarded).
         self._plan_cache = PlanCache()
+        #: Structural (parameter-slot) plans shared across the freshly
+        #: bound circuits an optimizer loop produces each iteration.
+        #: ``structural_rebind=False`` restores the old object-identity-only
+        #: caching — kept for baseline benchmarking.
+        self._structural_rebind = bool(structural_rebind)
+        self._structural_cache = StructuralPlanCache()
+        #: Number of full plan lowerings performed (test/benchmark probe:
+        #: an optimizer loop over fresh bound circuits must lower once).
+        self.lowering_count = 0
 
     # -- superoperator compilation -------------------------------------------
 
@@ -193,17 +387,224 @@ class DensityMatrixSimulator:
 
         Every per-gate decision — is the unitary diagonal, which noise
         superoperator attaches, which basis-index gather embeds a small
-        diagonal — happens here exactly once per circuit (and hits
-        per-unique-gate caches across circuits); :meth:`evolve` then runs a
-        tight loop over concrete kernels.  Plans are cached per circuit
-        object (weakref-guarded, invalidated when the instruction list
-        changes), so repeated evolutions of one circuit skip lowering
-        entirely.
+        diagonal — happens here exactly once per circuit *structure*:
+        plans are keyed on :func:`~repro.sim.compile.structural_key`, with
+        every gate-parameter position a rebinding slot.  The fresh bound
+        circuit an optimizer builds each iteration therefore rebinds its
+        angles into the cached structural plan (:meth:`_bind_spec`) instead
+        of re-lowering; a per-object cache in front keeps repeated
+        evolutions of one circuit object at zero rebinding cost too.
         """
-        n = circuit.num_qubits
         cached = self._plan_cache.get(circuit)
         if cached is not None:
             return cached
+        if not self._structural_rebind:
+            return self._plan_cache.put(circuit, self._lower_concrete(circuit))
+        key = structural_key(circuit)
+        spec = self._structural_cache.get(key)
+        if spec is None:
+            spec = self._structural_cache.put(key, self._lower_spec(circuit))
+        return self._plan_cache.put(circuit, self._bind_spec(spec, circuit))
+
+    def _member_superop(self, inst: Instruction) -> np.ndarray:
+        """Concrete (noise ∘ unitary) superoperator of a bound instruction."""
+        noise = self._noise_superop(inst)
+        return self._gate_superop(inst, noise)
+
+    def _lower_spec(self, circuit: QuantumCircuit) -> _DMPlanSpec:
+        """Structurally lower with superoperator fusion.
+
+        Two things happen here that the per-gate legacy lowering never
+        did:
+
+        * **Fusion** — consecutive (gate + noise) channels confined to one
+          qubit or one qubit pair multiply into a single 4x4/16x16
+          superoperator: a cx–rz–cx ladder step, its neighbouring 1q
+          chains, and any delay noise on those qubits become *one*
+          :func:`apply_superop` call.  Channels compose by plain matrix
+          product, so this is exact; gates crossing a group boundary
+          flush it, preserving per-qubit order.
+        * **Parameter slots** — every gate-parameter position stays
+          symbolic.  Parametric members of a fused group rebuild only
+          their small superop at rebind; standalone parametric diagonal
+          gates (a noisy rzz outside any pair group) store angle
+          base/slope + gather for a one-``exp`` rebind.
+        """
+        self.lowering_count += 1
+        n = circuit.num_qubits
+        template: list = []
+        rebinds: list = []
+        pending: Dict[Tuple, _DMGroupBuilder] = {}
+        holder: Dict[int, Tuple] = {}
+
+        def flush(key: Tuple) -> None:
+            builder = pending.pop(key)
+            for q in builder.frame:
+                if holder.get(q) == key:
+                    del holder[q]
+            if builder.has_parametric:
+                rebinds.append(
+                    _DMGroupSpec(len(template), builder.frame, builder.members)
+                )
+                template.append(None)
+            else:
+                total = builder.members[0][1]
+                template.append(
+                    (self._OP_SUPEROP, total, None, builder.frame)
+                )
+
+        def add_member(builder: _DMGroupBuilder, inst: Instruction, idx: int) -> None:
+            if inst.params:
+                builder.add_parametric(idx, inst, self._noise_superop(inst))
+            else:
+                builder.add_static(self._member_superop(inst), inst.qubits)
+
+        for idx, inst in enumerate(circuit.instructions):
+            if not inst.is_gate:
+                if inst.name == "reset":
+                    raise SimulationError("reset is not supported")
+                if inst.name == "delay":
+                    noise = self._noise_superop(inst)
+                    if noise is not None:
+                        key = holder.get(inst.qubits[0]) if len(inst.qubits) == 1 else None
+                        if key is not None:
+                            pending[key].add_static(noise, inst.qubits)
+                        else:
+                            for q in inst.qubits:
+                                held = holder.get(q)
+                                if held is not None:
+                                    flush(held)
+                            template.append(
+                                (self._OP_NOISE_EACH, noise, None, inst.qubits)
+                            )
+                continue
+            qs = inst.qubits
+            if len(qs) == 1:
+                key = holder.get(qs[0])
+                if key is not None:
+                    add_member(pending[key], inst, idx)
+                    continue
+                key = ("1", qs[0])
+                pending[key] = _DMGroupBuilder(qs)
+                holder[qs[0]] = key
+                add_member(pending[key], inst, idx)
+                continue
+            pair_key = ("2", min(qs), max(qs))
+            existing = pending.get(pair_key)
+            if existing is not None:
+                add_member(existing, inst, idx)
+                continue
+            if inst.name in DIAGONAL_GATES:
+                # Standalone diagonal 2q gate (e.g. a noisy rzz chain):
+                # keep the cheap elementwise path, no group.
+                for q in qs:
+                    held = holder.get(q)
+                    if held is not None:
+                        flush(held)
+                if inst.params:
+                    base, slope = diag_angle_parts(inst.name)
+                    rebinds.append(
+                        _DMSlot(
+                            len(template), idx, qs, self._noise_superop(inst),
+                            qubit_key(qs, n), base, slope,
+                        )
+                    )
+                    template.append(None)
+                else:
+                    diag = self._gate_diagonal(inst)
+                    template.append(
+                        (
+                            self._OP_DIAG,
+                            diag[qubit_key(qs, n)],
+                            self._noise_superop(inst),
+                            qs,
+                        )
+                    )
+                continue
+            # Non-diagonal 2q gate: open a pair group, absorbing any
+            # pending 1q chains on its qubits (they precede it in program
+            # order) and flushing everything else.
+            builder = _DMGroupBuilder(qs)
+            for q in qs:
+                held = holder.get(q)
+                if held is None:
+                    continue
+                if held[0] == "1":
+                    chain = pending.pop(held)
+                    del holder[q]
+                    for member in chain.members:
+                        if member[0] == "s":
+                            builder.add_static(member[1], chain.frame)
+                        else:
+                            # Re-prepare in the pair frame: the chain-frame
+                            # embedding (and its 4-entry diagonals) do not
+                            # carry over.  member[-1] is the raw noise
+                            # superop for both member kinds (a chain never
+                            # embeds it).
+                            builder.add_parametric(
+                                member[1],
+                                circuit.instructions[member[1]],
+                                member[-1],
+                            )
+                    continue
+                flush(held)
+            add_member(builder, inst, idx)
+            pending[pair_key] = builder
+            for q in qs:
+                holder[q] = pair_key
+        for key in sorted(pending):
+            flush(key)
+        return _DMPlanSpec(template, rebinds)
+
+    def _bind_spec(self, spec: _DMPlanSpec, circuit: QuantumCircuit) -> list:
+        """Concretize a structural plan with the circuit's bound values."""
+        plan = list(spec.template)
+        insts = circuit.instructions
+        for entry in spec.rebinds:
+            if isinstance(entry, _DMSlot):
+                params = _resolve_params(insts[entry.inst_index], None)
+                small = np.exp(1j * (entry.base + params[0] * entry.slope))
+                plan[entry.position] = (
+                    self._OP_DIAG, small[entry.qk], entry.noise, entry.qubits
+                )
+                continue
+            total: Optional[np.ndarray] = None
+            for member in entry.members:
+                kind = member[0]
+                if kind == "s":
+                    s = member[1]
+                    total = s if total is None else s @ total
+                elif kind == "d":
+                    _, inst_index, beta, sigma, noise_emb = member
+                    theta = _resolve_params(insts[inst_index], None)[0]
+                    w = np.exp(1j * (beta + theta * sigma))
+                    total = np.diag(w) if total is None else w[:, None] * total
+                    if noise_emb is not None:
+                        total = noise_emb @ total
+                else:
+                    _, inst_index, name, embed, noise = member
+                    params = _resolve_params(insts[inst_index], None)
+                    s = _unitary_superop(gatedefs.gate_matrix(name, params))
+                    if noise is not None:
+                        s = noise @ s
+                    if embed is not None:
+                        a, mask = embed
+                        s = s[a[:, None], a[None, :]]
+                        if mask is not None:
+                            s = s * mask
+                    total = s if total is None else s @ total
+            plan[entry.position] = (self._OP_SUPEROP, total, None, entry.frame)
+        return plan
+
+    def _lower_concrete(self, circuit: QuantumCircuit) -> list:
+        """Pre-structural lowering: every value decision made inline.
+
+        The exact code path this backend ran before structural rebinding;
+        kept as the ``structural_rebind=False`` baseline so the rebinding
+        speedup stays measurable against real history.
+        """
+        self.lowering_count += 1
+        n = circuit.num_qubits
         plan: list = []
         for inst in circuit:
             if inst.is_gate:
@@ -221,7 +622,7 @@ class DensityMatrixSimulator:
                 noise = self._noise_superop(inst)
                 if noise is not None:
                     plan.append((self._OP_NOISE_EACH, noise, None, inst.qubits))
-        return self._plan_cache.put(circuit, plan)
+        return plan
 
     def evolve(self, circuit: QuantumCircuit) -> np.ndarray:
         """Final density matrix after the circuit's unitary+noise dynamics."""

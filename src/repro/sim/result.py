@@ -41,13 +41,15 @@ class Result:
         if self.exact_probabilities is not None:
             return self.exact_probabilities
         if self.counts is not None:
+            from repro.sim.sampling import counts_to_arrays
+
             dim = 1 << self.num_qubits
             probs = np.zeros(dim)
-            total = sum(self.counts.values())
+            keys, vals = counts_to_arrays(self.counts)
+            total = vals.sum()
             if total == 0:
                 raise SimulationError("result has empty counts")
-            for bits, c in self.counts.items():
-                probs[bits] = c / total
+            probs[keys] = vals / total
             return probs
         if self.statevector is not None:
             return np.abs(self.statevector) ** 2
@@ -83,7 +85,14 @@ class Result:
         )
 
     def shannon_entropy(self) -> float:
-        """Shannon entropy (bits) of the output distribution."""
+        """Shannon entropy (bits) of the output distribution.
+
+        Counts-only results are evaluated over the distinct outcomes
+        directly (no dense ``2**n`` vector), which is what the sampled
+        fast path at wide registers relies on.
+        """
+        if self.exact_probabilities is None and self.counts is not None:
+            return shannon_entropy_counts(self.counts)
         return shannon_entropy(self.probabilities())
 
     def hellinger_fidelity(self, other: "Result") -> float:
@@ -96,6 +105,24 @@ def shannon_entropy(probs: np.ndarray) -> float:
     p = p[p > 0.0]
     if p.size == 0:
         raise SimulationError("empty distribution")
+    return float(-(p * np.log2(p)).sum())
+
+
+def shannon_entropy_counts(counts: Mapping[int, int]) -> float:
+    """Shannon entropy (bits) straight from a counts mapping.
+
+    Works over the distinct sampled outcomes only, so the cost is
+    ``O(min(shots, 2**n))`` rather than ``O(2**n)``.
+    """
+    from repro.sim.sampling import counts_to_arrays
+
+    if not counts:
+        raise SimulationError("empty distribution")
+    _, vals = counts_to_arrays(counts)
+    total = vals.sum()
+    if total == 0:
+        raise SimulationError("empty distribution")
+    p = vals[vals > 0] / total
     return float(-(p * np.log2(p)).sum())
 
 

@@ -3,15 +3,43 @@
 Separating sampling from state evolution lets every simulator share one
 tested implementation, and lets the TREX mitigation module manipulate the
 same confusion-matrix representation the noise models use.
+
+Everything here is vectorized over *all* shots at once: counts are
+expanded to one flat outcome array (per distinct-outcome, not per-shot,
+Python work), readout flips are drawn per qubit over the whole array, and
+aggregation goes through ``np.unique`` / ``np.bincount``.  These kernels
+sit on the hot shots-sampled paths — the trajectory backend, the cutting
+reconstruction, and TREX calibration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import SimulationError
+
+
+def _normalized_distribution(probabilities: np.ndarray) -> np.ndarray:
+    p = np.asarray(probabilities, dtype=float).clip(min=0.0)
+    total = p.sum()
+    if total <= 0:
+        raise SimulationError("probabilities sum to zero")
+    return p / total
+
+
+def counts_to_arrays(counts: Dict[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+    """``(outcomes, counts)`` int64 arrays of a counts mapping (aligned)."""
+    keys = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+    vals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+    return keys, vals
+
+
+def counts_from_outcomes(outcomes: np.ndarray) -> Dict[int, int]:
+    """Aggregate a flat array of sampled outcomes into a counts mapping."""
+    keys, cnts = np.unique(np.asarray(outcomes, dtype=np.int64), return_counts=True)
+    return {int(k): int(c) for k, c in zip(keys, cnts)}
 
 
 def sample_counts(
@@ -20,13 +48,86 @@ def sample_counts(
     """Draw ``shots`` outcomes from a distribution over basis states."""
     if shots <= 0:
         raise SimulationError("shots must be positive")
+    draws = rng.multinomial(shots, _normalized_distribution(probabilities))
+    keys = np.nonzero(draws)[0]
+    return {int(k): int(draws[k]) for k in keys}
+
+
+def sample_counts_batch(
+    probabilities: np.ndarray,
+    shots: Union[int, np.ndarray],
+    rng: np.random.Generator,
+) -> Dict[int, int]:
+    """Sample every row of a ``(batch, dim)`` block and merge the counts.
+
+    ``shots`` is the per-row shot count — a scalar, or a ``(batch,)``
+    array for uneven allocations (rows with zero shots contribute
+    nothing).  One batched multinomial call replaces the per-row
+    sample-then-merge loop.
+    """
     p = np.asarray(probabilities, dtype=float).clip(min=0.0)
-    total = p.sum()
-    if total <= 0:
+    if p.ndim != 2:
+        raise SimulationError("expected a (batch, dim) probability block")
+    totals = p.sum(axis=1, keepdims=True)
+    if (totals <= 0).any():
         raise SimulationError("probabilities sum to zero")
-    p = p / total
-    draws = rng.multinomial(shots, p)
-    return {int(i): int(c) for i, c in enumerate(draws) if c}
+    shots_arr = np.asarray(shots, dtype=np.int64)
+    total_shots = (
+        int(shots_arr) * p.shape[0] if shots_arr.ndim == 0 else int(shots_arr.sum())
+    )
+    if (shots_arr < 0).any() or total_shots <= 0:
+        raise SimulationError("shots must be positive")
+    draws = rng.multinomial(shots_arr, p / totals).sum(axis=0)
+    keys = np.nonzero(draws)[0]
+    return {int(k): int(draws[k]) for k in keys}
+
+
+def empirical_probabilities(
+    probabilities: np.ndarray, shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Finite-shot empirical distribution drawn from an exact one.
+
+    One multinomial draw divided by ``shots`` — no counts dict, no
+    scatter loop.
+    """
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    return rng.multinomial(shots, _normalized_distribution(probabilities)) / shots
+
+
+def empirical_probabilities_batch(
+    probabilities: np.ndarray, shots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-row empirical distributions of a ``(batch, dim)`` block."""
+    if shots <= 0:
+        raise SimulationError("shots must be positive")
+    p = np.asarray(probabilities, dtype=float).clip(min=0.0)
+    totals = p.sum(axis=1, keepdims=True)
+    if (totals <= 0).any():
+        raise SimulationError("probabilities sum to zero")
+    return rng.multinomial(shots, p / totals) / shots
+
+
+def apply_readout_error_outcomes(
+    outcomes: np.ndarray,
+    flip_probabilities: Sequence[Sequence[float]],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Stochastically flip readout bits of a flat array of outcomes.
+
+    ``flip_probabilities[q] = (p10, p01)`` where ``p10`` is P(read 1 |
+    true 0) and ``p01`` is P(read 0 | true 1).  Each shot flips each
+    qubit independently; the whole array is processed with one random
+    draw per qubit.
+    """
+    reads = np.array(outcomes, dtype=np.int64)
+    for q, (p10, p01) in enumerate(flip_probabilities):
+        mask = np.int64(1 << q)
+        is_one = (reads & mask) != 0
+        p_flip = np.where(is_one, p01, p10)
+        flips = rng.random(reads.shape[0]) < p_flip
+        reads ^= flips.astype(np.int64) * mask
+    return reads
 
 
 def apply_readout_error_counts(
@@ -36,23 +137,16 @@ def apply_readout_error_counts(
 ) -> Dict[int, int]:
     """Stochastically corrupt sampled counts with per-qubit readout flips.
 
-    ``flip_probabilities[q] = (p10, p01)`` where ``p10`` is P(read 1 | true 0)
-    and ``p01`` is P(read 0 | true 1).
+    All shots are expanded into one flat outcome array, flipped in a
+    single vectorized pass, and re-aggregated — no per-shot or
+    per-outcome Python loop.
     """
-    out: Dict[int, int] = {}
-    num_qubits = len(flip_probabilities)
-    for bits, c in counts.items():
-        # Expand into individual shots only per distinct outcome.
-        reads = np.full(c, bits, dtype=np.int64)
-        for q, (p10, p01) in enumerate(flip_probabilities):
-            mask = 1 << q
-            is_one = (reads & mask) != 0
-            p_flip = np.where(is_one, p01, p10)
-            flips = rng.random(c) < p_flip
-            reads = np.where(flips, reads ^ mask, reads)
-        for r in reads:
-            out[int(r)] = out.get(int(r), 0) + 1
-    return out
+    if not counts:
+        return {}
+    keys, vals = counts_to_arrays(counts)
+    reads = np.repeat(keys, vals)
+    reads = apply_readout_error_outcomes(reads, flip_probabilities, rng)
+    return counts_from_outcomes(reads)
 
 
 def apply_readout_error_probabilities(
@@ -89,25 +183,45 @@ def confusion_matrix_1q(p10: float, p01: float) -> np.ndarray:
 def marginal_counts(
     counts: Dict[int, int], qubits: Sequence[int]
 ) -> Dict[int, int]:
-    """Marginalize counts onto a subset of qubits (new bit i = old qubits[i])."""
-    out: Dict[int, int] = {}
-    for bits, c in counts.items():
-        key = 0
-        for i, q in enumerate(qubits):
-            if bits & (1 << q):
-                key |= 1 << i
-        out[key] = out.get(key, 0) + c
-    return out
+    """Marginalize counts onto a subset of qubits (new bit i = old qubits[i]).
+
+    Bit extraction and re-packing run as array ops over all distinct
+    outcomes at once (one shift/mask pass per kept qubit).
+    """
+    if not counts:
+        return {}
+    keys, vals = counts_to_arrays(counts)
+    out_keys = np.zeros_like(keys)
+    for i, q in enumerate(qubits):
+        out_keys |= ((keys >> np.int64(q)) & 1) << np.int64(i)
+    uniq, inv = np.unique(out_keys, return_inverse=True)
+    sums = np.bincount(inv, weights=vals)
+    return {int(k): int(c) for k, c in zip(uniq, sums)}
 
 
 def expected_value_of_bits(counts: Dict[int, int], num_qubits: int) -> np.ndarray:
-    """Per-qubit marginal probability of reading 1."""
+    """Per-qubit marginal probability of reading 1.
+
+    One ``(outcomes, qubits)`` bit matrix replaces the per-outcome,
+    per-qubit Python loops.
+    """
     total = sum(counts.values())
     if total == 0:
         raise SimulationError("empty counts")
-    probs = np.zeros(num_qubits)
-    for bits, c in counts.items():
-        for q in range(num_qubits):
-            if bits & (1 << q):
-                probs[q] += c
-    return probs / total
+    keys, vals = counts_to_arrays(counts)
+    bits = (keys[:, None] >> np.arange(num_qubits, dtype=np.int64)[None, :]) & 1
+    return (bits * vals[:, None]).sum(axis=0) / total
+
+
+def counts_expectation_diagonal(
+    counts: Dict[int, int], diagonal: np.ndarray
+) -> float:
+    """Mean of a diagonal observable over sampled counts.
+
+    Gathers ``diagonal`` at the distinct outcomes only — ``O(distinct)``
+    instead of the ``O(2**n)`` scatter-to-dense-then-dot path.
+    """
+    if not counts:
+        raise SimulationError("empty counts")
+    keys, vals = counts_to_arrays(counts)
+    return float(np.dot(np.asarray(diagonal)[keys], vals) / vals.sum())

@@ -30,11 +30,19 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.hamiltonian import Hamiltonian
 from repro.circuits.pauli import gather_table, popcount
 from repro.exceptions import SimulationError
-from repro.sim.compile import DIAGONAL_GATES, PlanCache
+from repro.sim.compile import (
+    DIAGONAL_GATES,
+    PlanCache,
+    StructuralPlanCache,
+    _resolve_params,
+    diag_angle_parts,
+    qubit_key,
+    structural_key,
+)
 from repro.sim.result import Result
 from repro.sim.sampling import (
-    apply_readout_error_counts,
-    sample_counts,
+    apply_readout_error_outcomes,
+    counts_from_outcomes,
 )
 from repro.sim.statevector import apply_diagonal_batch, apply_unitary_batch
 
@@ -69,6 +77,50 @@ class _PlanOp:
         self.error_qubits = error_qubits
 
 
+class _TrajSlot:
+    """One parameter-dependent kernel of a structural trajectory plan.
+
+    ``kind`` is ``"diag"`` (noisy parametric diagonal gate: rebind is a
+    ``2**k`` exp) or ``"matrix"`` (parametric non-diagonal gate: rebind
+    rebuilds the small unitary).  Fused noiseless diagonal runs use
+    :class:`_TrajRunSpec` instead.
+    """
+
+    __slots__ = ("position", "inst_index", "kind", "name", "qubits",
+                 "base", "slope", "error_p", "error_qubits")
+
+    def __init__(self, position, inst_index, kind, name, qubits,
+                 error_p, error_qubits, base=None, slope=None):
+        self.position = position
+        self.inst_index = inst_index
+        self.kind = kind
+        self.name = name
+        self.qubits = qubits
+        self.base = base
+        self.slope = slope
+        self.error_p = error_p
+        self.error_qubits = error_qubits
+
+
+class _TrajRunSpec:
+    """A fused noiseless diagonal run with parameter slots.
+
+    ``static_phase`` holds the product of all constant gates in the run
+    (or ``None``); ``members`` lists the parametric gates as
+    ``(inst_index, qk, base, slope)`` — rebinding accumulates each
+    member's embedded phase *angles* into one real buffer and takes a
+    single ``exp``, so the per-bind cost is one gather + axpy per
+    parametric gate regardless of noise bookkeeping.
+    """
+
+    __slots__ = ("position", "static_phase", "members")
+
+    def __init__(self, position, static_phase, members):
+        self.position = position
+        self.static_phase = static_phase
+        self.members = members
+
+
 class TrajectorySimulator:
     """Stochastic Pauli-error unraveling of a depolarizing noise model.
 
@@ -84,6 +136,7 @@ class TrajectorySimulator:
         noise_model=None,
         trajectories: int = 64,
         seed: Optional[int] = None,
+        structural_rebind: bool = True,
     ):
         if noise_model is None:
             from repro.noise.model import ideal_noise_model
@@ -112,20 +165,179 @@ class TrajectorySimulator:
         ] = {}
         #: Compiled per-circuit plans (shared weakref-guarded cache) so
         #: repeated run()/expectation() calls on one circuit object skip
-        #: re-lowering (O(gates * 2**n) phase-vector allocation).  Optimizer
-        #: loops bind a *fresh* circuit per iteration and still miss here;
-        #: structural (parameter-slot) rebinding is a ROADMAP follow-up.
+        #: re-lowering (O(gates * 2**n) phase-vector allocation).
         self._plan_cache = PlanCache()
+        #: Structural (parameter-slot) plans: the fresh bound circuit an
+        #: optimizer builds each iteration rebinds into a cached plan
+        #: instead of re-lowering.  ``structural_rebind=False`` restores
+        #: object-identity-only caching (baseline benchmarking).
+        self._structural_rebind = bool(structural_rebind)
+        self._structural_cache = StructuralPlanCache()
+        #: Number of full plan lowerings performed (test/benchmark probe).
+        self.lowering_count = 0
 
     # -- circuit lowering ---------------------------------------------------
 
     def _compiled_plan(self, circuit: QuantumCircuit) -> List[_PlanOp]:
-        """Cached :meth:`_compile_plan` of ``circuit`` sans measurements."""
+        """Cached lowered plan of ``circuit`` (measurements ignored).
+
+        Lookup order: per-object cache, then the structural cache (same
+        structure + parameter slots) with a cheap rebind of this
+        circuit's concrete angles, then a full lowering.
+        """
         plan = self._plan_cache.get(circuit)
         if plan is None:
-            plan = self._plan_cache.put(
-                circuit, self._compile_plan(circuit.remove_measurements())
-            )
+            if self._structural_rebind:
+                key = structural_key(circuit)
+                spec = self._structural_cache.get(key)
+                if spec is None:
+                    spec = self._structural_cache.put(
+                        key, self._lower_spec(circuit)
+                    )
+                plan = self._bind_spec(spec, circuit)
+            else:
+                plan = self._compile_plan(circuit.remove_measurements())
+            self._plan_cache.put(circuit, plan)
+        return plan
+
+    def _lower_spec(self, circuit: QuantumCircuit):
+        """Structural lowering: static kernels now, parameter slots for later.
+
+        Mirrors :meth:`_compile_plan` exactly — same fusion rules, same
+        error-injection points — but treats every gate-parameter position
+        as a rebinding slot, so the result is shared by all bindings of
+        one ansatz structure.  Returns ``(template, rebinds)`` where
+        ``template`` holds concrete :class:`_PlanOp` entries at static
+        positions (``None`` at slots) and ``rebinds`` mixes
+        :class:`_TrajSlot` and :class:`_TrajRunSpec` entries.
+        """
+        self.lowering_count += 1
+        n = circuit.num_qubits
+        nm = self.noise_model
+        template: List[Optional[_PlanOp]] = []
+        rebinds: list = []
+        run_static: Optional[np.ndarray] = None
+        run_members: list = []
+        run_open = False
+
+        def flush_run() -> None:
+            nonlocal run_static, run_members, run_open
+            if not run_open:
+                return
+            if run_members:
+                rebinds.append(
+                    _TrajRunSpec(len(template), run_static, run_members)
+                )
+                template.append(None)
+            else:
+                template.append(_PlanOp(run_static, None, None, (), 0.0, ()))
+            run_static = None
+            run_members = []
+            run_open = False
+
+        for idx, inst in enumerate(circuit.instructions):
+            if not inst.is_gate:
+                if inst.name == "reset":
+                    raise SimulationError(
+                        "reset is not supported in pure-state evolution"
+                    )
+                continue
+            if inst.name == "id":
+                p = nm.avg_error_1q
+                if p > 0.0:
+                    flush_run()
+                    template.append(_PlanOp(None, None, None, (), p, inst.qubits))
+                continue
+            noiseless = inst.name == "rz"
+            p = 0.0
+            if not noiseless:
+                arity = gatedefs.GATE_ARITY[inst.name]
+                p = nm.avg_error_1q if arity == 1 else nm.avg_error_2q
+            parametric = bool(inst.params)
+            if inst.name in DIAGONAL_GATES:
+                if noiseless or p == 0.0:
+                    run_open = True
+                    if parametric:
+                        base, slope = diag_angle_parts(inst.name)
+                        run_members.append(
+                            (idx, qubit_key(inst.qubits, n), base, slope)
+                        )
+                    else:
+                        if run_static is None:
+                            run_static = np.ones(1 << n, dtype=complex)
+                        apply_diagonal_batch(
+                            run_static[None, :],
+                            np.diag(inst.matrix()),
+                            inst.qubits,
+                            n,
+                        )
+                    continue
+                flush_run()
+                if parametric:
+                    base, slope = diag_angle_parts(inst.name)
+                    rebinds.append(
+                        _TrajSlot(
+                            len(template), idx, "diag", inst.name, inst.qubits,
+                            p, inst.qubits, base=base, slope=slope,
+                        )
+                    )
+                    template.append(None)
+                else:
+                    template.append(
+                        _PlanOp(
+                            None, np.diag(inst.matrix()), None,
+                            inst.qubits, p, inst.qubits,
+                        )
+                    )
+                continue
+            flush_run()
+            if parametric:
+                rebinds.append(
+                    _TrajSlot(
+                        len(template), idx, "matrix", inst.name, inst.qubits,
+                        p, inst.qubits,
+                    )
+                )
+                template.append(None)
+            else:
+                template.append(
+                    _PlanOp(None, None, inst.matrix(), inst.qubits, p, inst.qubits)
+                )
+        flush_run()
+        return (template, rebinds)
+
+    def _bind_spec(self, spec, circuit: QuantumCircuit) -> List[_PlanOp]:
+        """Concretize a structural plan with the circuit's bound values."""
+        template, rebinds = spec
+        plan: List[Optional[_PlanOp]] = list(template)
+        insts = circuit.instructions
+        for entry in rebinds:
+            if isinstance(entry, _TrajRunSpec):
+                angle: Optional[np.ndarray] = None
+                for inst_index, qk, base, slope in entry.members:
+                    theta = _resolve_params(insts[inst_index], None)[0]
+                    small = base + theta * slope
+                    if angle is None:
+                        angle = small[qk].copy()
+                    else:
+                        angle += small[qk]
+                phase = np.exp(1j * angle)
+                if entry.static_phase is not None:
+                    phase *= entry.static_phase
+                plan[entry.position] = _PlanOp(phase, None, None, (), 0.0, ())
+            else:
+                params = _resolve_params(insts[entry.inst_index], None)
+                if entry.kind == "diag":
+                    small = np.exp(1j * (entry.base + params[0] * entry.slope))
+                    plan[entry.position] = _PlanOp(
+                        None, small, None, entry.qubits,
+                        entry.error_p, entry.error_qubits,
+                    )
+                else:
+                    plan[entry.position] = _PlanOp(
+                        None, None, gatedefs.gate_matrix(entry.name, params),
+                        entry.qubits, entry.error_p, entry.error_qubits,
+                    )
         return plan
 
     def _compile_plan(self, circuit: QuantumCircuit) -> List[_PlanOp]:
@@ -136,7 +348,11 @@ class TrajectorySimulator:
         it is preserved exactly, and a noiseless diagonal may only merge
         forward into a directly following diagonal kernel (merging backward
         would move it before the previous gate's error event).
+
+        This is the pre-structural concrete lowering, kept as the
+        ``structural_rebind=False`` baseline.
         """
+        self.lowering_count += 1
         n = circuit.num_qubits
         nm = self.noise_model
         plan: List[_PlanOp] = []
@@ -314,38 +530,53 @@ class TrajectorySimulator:
 
     # -- public API --------------------------------------------------------------
 
-    def run(
+    def sample(
         self,
         circuit: QuantumCircuit,
         shots: int = 1024,
         rng: Optional[np.random.Generator] = None,
-    ) -> Result:
-        """Sample ``shots`` outcomes, spreading them across trajectories."""
+    ) -> Dict[int, int]:
+        """Sample ``shots`` outcomes, spreading them across trajectories.
+
+        The compiled shots path: each trajectory block is sampled with one
+        batched multinomial draw, readout error corrupts all shots in one
+        flat vectorized pass, and only the final counts mapping is built —
+        no per-trajectory counts dicts, no ``Result`` intermediates.
+        """
         if shots < 1:
             raise SimulationError("shots must be positive")
         rng = rng or self._rng
         n = circuit.num_qubits
         n_traj = min(self.trajectories, shots)
         base = shots // n_traj
-        counts: Dict[int, int] = {}
-        flips = self.noise_model.readout_flip_probabilities(n)
-        has_ro = self.noise_model.avg_readout_error > 0
+        rem = shots % n_traj
+        totals = np.zeros(1 << n, dtype=np.int64)
         t = 0
         for states in self._state_blocks(circuit, n_traj, rng):
+            rows = states.shape[0]
+            shots_rows = base + (np.arange(t, t + rows) < rem).astype(np.int64)
+            t += rows
             probs = np.abs(states) ** 2
-            for row in range(states.shape[0]):
-                shots_here = base + (1 if t < shots % n_traj else 0)
-                t += 1
-                if shots_here == 0:
-                    continue
-                traj_counts = sample_counts(probs[row], shots_here, rng)
-                if has_ro:
-                    traj_counts = apply_readout_error_counts(
-                        traj_counts, flips, rng
-                    )
-                for bits, c in traj_counts.items():
-                    counts[bits] = counts.get(bits, 0) + c
-        return Result(num_qubits=n, shots=shots, counts=counts)
+            probs /= probs.sum(axis=1, keepdims=True)
+            totals += rng.multinomial(shots_rows, probs).sum(axis=0)
+        if self.noise_model.avg_readout_error > 0:
+            flips = self.noise_model.readout_flip_probabilities(n)
+            keys = np.nonzero(totals)[0]
+            outcomes = np.repeat(keys, totals[keys])
+            outcomes = apply_readout_error_outcomes(outcomes, flips, rng)
+            return counts_from_outcomes(outcomes)
+        keys = np.nonzero(totals)[0]
+        return {int(k): int(totals[k]) for k in keys}
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1024,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Result:
+        """Sample ``shots`` outcomes and wrap them in a :class:`Result`."""
+        counts = self.sample(circuit, shots, rng)
+        return Result(num_qubits=circuit.num_qubits, shots=shots, counts=counts)
 
     def expectation(
         self,

@@ -23,8 +23,12 @@ from repro.circuits.hamiltonian import Hamiltonian
 from repro.exceptions import SimulationError
 from repro.noise.devices import DeviceProfile
 from repro.sim.density_matrix import MAX_DM_QUBITS, DensityMatrixSimulator
-from repro.sim.result import shannon_entropy
-from repro.sim.sampling import sample_counts
+from repro.sim.result import shannon_entropy, shannon_entropy_counts
+from repro.sim.sampling import (
+    counts_expectation_diagonal,
+    empirical_probabilities,
+    sample_counts,
+)
 from repro.sim.statevector import StatevectorSimulator
 from repro.sim.trajectory import TrajectorySimulator
 from repro.transpile.basis import IBM_BASIS, IONQ_BASIS
@@ -63,11 +67,7 @@ def _empirical_distribution(
     """Replace an exact distribution with a sampled one when shots > 0."""
     if shots <= 0:
         return probs
-    counts = sample_counts(probs, shots, rng)
-    empirical = np.zeros_like(probs)
-    for bits, c in counts.items():
-        empirical[bits] = c / shots
-    return empirical
+    return empirical_probabilities(probs, shots, rng)
 
 
 def _normalized_quasi_probabilities(raw: np.ndarray) -> np.ndarray:
@@ -260,14 +260,38 @@ class EnergyEvaluator:
         only sound while the compiled path is gated to the device-less
         ``StatevectorSimulator`` backend; a future device-backed compiled
         path must restore :meth:`evaluate`'s seconds accounting.
+
+        With ``shots > 0`` each execution samples counts directly from the
+        compiled state and evaluates energy/entropy over the distinct
+        outcomes — no dense empirical distribution, no ``Result``.
         """
         values = self._validated_values(params)
         state = self._compiled.bind(dict(zip(self._param_order, values))).run()
+
+        def sampled_energy_entropy(st, diag, want_entropy=True):
+            """(energy, entropy-or-None) of one execution's distribution.
+
+            Entropy (an O(2^n) log pass) is only computed when the caller
+            will actually use it — the grouped loop needs it for the
+            identity-basis group alone.
+            """
+            if self.shots > 0:
+                counts = sample_counts(np.abs(st) ** 2, self.shots, self._rng)
+                return (
+                    counts_expectation_diagonal(counts, diag),
+                    shannon_entropy_counts(counts) if want_entropy else None,
+                )
+            probs = np.abs(st) ** 2
+            return (
+                float(np.dot(probs, diag)),
+                shannon_entropy(probs) if want_entropy else None,
+            )
+
         circuits_used = 0
         if self._groups is None:
-            probs = self._maybe_sample(np.abs(state) ** 2)
-            energy = float(np.dot(probs, self._h_physical.diagonal()))
-            entropy = shannon_entropy(probs)
+            energy, entropy = sampled_energy_entropy(
+                state, self._h_physical.diagonal()
+            )
             circuits_used = 1
         else:
             energy = self._h_physical.constant()
@@ -278,15 +302,22 @@ class EnergyEvaluator:
                     if program.ops
                     else state
                 )
-                probs = self._maybe_sample(np.abs(rotated) ** 2)
-                energy += float(np.dot(probs, diag))
-                if entropy is None and not program.ops:
-                    entropy = shannon_entropy(probs)
+                group_energy, group_entropy = sampled_energy_entropy(
+                    rotated, diag, want_entropy=entropy is None and not program.ops
+                )
+                energy += group_energy
+                if group_entropy is not None:
+                    entropy = group_entropy
                 circuits_used += 1
             if entropy is None:
                 # No identity-basis group: one extra Z-basis execution.
-                probs = self._maybe_sample(np.abs(state) ** 2)
-                entropy = shannon_entropy(probs)
+                if self.shots > 0:
+                    counts = sample_counts(
+                        np.abs(state) ** 2, self.shots, self._rng
+                    )
+                    entropy = shannon_entropy_counts(counts)
+                else:
+                    entropy = shannon_entropy(np.abs(state) ** 2)
                 circuits_used += 1
         self.num_evaluations += 1
         self.num_circuits += circuits_used
@@ -403,6 +434,7 @@ class CutEnergyEvaluator:
         seed: Optional[int] = None,
         shots_for_timing: int = 4000,
         strategy: str = "auto",
+        fragment_shots: int = 0,
     ):
         from repro.cutting import cut_circuit, find_cuts
 
@@ -410,6 +442,12 @@ class CutEnergyEvaluator:
         self.hamiltonian = hamiltonian
         self.device = device
         self.shots = int(shots)
+        #: Shots per fragment *variant* (0 = exact variant distributions).
+        #: Unlike :attr:`shots` — which samples the reconstructed
+        #: distribution — this models finite sampling where it physically
+        #: happens, on each variant execution, via the batched sampled
+        #: sweep in :mod:`repro.cutting.execute`.
+        self.fragment_shots = int(fragment_shots)
         self.shots_for_timing = int(shots_for_timing)
         self._rng = np.random.default_rng(seed)
         self.num_evaluations = 0
@@ -485,12 +523,22 @@ class CutEnergyEvaluator:
             CachedFragmentExecutor(bound) if self._backend is None else None
         )
 
+        frag_shots = self.fragment_shots or None
+
         def reconstructed(suffix=None) -> np.ndarray:
             if executor is not None:
-                raw = reconstruct_probabilities(bound, executor.tensors(suffix))
+                raw = reconstruct_probabilities(
+                    bound,
+                    executor.tensors(suffix, shots=frag_shots, rng=self._rng),
+                )
             else:
                 target = bound if suffix is None else bound.with_suffix(suffix)
-                raw = reconstruct_probabilities(target, backend=self._backend)
+                raw = reconstruct_probabilities(
+                    target,
+                    backend=self._backend,
+                    shots=frag_shots,
+                    rng=self._rng,
+                )
             return _normalized_quasi_probabilities(raw)
 
         circuits_used = 0

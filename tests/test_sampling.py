@@ -8,11 +8,18 @@ from hypothesis import strategies as st
 from repro.exceptions import SimulationError
 from repro.sim.sampling import (
     apply_readout_error_counts,
+    apply_readout_error_outcomes,
     apply_readout_error_probabilities,
     confusion_matrix_1q,
+    counts_expectation_diagonal,
+    counts_from_outcomes,
+    counts_to_arrays,
+    empirical_probabilities,
+    empirical_probabilities_batch,
     expected_value_of_bits,
     marginal_counts,
     sample_counts,
+    sample_counts_batch,
 )
 
 
@@ -114,3 +121,76 @@ def test_expected_value_of_bits():
     assert p[1] == pytest.approx(0.5)
     with pytest.raises(SimulationError):
         expected_value_of_bits({}, 2)
+
+
+# -- vectorized batch / flat-array helpers ------------------------------------
+
+
+def test_counts_arrays_roundtrip():
+    counts = {5: 3, 0: 2, 9: 7}
+    keys, vals = counts_to_arrays(counts)
+    assert dict(zip(keys.tolist(), vals.tolist())) == counts
+    outcomes = np.repeat(keys, vals)
+    assert counts_from_outcomes(outcomes) == counts
+    assert marginal_counts({}, [0]) == {}
+
+
+def test_sample_counts_batch_preserves_totals_and_allocation():
+    rng = np.random.default_rng(2)
+    probs = np.tile(np.array([0.25, 0.75]), (4, 1))
+    counts = sample_counts_batch(probs, 100, rng)
+    assert sum(counts.values()) == 400
+    # Per-row allocation, including zero-shot rows.
+    counts = sample_counts_batch(probs, np.array([10, 0, 5, 0]), rng)
+    assert sum(counts.values()) == 15
+    with pytest.raises(SimulationError):
+        sample_counts_batch(probs, 0, rng)
+    with pytest.raises(SimulationError):
+        sample_counts_batch(np.zeros((2, 2)), 10, rng)
+
+
+def test_sample_counts_batch_matches_per_row_statistics():
+    rng = np.random.default_rng(3)
+    probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+    counts = sample_counts_batch(probs, np.array([30, 70]), rng)
+    assert counts == {0: 30, 1: 70}
+
+
+def test_empirical_probabilities_sum_to_one():
+    rng = np.random.default_rng(4)
+    p = np.array([0.1, 0.2, 0.3, 0.4])
+    emp = empirical_probabilities(p, 1000, rng)
+    assert emp.sum() == pytest.approx(1.0)
+    batch = empirical_probabilities_batch(np.tile(p, (3, 1)), 500, rng)
+    assert batch.shape == (3, 4)
+    assert np.allclose(batch.sum(axis=1), 1.0)
+    # Deterministic distribution survives sampling exactly.
+    assert np.allclose(
+        empirical_probabilities_batch(
+            np.array([[0.0, 1.0]]), 50, rng
+        ),
+        [[0.0, 1.0]],
+    )
+
+
+def test_apply_readout_error_outcomes_flat_equivalence():
+    rng = np.random.default_rng(6)
+    outcomes = np.zeros(40000, dtype=np.int64)
+    flipped = apply_readout_error_outcomes(outcomes, [(0.25, 0.0)], rng)
+    assert abs((flipped == 1).sum() - 10000) < 400
+    # p10 = p01 = 0 leaves everything untouched.
+    assert (apply_readout_error_outcomes(outcomes, [(0.0, 0.0)], rng) == 0).all()
+    assert apply_readout_error_counts({}, [(0.1, 0.1)], rng) == {}
+
+
+def test_counts_expectation_diagonal_matches_dense_dot():
+    counts = {0: 10, 3: 30, 2: 60}
+    diag = np.array([1.0, -1.0, 2.0, 0.5])
+    dense = np.zeros(4)
+    for k, c in counts.items():
+        dense[k] = c / 100
+    assert counts_expectation_diagonal(counts, diag) == pytest.approx(
+        float(np.dot(dense, diag))
+    )
+    with pytest.raises(SimulationError):
+        counts_expectation_diagonal({}, diag)

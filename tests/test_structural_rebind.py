@@ -1,0 +1,510 @@
+"""Structural plan rebinding, 2q-pair fusion, and the sampled fast path.
+
+Covers the noisy-path engine work:
+
+* structural (parameter-slot) plan caching: freshly bound circuits hit
+  the same cached plan (the ``PlanCache`` object-identity regression),
+  different structures never collide, and an optimizer-style loop
+  triggers exactly one lowering (probe: ``lowering_count``);
+* 2q-pair fusion: cx–rz–cx ladders collapse to single 4x4 kernels with
+  1e-10 unitary equivalence across all backends, including rebinding;
+* the shots-sampled compiled path: seeded chi-square agreement between
+  ``CompiledProgram.sample`` / ``TrajectorySimulator.sample`` and the
+  exact (Result-based) distributions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Hamiltonian, Parameter, QuantumCircuit
+from repro.noise import hypothetical_device
+from repro.sim import (
+    DensityMatrixSimulator,
+    StatevectorSimulator,
+    TrajectorySimulator,
+    compile_circuit,
+    run_statevector,
+)
+from repro.sim.compile import (
+    KERNEL_MATRIX,
+    StructuralPlanCache,
+    structural_key,
+)
+from repro.sim.sampling import apply_readout_error_probabilities
+from repro.sim.statevector import apply_unitary, zero_state
+
+
+def ladder_circuit(n=3, layers=2, angles=None):
+    """cx–rz–cx ladders (the transpiled-ansatz hot shape)."""
+    qc = QuantumCircuit(n)
+    angles = angles or [0.3 + 0.1 * k for k in range(layers * (n - 1))]
+    it = iter(angles)
+    for q in range(n):
+        qc.h(q)
+    for _ in range(layers):
+        for q in range(n - 1):
+            qc.cx(q, q + 1)
+            qc.rz(next(it), q + 1)
+            qc.cx(q, q + 1)
+    return qc
+
+
+def reference_statevector(circuit):
+    n = circuit.num_qubits
+    state = zero_state(n)
+    for inst in circuit:
+        if inst.is_gate:
+            state = apply_unitary(state, inst.matrix(), inst.qubits, n)
+    return state
+
+
+def parametric_template(n=3):
+    """A bound-per-iteration ansatz shape with rz/rzz/rx slots."""
+    params = [Parameter(f"t{i}") for i in range(4)]
+    qc = QuantumCircuit(n)
+    for q in range(n):
+        qc.h(q)
+    qc.rzz(params[0], 0, 1)
+    qc.cx(1, 2 % n)
+    qc.rz(params[1], 1)
+    qc.rx(params[2], 0)
+    qc.crz(params[3], 2 % n, 0)
+    qc.sx(1)
+    return qc, params
+
+
+# -- structural keying --------------------------------------------------------
+
+
+def test_structural_key_slots_parameters_and_separates_structures():
+    theta = Parameter("theta")
+    a = QuantumCircuit(2)
+    a.h(0)
+    a.rz(0.3, 1)
+    b = QuantumCircuit(2)
+    b.h(0)
+    b.rz(-1.7, 1)  # same structure, different bound value
+    c = QuantumCircuit(2)
+    c.h(0)
+    c.rz(theta, 1)  # unbound: same slot, same structure
+    assert structural_key(a) == structural_key(b) == structural_key(c)
+    d = QuantumCircuit(2)
+    d.h(0)
+    d.p(0.3, 1)  # different gate name
+    e = QuantumCircuit(2)
+    e.h(1)
+    e.rz(0.3, 1)  # different qubit
+    f = QuantumCircuit(2)
+    f.rz(0.3, 1)
+    f.h(0)  # different order
+    keys = {structural_key(x) for x in (a, d, e, f)}
+    assert len(keys) == 4
+
+
+def test_structural_key_includes_delay_duration():
+    a = QuantumCircuit(1)
+    a.delay(1e-8, 0)
+    b = QuantumCircuit(1)
+    b.delay(2e-8, 0)
+    assert structural_key(a) != structural_key(b)
+
+
+def test_structural_cache_fifo_eviction():
+    cache = StructuralPlanCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # overwrite, no eviction
+    assert len(cache) == 2 and cache.get("a") == 10
+    cache.put("c", 3)  # evicts oldest ("a")
+    assert cache.get("a") is None and cache.get("b") == 2 and cache.get("c") == 3
+
+
+# -- PlanCache object-identity regression ------------------------------------
+
+
+def test_density_matrix_rebinds_freshly_bound_circuits():
+    """Structurally identical bound circuits must not re-lower (the old
+    per-object PlanCache keying missed them every optimizer iteration)."""
+    nm = hypothetical_device("d", 0.02).noise_model()
+    sim = DensityMatrixSimulator(nm)
+    template, params = parametric_template()
+    rng = np.random.default_rng(0)
+    rhos = []
+    for _ in range(4):
+        bound = template.bind(dict(zip(params, rng.normal(size=len(params)))))
+        rhos.append(sim.evolve(bound))
+    assert sim.lowering_count == 1
+    # Different bindings genuinely produce different states.
+    assert not np.allclose(rhos[0], rhos[1], atol=1e-3)
+    # A structurally different circuit lowers again (no collision).
+    other = template.bind(dict(zip(params, np.zeros(len(params))))).copy()
+    other.x(0)
+    sim.evolve(other)
+    assert sim.lowering_count == 2
+
+
+def test_trajectory_rebinds_freshly_bound_circuits():
+    nm = hypothetical_device("d", 0.01).noise_model()
+    sim = TrajectorySimulator(nm, trajectories=2, seed=1)
+    template, params = parametric_template()
+    h = Hamiltonian.from_labels({"ZII": 1.0})
+    rng = np.random.default_rng(3)
+    for _ in range(4):
+        bound = template.bind(dict(zip(params, rng.normal(size=len(params)))))
+        sim.expectation(bound, h)
+    assert sim.lowering_count == 1
+    other = QuantumCircuit(3)
+    other.h(0)
+    sim.expectation(other, h)
+    assert sim.lowering_count == 2
+
+
+def test_structural_plans_share_static_kernels_across_binds():
+    nm = hypothetical_device("d", 0.02).noise_model()
+    sim = DensityMatrixSimulator(nm)
+    template, params = parametric_template()
+    b1 = template.bind(dict(zip(params, [0.1, 0.2, 0.3, 0.4])))
+    b2 = template.bind(dict(zip(params, [1.1, 1.2, 1.3, 1.4])))
+    p1 = sim.compile_plan(b1)
+    p2 = sim.compile_plan(b2)
+    assert len(p1) == len(p2)
+    shared = sum(1 for x, y in zip(p1, p2) if x is y)
+    differing = sum(1 for x, y in zip(p1, p2) if x is not y)
+    # Static ops (h, cx, sx + their noise) are the *same tuples*; only the
+    # four parametric slots re-concretize.
+    assert differing == 4
+    assert shared == len(p1) - 4
+
+
+def test_optimizer_loop_through_energy_evaluator_lowers_once():
+    """End-to-end probe: a device-backed EnergyEvaluator loop re-lowers
+    exactly once despite binding a fresh circuit every iteration."""
+    from repro.vqa import EnergyEvaluator, MaxCutProblem, QAOAAnsatz
+
+    problem = MaxCutProblem.random(4, 0.8, seed=2)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    device = hypothetical_device("dev", 0.01, num_qubits=4)
+    ev = EnergyEvaluator(ansatz, problem.hamiltonian, device=device, seed=0)
+    assert isinstance(ev._backend, DensityMatrixSimulator)
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        ev.evaluate(rng.normal(size=ansatz.num_parameters))
+    assert ev._backend.lowering_count == 1
+
+
+# -- structural rebinding equivalence -----------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_density_matrix_structural_matches_legacy(seed):
+    nm = hypothetical_device("d", 0.03, readout_error=0.01).noise_model()
+    fast = DensityMatrixSimulator(nm)
+    legacy = DensityMatrixSimulator(nm, structural_rebind=False)
+    template, params = parametric_template()
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        bound = template.bind(dict(zip(params, rng.normal(size=len(params)))))
+        assert np.allclose(
+            fast.evolve(bound), legacy.evolve(bound), atol=1e-10
+        )
+
+
+@pytest.mark.parametrize("error", [0.0, 0.05])
+def test_trajectory_structural_matches_legacy(error):
+    nm = hypothetical_device("d", error).noise_model()
+    template, params = parametric_template()
+    rng = np.random.default_rng(11)
+    h = Hamiltonian.from_labels({"ZZI": 0.8, "XII": -0.4})
+    for trial in range(3):
+        bound = template.bind(dict(zip(params, rng.normal(size=len(params)))))
+        fast = TrajectorySimulator(nm, trajectories=4, seed=trial)
+        legacy = TrajectorySimulator(
+            nm, trajectories=4, seed=trial, structural_rebind=False
+        )
+        # Identical rng streams + identical plans => identical trajectories.
+        assert fast.expectation(bound, h) == pytest.approx(
+            legacy.expectation(bound, h), abs=1e-10
+        )
+
+
+def test_density_matrix_plan_invalidated_on_mutation_structural():
+    sim = DensityMatrixSimulator()
+    qc = QuantumCircuit(1)
+    qc.h(0)
+    rho1 = sim.evolve(qc)
+    qc.s(0)  # mutation changes the structural key too
+    rho2 = sim.evolve(qc)
+    assert not np.allclose(rho1, rho2, atol=1e-3)
+    assert sim.lowering_count == 2
+
+
+# -- 2q-pair fusion -----------------------------------------------------------
+
+
+def test_ladder_fuses_to_single_kernel_per_pair():
+    qc = QuantumCircuit(2)
+    qc.cx(0, 1)
+    qc.rz(0.4, 1)
+    qc.cx(0, 1)
+    compiled = compile_circuit(qc)
+    assert compiled.num_kernels == 1
+    seg = compiled._segments[0]
+    assert seg.kind == KERNEL_MATRIX and len(seg.insts) == 3
+    assert np.allclose(
+        compiled.program().run(), reference_statevector(qc), atol=1e-10
+    )
+
+
+def test_pair_fusion_absorbs_1q_and_diagonal_2q_gates():
+    qc = QuantumCircuit(3)
+    qc.cx(0, 1)
+    qc.ry(0.3, 0)  # 1q inside the pair
+    qc.rzz(0.7, 0, 1)  # diagonal 2q on the same pair
+    qc.cx(1, 0)  # reversed operand order
+    qc.h(2)  # disjoint qubit: independent chain
+    compiled = compile_circuit(qc)
+    assert compiled.num_kernels == 2
+    assert np.allclose(
+        compiled.program().run(), reference_statevector(qc), atol=1e-10
+    )
+
+
+def test_pair_fusion_flushes_on_boundary_crossing():
+    # rzz(1, 2) straddles the (0, 1) pair: the pair segment must flush
+    # first so qubit-1 order is preserved.
+    qc = QuantumCircuit(3)
+    qc.h(1)
+    qc.cx(0, 1)
+    qc.rzz(0.5, 1, 2)
+    qc.cx(0, 1)
+    assert np.allclose(
+        run_statevector(qc), reference_statevector(qc), atol=1e-10
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_pair_fusion_unitary_equivalence_random_ladders(seed):
+    """Random cx/rz/1q ladder circuits: compiled unitary == reference."""
+    rng = np.random.default_rng(seed)
+    n = 4
+    qc = QuantumCircuit(n)
+    for _ in range(50):
+        k = rng.integers(4)
+        if k == 0:
+            a, b = rng.choice(n, 2, replace=False)
+            qc.cx(int(a), int(b))
+        elif k == 1:
+            qc.rz(float(rng.normal()), int(rng.integers(n)))
+        elif k == 2:
+            qc.append(
+                str(rng.choice(["h", "sx", "x"])), [int(rng.integers(n))]
+            )
+        else:
+            a, b = rng.choice(n, 2, replace=False)
+            qc.rzz(float(rng.normal()), int(a), int(b))
+    assert np.allclose(
+        run_statevector(qc), reference_statevector(qc), atol=1e-10
+    )
+
+
+def test_pair_fusion_rebinding_linear_angles():
+    theta = [Parameter(f"a{i}") for i in range(3)]
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.rz(2.0 * theta[0] + 0.5, 1)
+    qc.cx(0, 1)
+    qc.rzz(theta[1], 0, 1)
+    qc.cx(1, 0)
+    qc.ry(theta[2], 0)
+    compiled = compile_circuit(qc)
+    rng = np.random.default_rng(5)
+    for _ in range(4):
+        values = dict(zip(theta, rng.normal(size=3)))
+        assert np.allclose(
+            compiled.bind(values).run(),
+            reference_statevector(qc.bind(values)),
+            atol=1e-10,
+        )
+
+
+def test_pair_fusion_equivalence_across_backends():
+    qc = ladder_circuit(n=3, layers=2)
+    ref = np.abs(reference_statevector(qc)) ** 2
+    assert np.allclose(
+        np.abs(run_statevector(qc)) ** 2, ref, atol=1e-10
+    )
+    assert np.allclose(
+        StatevectorSimulator().probabilities(qc), ref, atol=1e-10
+    )
+    assert np.allclose(
+        DensityMatrixSimulator().probabilities(qc), ref, atol=1e-10
+    )
+    traj = TrajectorySimulator(trajectories=2, seed=0)
+    for row in traj.trajectory_states(qc):
+        assert np.allclose(np.abs(row) ** 2, ref, atol=1e-10)
+
+
+# -- shots-sampled compiled path ---------------------------------------------
+
+
+def _chi_square(counts, expected_probs, shots):
+    """Chi-square statistic against expected probabilities (pooled tail)."""
+    expected = expected_probs * shots
+    keep = expected >= 5.0
+    obs = np.zeros(len(expected))
+    for bits, c in counts.items():
+        obs[bits] = c
+    stat = float(
+        ((obs[keep] - expected[keep]) ** 2 / expected[keep]).sum()
+    )
+    tail_exp = expected[~keep].sum()
+    if tail_exp > 0:
+        stat += float((obs[~keep].sum() - tail_exp) ** 2 / tail_exp)
+        dof = int(keep.sum())  # pooled tail adds one cell
+    else:
+        dof = int(keep.sum()) - 1
+    return stat, max(dof, 1)
+
+
+def test_compiled_sample_matches_result_sampling_chi_square():
+    qc = ladder_circuit(n=4, layers=2)
+    probs = np.abs(reference_statevector(qc)) ** 2
+    shots = 20000
+    program = compile_circuit(qc).program()
+    counts_fast = program.sample(shots, np.random.default_rng(42))
+    result = StatevectorSimulator(seed=43).run(qc, shots=shots)
+    assert sum(counts_fast.values()) == shots
+    assert sum(result.counts.values()) == shots
+    for counts in (counts_fast, result.counts):
+        stat, dof = _chi_square(counts, probs, shots)
+        # 99.9th percentile of chi2(dof) approx dof + 4*sqrt(2*dof); fixed
+        # seeds make this deterministic, the margin guards against skew.
+        assert stat < dof + 4.0 * np.sqrt(2.0 * dof), (stat, dof)
+
+
+def test_trajectory_sample_matches_exact_distribution_chi_square():
+    nm = hypothetical_device("d", 0.0, readout_error=0.03).noise_model()
+    qc = ladder_circuit(n=3, layers=1)
+    ideal = np.abs(reference_statevector(qc)) ** 2
+    exact = apply_readout_error_probabilities(
+        ideal, nm.readout_flip_probabilities(3)
+    )
+    shots = 20000
+    sim = TrajectorySimulator(nm, trajectories=8, seed=9)
+    counts = sim.sample(qc, shots)
+    assert sum(counts.values()) == shots
+    stat, dof = _chi_square(counts, exact, shots)
+    assert stat < dof + 4.0 * np.sqrt(2.0 * dof), (stat, dof)
+
+
+def test_compiled_sample_batch_allocates_per_row_shots():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    program = compile_circuit(qc).program()
+    init = np.zeros((3, 4), dtype=complex)
+    init[:, 0] = 1.0
+    counts = program.sample_batch(
+        init, np.array([100, 50, 0]), np.random.default_rng(0)
+    )
+    assert sum(counts.values()) == 150
+    assert set(counts) <= {0b00, 0b01}
+
+
+def test_energy_evaluator_sampled_path_consistent():
+    from repro.vqa import EnergyEvaluator, MaxCutProblem, QAOAAnsatz
+
+    problem = MaxCutProblem.random(5, 0.6, seed=3)
+    ansatz = QAOAAnsatz(problem.graph, layers=1)
+    exact_ev = EnergyEvaluator(ansatz, problem.hamiltonian, seed=0)
+    sampled_ev = EnergyEvaluator(
+        ansatz, problem.hamiltonian, shots=50000, seed=0
+    )
+    params = np.full(ansatz.num_parameters, 0.4)
+    e_exact = exact_ev.evaluate(params)
+    e_sampled = sampled_ev.evaluate(params)
+    assert e_sampled.energy == pytest.approx(e_exact.energy, abs=0.15)
+    assert e_sampled.entropy == pytest.approx(e_exact.entropy, abs=0.1)
+    assert e_sampled.circuits == e_exact.circuits
+
+
+def test_cut_evaluator_fragment_shots_close_to_exact():
+    import networkx as nx
+
+    from repro.vqa import CutEnergyEvaluator, MaxCutProblem, TwoLocalAnsatz
+
+    problem = MaxCutProblem(nx.path_graph(5))
+    ansatz = TwoLocalAnsatz(5, reps=1)
+    exact = CutEnergyEvaluator(
+        ansatz, problem.hamiltonian, max_fragment_width=3, seed=0
+    )
+    sampled = CutEnergyEvaluator(
+        ansatz,
+        problem.hamiltonian,
+        max_fragment_width=3,
+        seed=0,
+        fragment_shots=40000,
+    )
+    params = np.linspace(-0.5, 0.5, ansatz.num_parameters)
+    assert sampled.evaluate(params).energy == pytest.approx(
+        exact.evaluate(params).energy, abs=0.2
+    )
+
+
+def test_cut_evaluator_fragment_shots_on_noisy_backend():
+    """fragment_shots must reach the device-backed (density-matrix)
+    fragment sweep too, not only the statevector executor path."""
+    import dataclasses
+
+    import networkx as nx
+
+    from repro.vqa import CutEnergyEvaluator, MaxCutProblem, TwoLocalAnsatz
+
+    device = dataclasses.replace(
+        hypothetical_device("small", 0.003, readout_error=0.0), num_qubits=4
+    )
+    problem = MaxCutProblem(nx.path_graph(5))
+    ansatz = TwoLocalAnsatz(5, reps=1)
+    params = np.linspace(-0.5, 0.5, ansatz.num_parameters)
+    exact = CutEnergyEvaluator(
+        ansatz, problem.hamiltonian, device, seed=0
+    ).evaluate(params)
+    sampled_evals = [
+        CutEnergyEvaluator(
+            ansatz,
+            problem.hamiltonian,
+            device,
+            seed=seed,
+            fragment_shots=2000,
+        ).evaluate(params)
+        for seed in (1, 2)
+    ]
+    # Finite fragment shots must actually perturb the reconstruction
+    # (they were silently ignored on this path before) while staying
+    # consistent with the exact noisy energy.
+    assert any(
+        ev.energy != pytest.approx(exact.energy, abs=1e-12)
+        for ev in sampled_evals
+    )
+    for ev in sampled_evals:
+        assert ev.energy == pytest.approx(exact.energy, abs=0.5)
+
+
+def test_fragment_job_carries_shot_budget():
+    from repro.cloud import FragmentJob
+    from repro.cutting import cut_circuit, find_cuts
+
+    qc = ladder_circuit(n=4, layers=1)
+    cut = cut_circuit(qc, find_cuts(qc, 3))
+    analytic = FragmentJob.from_cut_circuit(cut, base_execution_seconds=4.0)
+    sampled = FragmentJob.from_cut_circuit(
+        cut,
+        base_execution_seconds=4.0,
+        shots_per_variant=8000,
+        reference_shots=4000,
+    )
+    assert analytic.total_shots == 0
+    assert sampled.total_shots == 8000 * sampled.num_variants
+    assert sampled.serial_seconds() == pytest.approx(
+        2.0 * analytic.serial_seconds()
+    )
