@@ -1,0 +1,240 @@
+"""Fleet-scale queue-engine speedup benchmark — writes ``BENCH_queue.json``.
+
+Measures the struct-of-arrays event engine (:meth:`QueueSimulator.run`)
+against the seed-style reference loop (:meth:`QueueSimulator.run_legacy`:
+per-event all-device rescans, one frozen dataclass per execution,
+object event payloads) on the two fleet-scale paths the ISSUE targets:
+
+* 50k-job workload on a 20-device fleet under a single policy — the
+  seed loop is O(events x devices) with per-record object churn, the
+  engine is O(events log active) with O(1) device wake-ups — target
+  >= 10x, floor 5x;
+* a (policy, seed, vqa_ratio) grid swept through ``run_sweep`` (fast
+  engine per cell, process pool when cores allow) against the same grid
+  run seed-style serially — target >= 3x, floor 2x.  On multi-core
+  machines the pool multiplies the per-cell engine speedup; on a
+  single core the measured ratio is the engine alone.
+
+Both comparisons double as equivalence checks: the engine must
+reproduce the reference loop's exact per-execution schedule (device,
+queued/start/finish times bit-identical), so the speedup never comes
+from simulating something easier.
+
+``QONCORD_BENCH_SCALE=smoke`` runs a reduced workload and skips the
+wall-clock floor assertions (shared CI runners are too noisy to gate
+on); equivalence is asserted and the JSON is written either way so the
+perf trajectory accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.cloud import (
+    LeastBusyPolicy,
+    QoncordPolicy,
+    QueueSimulator,
+    generate_workload,
+    hypothetical_fleet,
+    run_sweep,
+    standard_policies,
+)
+
+from _helpers import once, print_series
+
+_SCALE = os.environ.get("QONCORD_BENCH_SCALE", "small")
+SMOKE = _SCALE == "smoke"
+
+#: The headline case: 50k jobs over 20 devices (ISSUE 5).
+SINGLE_JOBS = 5_000 if SMOKE else 50_000
+SINGLE_DEVICES = 20
+#: Secondary single-run case (per-execution fan-out policy), recorded
+#: for the trajectory but not floor-gated.
+QONCORD_JOBS = 2_000 if SMOKE else 10_000
+#: Sweep grid: every standard policy x 2 VQA ratios x 1 seed.
+SWEEP_JOBS = 300 if SMOKE else 1_500
+SWEEP_RATIOS = (0.3, 0.7)
+SWEEP_SEEDS = (0,)
+
+SINGLE_TARGET = 10.0
+SINGLE_FLOOR = 5.0
+SWEEP_TARGET = 3.0
+SWEEP_FLOOR = 2.0
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_queue.json",
+)
+
+
+def _fleet():
+    return hypothetical_fleet(SINGLE_DEVICES, (0.3, 0.9))
+
+
+@contextmanager
+def _gc_paused():
+    """Pause the cyclic collector around a timed section.
+
+    Both simulation paths allocate millions of short-lived event objects;
+    under pytest the collector repeatedly re-scans the test session's
+    large heap mid-loop, which dominates the measurement and makes it
+    depend on suite ordering.  Collections are paused for *both* sides of
+    every comparison, so the ratio measures the algorithms.  Nothing the
+    simulators allocate survives uncollected — refcounting reclaims the
+    event churn either way.
+    """
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _timed_min(fn, repeats):
+    """Best-of-``repeats`` wall time (the robust estimator on a shared
+    machine: external load only ever inflates a run, so the minimum is
+    the closest to the true cost).  Returns (min_seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        with _gc_paused():
+            t0 = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+    return best, result
+
+
+def _single_case(policy_cls, num_jobs, repeats=2):
+    """Time engine vs reference loop on one workload; assert equivalence."""
+    workload = generate_workload(num_jobs=num_jobs, vqa_ratio=0.5, seed=42)
+
+    engine_seconds, engine = _timed_min(
+        lambda: QueueSimulator(_fleet(), policy_cls(), seed=1).run(workload),
+        repeats,
+    )
+    legacy_seconds, legacy = _timed_min(
+        lambda: QueueSimulator(_fleet(), policy_cls(), seed=1).run_legacy(
+            workload
+        ),
+        repeats,
+    )
+
+    assert engine.total_executions == legacy.total_executions
+    assert engine.makespan == legacy.makespan
+    assert np.array_equal(
+        engine.records.schedule_key(), legacy.records.schedule_key()
+    ), "engine schedule diverged from the reference loop"
+
+    return {
+        "jobs": num_jobs,
+        "devices": SINGLE_DEVICES,
+        "executions": engine.total_executions,
+        "policy": policy_cls.name,
+        "legacy_seconds": legacy_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": legacy_seconds / engine_seconds,
+    }
+
+
+def test_queue_speedup(benchmark):
+    def body():
+        results = {}
+
+        # Warm both paths (imports, allocator, policy caches) off-clock.
+        warm = generate_workload(num_jobs=500, vqa_ratio=0.5, seed=7)
+        QueueSimulator(_fleet(), LeastBusyPolicy(), seed=1).run(warm)
+        QueueSimulator(_fleet(), LeastBusyPolicy(), seed=1).run_legacy(warm)
+
+        # -- 50k jobs / 20 devices, pinned policy (the headline case) ----
+        single = _single_case(LeastBusyPolicy, SINGLE_JOBS)
+        single["target"] = SINGLE_TARGET
+        single["floor"] = SINGLE_FLOOR
+        results["fleet_least_busy"] = single
+
+        # -- per-execution fan-out policy (selection on every submit) ----
+        results["fleet_qoncord"] = _single_case(QoncordPolicy, QONCORD_JOBS)
+
+        # -- policy/seed/ratio sweep vs the seed-style serial sweep ------
+        grid = dict(
+            vqa_ratios=SWEEP_RATIOS, seeds=SWEEP_SEEDS, num_jobs=SWEEP_JOBS,
+            fleet_kwargs={"num_devices": 10},
+        )
+        with _gc_paused():
+            t0 = time.perf_counter()
+            baseline = run_sweep(
+                standard_policies(), parallel=False, legacy=True, **grid
+            )
+            sweep_legacy_seconds = time.perf_counter() - t0
+        with _gc_paused():
+            t0 = time.perf_counter()
+            fast = run_sweep(standard_policies(), parallel=True, **grid)
+            sweep_seconds = time.perf_counter() - t0
+        for cell, reference in baseline.cells.items():
+            other = fast.cells[cell]
+            assert other.makespan == reference.makespan
+            assert np.array_equal(
+                other.records.schedule_key(), reference.records.schedule_key()
+            ), f"sweep cell {cell} diverged from the reference loop"
+        sweep_speedup = sweep_legacy_seconds / sweep_seconds
+        results["sweep"] = {
+            "cells": len(fast.cells),
+            "jobs_per_cell": SWEEP_JOBS,
+            "policies": sorted(fast.policy_names),
+            "vqa_ratios": list(SWEEP_RATIOS),
+            "seeds": list(SWEEP_SEEDS),
+            "cpu_count": os.cpu_count(),
+            "legacy_serial_seconds": sweep_legacy_seconds,
+            "sweep_seconds": sweep_seconds,
+            "speedup": sweep_speedup,
+            "target": SWEEP_TARGET,
+            "floor": SWEEP_FLOOR,
+        }
+
+        payload = {
+            "benchmark": "queue_speedup",
+            "scale": _SCALE,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "results": results,
+        }
+        with open(BENCH_PATH, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+
+        print_series(
+            "Fleet-scale queue engine speedups",
+            [
+                f"{SINGLE_JOBS} jobs / {SINGLE_DEVICES} devices "
+                f"(least_busy, {single['executions']} executions): "
+                f"{single['speedup']:.1f}x (target {SINGLE_TARGET:g}x, "
+                f"floor {SINGLE_FLOOR:g}x)",
+                f"{QONCORD_JOBS} jobs / {SINGLE_DEVICES} devices (qoncord): "
+                f"{results['fleet_qoncord']['speedup']:.1f}x",
+                f"{len(fast.cells)}-cell policy sweep "
+                f"({SWEEP_JOBS} jobs/cell, {os.cpu_count()} cpu): "
+                f"{sweep_speedup:.1f}x (target {SWEEP_TARGET:g}x, "
+                f"floor {SWEEP_FLOOR:g}x)",
+            ],
+        )
+        if not SMOKE:
+            assert single["speedup"] >= SINGLE_FLOOR, (
+                f"queue engine speedup {single['speedup']:.2f}x below "
+                f"{SINGLE_FLOOR:g}x"
+            )
+            assert sweep_speedup >= SWEEP_FLOOR, (
+                f"sweep speedup {sweep_speedup:.2f}x below {SWEEP_FLOOR:g}x"
+            )
+        return results
+
+    once(benchmark, body)

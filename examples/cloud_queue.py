@@ -11,6 +11,7 @@ Run:  python examples/cloud_queue.py
 from repro.cloud import (
     generate_workload,
     hypothetical_fleet,
+    run_sweep,
     standard_policies,
     sweep_policies,
 )
@@ -39,6 +40,18 @@ def main() -> None:
         ):
             print(f"  {name:20s} {res.mean_relative_fidelity():>14.3f} "
                   f"{res.throughput:>11.3f} {res.mean_turnaround():>15.0f}s")
+
+    # Seed-averaged frontier via the sweep runner (fans grid cells over a
+    # process pool when more than one core is available).
+    sweep = run_sweep(
+        standard_policies(), vqa_ratios=(0.5,), seeds=range(3), num_jobs=1000
+    )
+    print("\nSeed-averaged frontier at 50% VQA (3 seeds):")
+    for name, (fidelity, throughput) in sorted(
+        sweep.frontier(0.5).items(), key=lambda kv: -kv[1][0]
+    ):
+        print(f"  {name:20s} fidelity={fidelity:.3f} "
+              f"throughput={throughput:.3f}")
 
 
 if __name__ == "__main__":

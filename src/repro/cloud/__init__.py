@@ -31,10 +31,17 @@ from repro.cloud.queue_sim import (
     ExecutionRecord,
     JobResult,
     QueueSimulator,
+    RecordStore,
     SimulationResult,
     sweep_policies,
 )
-from repro.cloud.workload import JobSpec, Workload, generate_workload
+from repro.cloud.sweep import SweepCell, SweepResult, run_sweep
+from repro.cloud.workload import (
+    JobSpec,
+    Workload,
+    WorkloadArrays,
+    generate_workload,
+)
 
 __all__ = [
     "CloudDevice",
@@ -62,9 +69,14 @@ __all__ = [
     "ExecutionRecord",
     "JobResult",
     "QueueSimulator",
+    "RecordStore",
     "SimulationResult",
     "sweep_policies",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
     "JobSpec",
     "Workload",
+    "WorkloadArrays",
     "generate_workload",
 ]

@@ -4,66 +4,62 @@ Both cloud access models order pending work by fair share: users who have
 consumed less compute time are served first.  The queue tracks accumulated
 usage per user and pops the request whose owner has the least usage,
 breaking ties by submission time.
+
+The heap holds plain ``(usage_snapshot, submission_counter, request)``
+tuples — the counter is unique, so comparisons never reach the request
+itself and heap sifts stay in C.  (An earlier revision wrapped entries in
+an order-comparing dataclass with a ``cancelled`` flag nothing ever set;
+at fleet scale the per-execution push/pop pair is hot enough that the
+wrapper dominated the queue's cost.)
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from heapq import heappop, heappush
+from typing import Dict
 
 from repro.exceptions import SchedulingError
 
 
-@dataclass(order=True)
-class _Entry:
-    sort_key: tuple
-    request: object = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class FairShareQueue:
-    """Priority queue keyed by (user usage, submission order)."""
+    """Priority queue keyed by (user usage at enqueue, submission order)."""
+
+    __slots__ = ("_heap", "_usage", "_counter")
 
     def __init__(self):
         self._heap = []
         self._usage: Dict[int, float] = {}
-        self._counter = itertools.count()
-        self._size = 0
+        self._counter = 0
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._heap)
 
     @property
     def is_empty(self) -> bool:
-        return self._size == 0
+        return not self._heap
 
     def usage_of(self, user_id: int) -> float:
         return self._usage.get(user_id, 0.0)
 
     def push(self, request, user_id: int) -> None:
-        """Enqueue a request owned by ``user_id``."""
-        key = (self.usage_of(user_id), next(self._counter))
-        entry = _Entry(sort_key=key, request=request)
-        heapq.heappush(self._heap, entry)
-        self._size += 1
+        """Enqueue a request owned by ``user_id``.
+
+        The entry's priority is the owner's usage *at enqueue time*; later
+        ``record_usage`` calls do not reorder it (snapshot semantics,
+        matching production fair-share which recomputes at enqueue).
+        """
+        count = self._counter
+        self._counter = count + 1
+        heappush(self._heap, (self._usage.get(user_id, 0.0), count, request))
 
     def pop(self):
         """Dequeue the fairest request."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if not entry.cancelled:
-                self._size -= 1
-                return entry.request
-        raise SchedulingError("pop from empty fair-share queue")
+        if not self._heap:
+            raise SchedulingError("pop from empty fair-share queue")
+        return heappop(self._heap)[2]
 
     def record_usage(self, user_id: int, seconds: float) -> None:
-        """Charge compute time to a user (affects future priorities only).
-
-        Entries already in the heap keep their snapshot priority — matching
-        how production fair-share recomputes at enqueue time.
-        """
+        """Charge compute time to a user (affects future priorities only)."""
         if seconds < 0:
             raise SchedulingError("usage must be non-negative")
-        self._usage[user_id] = self.usage_of(user_id) + seconds
+        self._usage[user_id] = self._usage.get(user_id, 0.0) + seconds

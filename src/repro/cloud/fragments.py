@@ -145,18 +145,32 @@ class WidthAwarePolicy(SchedulingPolicy):
     def __init__(self, inner: Optional[SchedulingPolicy] = None):
         self.inner = inner or LeastBusyPolicy()
         self.name = f"width_aware({self.inner.name})"
+        # The wrapper only filters the device list, so the engine-facing
+        # capabilities are the inner policy's.
+        self.uses_rng = self.inner.uses_rng
+        self.pins_jobs = self.inner.pins_jobs
 
     def reset(self) -> None:
         self.inner.reset()
 
+    def bind_fleet(self, devices: Sequence[CloudDevice]) -> None:
+        # Unconstrained jobs see the fleet unchanged, so the inner
+        # policy's fleet-keyed caches stay valid for them.
+        self.inner.bind_fleet(devices)
+
     def executions_for(self, job: JobSpec) -> int:
         return self.inner.executions_for(job)
 
+    def executions_for_batch(self, workload):
+        return self.inner.executions_for_batch(workload)
+
     def eligible_devices(
         self, job: JobSpec, devices: Sequence[CloudDevice]
-    ) -> List[CloudDevice]:
+    ) -> Sequence[CloudDevice]:
         if job.num_qubits <= 0:
-            return list(devices)
+            # Return the sequence itself (callers never mutate it): keeps
+            # identity-keyed caches in the inner policy warm.
+            return devices
         fitting = [
             d
             for d in devices

@@ -6,6 +6,20 @@ criticism); EQC fans executions out to the least-busy device but doubles
 the execution count; the Qoncord policy splits a VQA session into an
 exploration phase (least-busy among low-fidelity devices), terminates a
 fraction of the work there, and fine-tunes on a high-fidelity device.
+
+Policies are fleet-aware: :meth:`SchedulingPolicy.bind_fleet` lets the
+simulator announce the device list once per run, so per-selection state
+(Qoncord's explore/fine-tune pools, pinned-device lookups) is precomputed
+instead of being rebuilt on every ``select_device`` call.  Two class
+attributes tell the event engine what it may optimize around:
+
+* ``uses_rng`` — whether ``select_device`` may consume the simulation
+  RNG.  Deterministic policies let the engine draw execution times in
+  batches without perturbing the stream (seeded runs stay bit-identical
+  to the one-draw-per-start reference loop).
+* ``pins_jobs`` — whether every execution of a job reuses the device
+  chosen at first submission, letting the engine skip the selection call
+  for executions after the first.
 """
 
 from __future__ import annotations
@@ -15,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.cloud.device import CloudDevice
-from repro.cloud.workload import JobSpec
+from repro.cloud.workload import JobSpec, Workload
 from repro.exceptions import SchedulingError
 
 
@@ -23,13 +37,45 @@ class SchedulingPolicy:
     """Base policy: per-execution device selection + workload shaping."""
 
     name = "base"
+    #: Whether ``select_device`` may draw from the simulation RNG.
+    uses_rng = True
+    #: Whether all executions of a job run on the first-selected device.
+    #: Declaring this lets the engine skip ``select_device`` after a job's
+    #: first execution, so it also asserts the job *stays eligible* for
+    #: that device (per-job filters must be pure functions of the job).
+    pins_jobs = False
 
     def reset(self) -> None:
         """Clear per-run state (job-to-device pins)."""
 
+    def bind_fleet(self, devices: Sequence[CloudDevice]) -> None:
+        """Announce the fleet for the coming run (precompute device maps).
+
+        A no-op hook by default — override it to build fleet-keyed caches
+        (see :class:`QoncordPolicy`).  Policies must still work when
+        ``select_device`` receives a device list that was never bound
+        (e.g. the per-job subsets a width-aware wrapper builds) — caches
+        key on the sequence identity and fall back to recomputing.
+        """
+
     def executions_for(self, job: JobSpec) -> int:
         """How many executions this policy actually runs for ``job``."""
         return job.num_executions
+
+    def executions_for_batch(self, workload: Workload) -> np.ndarray:
+        """Vectorized ``executions_for`` over a whole workload.
+
+        The base implementation only takes the vectorized shortcut when
+        ``executions_for`` is not overridden; subclasses that reshape the
+        execution count (EQC, Qoncord) provide their own closed forms.
+        """
+        if type(self).executions_for is SchedulingPolicy.executions_for:
+            return workload.arrays().num_executions.astype(np.int64, copy=True)
+        return np.fromiter(
+            (self.executions_for(job) for job in workload.jobs),
+            dtype=np.int64,
+            count=workload.num_jobs,
+        )
 
     def select_device(
         self,
@@ -46,32 +92,92 @@ class SchedulingPolicy:
 class _PinnedPolicy(SchedulingPolicy):
     """Pick once per job, reuse for every execution (shared/runtime model)."""
 
+    pins_jobs = True
+
     def __init__(self):
-        self._assignment: Dict[int, str] = {}
+        self._assignment: Dict[int, CloudDevice] = {}
+        self._fleet: Optional[Sequence[CloudDevice]] = None
 
     def reset(self) -> None:
         self._assignment.clear()
+
+    def bind_fleet(self, devices: Sequence[CloudDevice]) -> None:
+        self._fleet = devices
 
     def _choose(self, devices, now, rng) -> CloudDevice:
         raise NotImplementedError
 
     def select_device(self, job, execution_index, total_executions, devices, now, rng):
-        if job.job_id not in self._assignment:
-            self._assignment[job.job_id] = self._choose(devices, now, rng).name
-        name = self._assignment[job.job_id]
-        for device in devices:
-            if device.name == name:
-                return device
-        raise SchedulingError(f"pinned device {name} vanished")
+        device = self._assignment.get(job.job_id)
+        if device is None:
+            device = self._choose(devices, now, rng)
+            self._assignment[job.job_id] = device
+        elif devices is not self._fleet and not any(
+            d is device for d in devices
+        ):
+            # A filtered subset (e.g. width-aware) no longer contains the
+            # pin — selections were never meant to migrate mid-job, so
+            # fail loudly.  The bound fleet itself always contains the
+            # pin, so the engine's full-fleet calls skip the scan.
+            raise SchedulingError(
+                f"pinned device {device.name} vanished from the eligible set"
+            )
+        return device
+
+
+def _least_busy(devices, now) -> CloudDevice:
+    """First device minimizing (queue delay, -speed).
+
+    Equivalent to ``min(devices, key=lambda d: (d.queue_delay(now),
+    -d.speed_factor))`` but lambda-free — this scan runs once per
+    execution under the fan-out policies, so the call overhead matters at
+    fleet scale.  All idle devices tie at delay 0 (that is why the delay
+    is clamped before comparing); ties go to the larger ``speed_factor``,
+    then fleet order.  (Note ``speed_factor`` multiplies execution time,
+    so the larger factor is the *slower* machine — the tie-break is kept
+    bit-compatible with the original lambda, which seeded schedules
+    depend on, rather than "fixed".)
+    """
+    best = None
+    best_delay = best_speed = 0.0
+    for device in devices:
+        delay = device.busy_until - now
+        if delay < 0.0:
+            delay = 0.0
+        speed = device.speed_factor
+        if (
+            best is None
+            or delay < best_delay
+            or (delay == best_delay and speed > best_speed)
+        ):
+            best = device
+            best_delay = delay
+            best_speed = speed
+    return best
+
+
+def _shortest_queue(devices, now) -> CloudDevice:
+    """First device minimizing queue delay (no speed tie-break)."""
+    best = None
+    best_delay = 0.0
+    for device in devices:
+        delay = device.busy_until - now
+        if delay < 0.0:
+            delay = 0.0
+        if best is None or delay < best_delay:
+            best = device
+            best_delay = delay
+    return best
 
 
 class LeastBusyPolicy(_PinnedPolicy):
     """Always the least-occupied device: best throughput, worst fidelity."""
 
     name = "least_busy"
+    uses_rng = False
 
     def _choose(self, devices, now, rng):
-        return min(devices, key=lambda d: (d.queue_delay(now), -d.speed_factor))
+        return _least_busy(devices, now)
 
 
 class LoadWeightedPolicy(_PinnedPolicy):
@@ -101,11 +207,12 @@ class BestFidelityPolicy(_PinnedPolicy):
     """Always one of the highest-fidelity devices: best quality, worst wait."""
 
     name = "best_fidelity"
+    uses_rng = False
 
     def _choose(self, devices, now, rng):
         best = max(d.fidelity for d in devices)
         candidates = [d for d in devices if d.fidelity >= best - 1e-12]
-        return min(candidates, key=lambda d: d.queue_delay(now))
+        return _shortest_queue(candidates, now)
 
 
 class EQCPolicy(SchedulingPolicy):
@@ -117,6 +224,7 @@ class EQCPolicy(SchedulingPolicy):
     """
 
     name = "eqc"
+    uses_rng = False
 
     def __init__(self, overhead_factor: float = 2.0):
         if overhead_factor < 1.0:
@@ -128,8 +236,18 @@ class EQCPolicy(SchedulingPolicy):
             return int(round(job.num_executions * self.overhead_factor))
         return job.num_executions
 
+    def executions_for_batch(self, workload: Workload) -> np.ndarray:
+        if type(self).executions_for is not EQCPolicy.executions_for:
+            # A subclass reshaped the scalar rule: fall back to the base
+            # per-job loop so batch and scalar counts cannot diverge.
+            return SchedulingPolicy.executions_for_batch(self, workload)
+        arrays = workload.arrays()
+        n = arrays.num_executions
+        inflated = np.rint(n * self.overhead_factor).astype(np.int64)
+        return np.where(arrays.is_vqa, inflated, n)
+
     def select_device(self, job, execution_index, total_executions, devices, now, rng):
-        return min(devices, key=lambda d: (d.queue_delay(now), -d.speed_factor))
+        return _least_busy(devices, now)
 
 
 class QoncordPolicy(SchedulingPolicy):
@@ -140,9 +258,14 @@ class QoncordPolicy(SchedulingPolicy):
     work (restart filtering keeps ``keep_fraction`` of fine-tune
     executions) runs on the least-busy device among the top-fidelity tier.
     Plain tasks fall back to least-busy.
+
+    The explore and fine-tune pools depend only on the fleet, so they are
+    computed once per ``bind_fleet`` (or on first sight of an unbound
+    device list) instead of re-sorting the fleet on every selection.
     """
 
     name = "qoncord"
+    uses_rng = False
 
     def __init__(
         self,
@@ -157,15 +280,37 @@ class QoncordPolicy(SchedulingPolicy):
         self.explore_fraction = explore_fraction
         self.keep_fraction = keep_fraction
         self.high_tier_quantile = high_tier_quantile
+        self._fleet: Optional[Sequence[CloudDevice]] = None
+        self._explore_pool_cache: List[CloudDevice] = []
+        self._fine_tune_pool_cache: List[CloudDevice] = []
+        #: num_executions -> explore-phase length (pure function cache).
+        self._explore_counts: Dict[int, int] = {}
+
+    def bind_fleet(self, devices: Sequence[CloudDevice]) -> None:
+        self._fleet = devices
+        self._explore_pool_cache = self._explore_pool(devices)
+        self._fine_tune_pool_cache = self._fine_tune_pool(devices)
 
     def executions_for(self, job: JobSpec) -> int:
         if not job.is_vqa:
             return job.num_executions
-        explore = int(round(job.num_executions * self.explore_fraction))
-        explore = max(explore, 1)
+        explore = self._explore_count(job.num_executions)
         fine_tune = job.num_executions - explore
         kept = int(round(fine_tune * self.keep_fraction))
         return explore + kept
+
+    def executions_for_batch(self, workload: Workload) -> np.ndarray:
+        if type(self).executions_for is not QoncordPolicy.executions_for:
+            # A subclass reshaped the scalar rule: fall back to the base
+            # per-job loop so batch and scalar counts cannot diverge.
+            return SchedulingPolicy.executions_for_batch(self, workload)
+        arrays = workload.arrays()
+        n = arrays.num_executions
+        explore = np.maximum(
+            np.rint(n * self.explore_fraction).astype(np.int64), 1
+        )
+        kept = np.rint((n - explore) * self.keep_fraction).astype(np.int64)
+        return np.where(arrays.is_vqa, explore + kept, n)
 
     def _explore_pool(self, devices) -> List[CloudDevice]:
         ordered = sorted(devices, key=lambda d: d.fidelity)
@@ -177,15 +322,29 @@ class QoncordPolicy(SchedulingPolicy):
         cut = fidelities[int(self.high_tier_quantile * (len(fidelities) - 1))]
         return [d for d in devices if d.fidelity >= cut]
 
+    def _explore_count(self, num_executions: int) -> int:
+        explore = self._explore_counts.get(num_executions)
+        if explore is None:
+            explore = max(1, int(round(num_executions * self.explore_fraction)))
+            self._explore_counts[num_executions] = explore
+        return explore
+
     def select_device(self, job, execution_index, total_executions, devices, now, rng):
         if not job.is_vqa:
-            return min(devices, key=lambda d: d.queue_delay(now))
-        explore = max(1, int(round(job.num_executions * self.explore_fraction)))
-        if execution_index < explore:
-            pool = self._explore_pool(devices)
+            return _shortest_queue(devices, now)
+        if devices is not self._fleet:
+            # Unbound (e.g. width-filtered) device list: rebuild the pools
+            # for this call only, preserving the reference semantics.
+            explore_pool = self._explore_pool(devices)
+            fine_tune_pool = self._fine_tune_pool(devices)
         else:
-            pool = self._fine_tune_pool(devices)
-        return min(pool, key=lambda d: d.queue_delay(now))
+            explore_pool = self._explore_pool_cache
+            fine_tune_pool = self._fine_tune_pool_cache
+        if execution_index < self._explore_count(job.num_executions):
+            pool = explore_pool
+        else:
+            pool = fine_tune_pool
+        return _shortest_queue(pool, now)
 
 
 def standard_policies() -> List[SchedulingPolicy]:

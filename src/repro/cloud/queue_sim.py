@@ -1,13 +1,28 @@
 """Discrete-event quantum-cloud queue simulation (paper Section V-F, Fig 12).
 
-Simulates 1000-job workloads over a device fleet under a scheduling
-policy.  Each job submits its executions one at a time (runtime sessions
-insert classical think-time between submissions, letting other queued work
+Simulates workloads over a device fleet under a scheduling policy.  Each
+job submits its executions one at a time (runtime sessions insert
+classical think-time between submissions, letting other queued work
 through — Section II-E); devices serve their queues in fair-share order;
 execution times vary 3x.
 
 Outputs the two Fig 12 axes per policy: mean VQA fidelity relative to the
 best device, and throughput (Eq 2: executions per unit time).
+
+Two execution paths share one semantics:
+
+* :meth:`QueueSimulator.run` — the fleet-scale engine.  Events are plain
+  ``(time, seq, kind, job, execution, device)`` tuples on one heap; a
+  device is re-examined only when its own queue or free-time changes
+  (O(1) wake-ups — no per-event fleet rescan); completed executions land
+  in a struct-of-arrays :class:`RecordStore` instead of per-record
+  objects; deterministic policies get their 3x execution-time draws from
+  a batched RNG buffer.  Seeded runs are bit-identical to the reference
+  loop (same heap order, same RNG stream, same fair-share keys).
+* :meth:`QueueSimulator.run_legacy` — the seed implementation, kept as
+  the reference: per-event all-device rescans, one frozen dataclass per
+  execution, object event payloads.  Equivalence tests pin the engine to
+  its exact schedule; the queue benchmark measures the gap.
 """
 
 from __future__ import annotations
@@ -25,10 +40,146 @@ from repro.cloud.policies import SchedulingPolicy
 from repro.cloud.workload import JobSpec, Workload
 from repro.exceptions import SchedulingError
 
+#: Event kinds on the engine's heap (compared only via (time, seq)).
+_SUBMIT = 0
+_FINISH = 1
+
+#: Batched execution-time draws per RNG refill (deterministic policies).
+_DRAW_CHUNK = 4096
+
+
+class RecordStore:
+    """Struct-of-arrays store of completed executions.
+
+    Preallocated, growable numpy columns — one row per execution — in
+    place of a list of frozen :class:`ExecutionRecord` objects.  Metrics
+    reduce over the columns directly; :meth:`execution_records`
+    materializes the object view for compatibility.
+
+    Both simulator paths accumulate whole columns and bulk-load them via
+    :meth:`from_columns` (cheaper than a per-event scalar store);
+    :meth:`append` is the incremental-construction API for callers that
+    build a store row by row.
+    """
+
+    __slots__ = ("_columns", "_size")
+
+    _DTYPES = (
+        ("job_id", np.int64),
+        ("execution_index", np.int64),
+        ("device_index", np.int64),
+        ("queued_at", np.float64),
+        ("started_at", np.float64),
+        ("finished_at", np.float64),
+    )
+
+    def __init__(self, capacity: int = 1024):
+        capacity = max(int(capacity), 1)
+        self._columns = [np.empty(capacity, dt) for _, dt in self._DTYPES]
+        self._size = 0
+
+    @classmethod
+    def from_columns(
+        cls, job_id, execution_index, device_index, queued_at, started_at,
+        finished_at,
+    ) -> "RecordStore":
+        """Bulk-load a store from whole columns (lists or arrays)."""
+        store = cls.__new__(cls)
+        cols = (job_id, execution_index, device_index, queued_at,
+                started_at, finished_at)
+        store._columns = [
+            np.asarray(col, dtype=dt)
+            for col, (_, dt) in zip(cols, cls._DTYPES)
+        ]
+        sizes = {c.shape[0] for c in store._columns}
+        if len(sizes) != 1:
+            raise SchedulingError("record columns have mismatched lengths")
+        store._size = sizes.pop()
+        return store
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, job_id: int, execution_index: int, device_index: int,
+               queued_at: float, started_at: float, finished_at: float) -> None:
+        i = self._size
+        cols = self._columns
+        if i == cols[0].shape[0]:
+            # max(len, 1): a store bulk-loaded from empty columns must
+            # still grow (doubling zero stays zero).
+            self._columns = cols = [
+                np.concatenate([c, np.empty(max(c.shape[0], 1), c.dtype)])
+                for c in cols
+            ]
+        cols[0][i] = job_id
+        cols[1][i] = execution_index
+        cols[2][i] = device_index
+        cols[3][i] = queued_at
+        cols[4][i] = started_at
+        cols[5][i] = finished_at
+        self._size = i + 1
+
+    @property
+    def job_id(self) -> np.ndarray:
+        return self._columns[0][: self._size]
+
+    @property
+    def execution_index(self) -> np.ndarray:
+        return self._columns[1][: self._size]
+
+    @property
+    def device_index(self) -> np.ndarray:
+        return self._columns[2][: self._size]
+
+    @property
+    def queued_at(self) -> np.ndarray:
+        return self._columns[3][: self._size]
+
+    @property
+    def started_at(self) -> np.ndarray:
+        return self._columns[4][: self._size]
+
+    @property
+    def finished_at(self) -> np.ndarray:
+        return self._columns[5][: self._size]
+
+    def schedule_key(self) -> np.ndarray:
+        """Canonical (job, execution, device, queued, start, finish) row
+        matrix, sorted by (job_id, execution_index) — two runs produced
+        the same schedule iff these matrices are identical."""
+        order = np.lexsort((self.execution_index, self.job_id))
+        return np.column_stack([
+            self.job_id[order].astype(np.float64),
+            self.execution_index[order].astype(np.float64),
+            self.device_index[order].astype(np.float64),
+            self.queued_at[order],
+            self.started_at[order],
+            self.finished_at[order],
+        ])
+
+    def execution_records(
+        self, devices: Sequence[CloudDevice]
+    ) -> List["ExecutionRecord"]:
+        """Materialize the compatibility object view (row order preserved)."""
+        names = [d.name for d in devices]
+        fids = [d.fidelity for d in devices]
+        return [
+            ExecutionRecord(
+                job_id=j, execution_index=e, device_name=names[di],
+                device_fidelity=fids[di], queued_at=q, started_at=s,
+                finished_at=f,
+            )
+            for j, e, di, q, s, f in zip(
+                self.job_id.tolist(), self.execution_index.tolist(),
+                self.device_index.tolist(), self.queued_at.tolist(),
+                self.started_at.tolist(), self.finished_at.tolist(),
+            )
+        ]
+
 
 @dataclass(frozen=True)
 class ExecutionRecord:
-    """One completed circuit execution."""
+    """One completed circuit execution (object view over the store)."""
 
     job_id: int
     execution_index: int
@@ -73,16 +224,74 @@ class JobResult:
         return float(np.mean([r.device_fidelity for r in tail]) / best_fidelity)
 
 
-@dataclass
 class SimulationResult:
-    """Everything Fig 12 needs for one (policy, workload) pair."""
+    """Everything Fig 12 needs for one (policy, workload) pair.
 
-    policy_name: str
-    vqa_ratio: float
-    job_results: Dict[int, JobResult]
-    makespan: float
-    total_executions: int
-    devices: List[CloudDevice]
+    Backed by a :class:`RecordStore`: the headline metrics are vectorized
+    segment reductions over the record columns.  ``job_results`` remains
+    as a lazily materialized object view for callers that walk individual
+    executions.
+    """
+
+    def __init__(
+        self,
+        policy_name: str,
+        vqa_ratio: float,
+        records: RecordStore,
+        makespan: float,
+        total_executions: int,
+        devices: List[CloudDevice],
+        workload: Workload,
+    ):
+        self.policy_name = policy_name
+        self.vqa_ratio = vqa_ratio
+        self.records = records
+        self.makespan = makespan
+        self.total_executions = total_executions
+        self.devices = devices
+        self.workload = workload
+        self._segments_cache = None
+        self._flags_cache = None
+        self._job_results: Optional[Dict[int, JobResult]] = None
+
+    # -- vectorized metric machinery ------------------------------------
+
+    def _segments(self):
+        """Records sorted by (job, execution) + per-job segment bounds."""
+        if self._segments_cache is None:
+            store = self.records
+            order = np.lexsort((store.execution_index, store.job_id))
+            jid = store.job_id[order]
+            m = jid.shape[0]
+            if m:
+                starts = np.flatnonzero(
+                    np.concatenate(([True], jid[1:] != jid[:-1]))
+                )
+            else:
+                starts = np.empty(0, dtype=np.int64)
+            counts = np.diff(np.append(starts, m))
+            self._segments_cache = (order, jid, starts, counts)
+        return self._segments_cache
+
+    def _job_flags(self):
+        """``(is_vqa, arrival_time)`` arrays per job segment, looked up in
+        the workload columns (cached: the workload is immutable and the
+        segment ids are canonical, but the lookup is an O(n log n) sort)."""
+        if self._flags_cache is None:
+            _, jid, starts, _ = self._segments()
+            segment_job_ids = jid[starts]
+            arrays = self.workload.arrays()
+            wid = arrays.job_id
+            sorter = np.argsort(wid, kind="stable")
+            found = np.searchsorted(wid, segment_job_ids, sorter=sorter)
+            # An id beyond every workload id searchsorts to len(wid);
+            # clamp before indexing so the mismatch check below reports it
+            # instead of an IndexError.
+            pos = sorter[np.minimum(found, wid.shape[0] - 1)]
+            if not np.array_equal(wid[pos], segment_job_ids):
+                raise SchedulingError("records reference unknown job ids")
+            self._flags_cache = (arrays.is_vqa[pos], arrays.arrival_time[pos])
+        return self._flags_cache
 
     @property
     def throughput(self) -> float:
@@ -91,29 +300,68 @@ class SimulationResult:
             raise SchedulingError("empty simulation")
         return self.total_executions / self.makespan
 
-    def mean_relative_fidelity(self, vqa_only: bool = True) -> float:
+    def mean_relative_fidelity(
+        self, vqa_only: bool = True, tail_fraction: float = 0.25
+    ) -> float:
+        """Mean per-job tail-averaged device fidelity / best fidelity.
+
+        One segmented reduction over the store: the last
+        ``tail_fraction`` of each job's executions (at least one) are
+        averaged, normalized by the fleet's best device.
+        """
         best = max(d.fidelity for d in self.devices)
-        scores = [
-            jr.relative_fidelity(best)
-            for jr in self.job_results.values()
-            if jr.records and (jr.job.is_vqa or not vqa_only)
-        ]
-        if not scores:
+        order, jid, starts, counts = self._segments()
+        m = jid.shape[0]
+        if m:
+            is_vqa, _ = self._job_flags()
+            keep = is_vqa if vqa_only else np.ones(len(starts), dtype=bool)
+        else:
+            keep = np.empty(0, dtype=bool)
+        if not np.any(keep):
             raise SchedulingError("no jobs matched the fidelity filter")
+        device_fid = np.array([d.fidelity for d in self.devices])
+        fid = device_fid[self.records.device_index[order]]
+        k = np.maximum(1, np.rint(counts * tail_fraction).astype(np.int64))
+        # Row positions within each job segment; a row is in the tail iff
+        # its position is within the last k of its segment.
+        pos = np.arange(m) - np.repeat(starts, counts)
+        tail = pos >= np.repeat(counts - k, counts)
+        sums = np.add.reduceat(np.where(tail, fid, 0.0), starts)
+        scores = sums[keep] / (k[keep] * best)
         return float(np.mean(scores))
 
     def mean_turnaround(self, vqa_only: bool = False) -> float:
-        times = [
-            jr.turnaround_seconds
-            for jr in self.job_results.values()
-            if jr.records and (jr.job.is_vqa or not vqa_only)
-        ]
-        return float(np.mean(times))
+        order, jid, starts, counts = self._segments()
+        if jid.shape[0] == 0:
+            return float(np.mean([]))
+        is_vqa, arrival = self._job_flags()
+        keep = is_vqa if vqa_only else np.ones(len(starts), dtype=bool)
+        # Executions of a job finish in execution-index order, so the last
+        # row of each segment carries the job's completion time.
+        completed = self.records.finished_at[order][starts + counts - 1]
+        return float(np.mean((completed - arrival)[keep]))
 
     def device_utilization(self) -> Dict[str, float]:
         if self.makespan <= 0:
             return {d.name: 0.0 for d in self.devices}
         return {d.name: d.busy_seconds / self.makespan for d in self.devices}
+
+    # -- compatibility object view --------------------------------------
+
+    @property
+    def job_results(self) -> Dict[int, JobResult]:
+        """Per-job object view (materialized once, on demand)."""
+        if self._job_results is None:
+            results = {
+                job.job_id: JobResult(job=job) for job in self.workload.jobs
+            }
+            for record in self.records.execution_records(self.devices):
+                results[record.job_id].records.append(record)
+            self._job_results = results
+        return self._job_results
+
+
+# -- legacy event structures (reference loop only) ----------------------
 
 
 @dataclass(order=True)
@@ -146,7 +394,220 @@ class QueueSimulator:
         self.policy = policy
         self.seed = seed
 
+    # -- fleet-scale engine ---------------------------------------------
+
     def run(self, workload: Workload) -> SimulationResult:
+        """Simulate ``workload``; seeded runs match :meth:`run_legacy`.
+
+        Per event only the affected device is examined: a submit wakes
+        the selected device, a finish wakes the device that freed up.
+        (Execution times are strictly positive, so no other device can
+        have become startable in between — the legacy loop's per-event
+        fleet rescan never fires, which the equivalence tests confirm.)
+        """
+        rng = np.random.default_rng(self.seed)
+        policy = self.policy
+        policy.reset()
+        devices = self.devices
+        for device in devices:
+            device.reset()
+        policy.bind_fleet(devices)
+
+        arrays = workload.arrays()
+        jobs = workload.jobs
+        num_jobs = workload.num_jobs
+        # Hot-loop job columns as plain lists: scalar indexing is ~3x
+        # cheaper than numpy item access.
+        job_ids = arrays.job_id.tolist()
+        user_ids = arrays.user_id.tolist()
+        arrivals = arrays.arrival_time.tolist()
+        base_seconds = arrays.base_execution_seconds.tolist()
+        think_seconds = arrays.inter_submission_seconds.tolist()
+        totals = policy.executions_for_batch(workload).tolist()
+
+        speed = [d.speed_factor for d in devices]
+        # Per-device fair-share queues, inlined as flat tuple heaps with
+        # FairShareQueue's exact key semantics: (owner usage snapshot at
+        # enqueue, per-device submission counter).
+        device_heaps: List[list] = [[] for _ in devices]
+        device_counters: List[int] = [0] * len(devices)
+        device_usages: List[Dict[int, float]] = [{} for _ in devices]
+        device_index = {id(d): i for i, d in enumerate(devices)}
+
+        # Record columns accumulate in plain lists and bulk-load into the
+        # store once — a scalar numpy store per field per event costs more
+        # than the whole event otherwise.
+        rec_job: List[int] = []
+        rec_execution: List[int] = []
+        rec_device: List[int] = []
+        rec_queued: List[float] = []
+        rec_started: List[float] = []
+        rec_finished: List[float] = []
+        rec_job_append = rec_job.append
+        rec_execution_append = rec_execution.append
+        rec_device_append = rec_device.append
+        rec_queued_append = rec_queued.append
+        rec_started_append = rec_started.append
+        rec_finished_append = rec_finished.append
+
+        heap: list = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        select = policy.select_device
+        pinned = policy.pins_jobs
+        pins: List[int] = [-1] * num_jobs
+        # Deterministic policies never touch the RNG, so the only draws
+        # are the per-start 3x execution-time uniforms — refill them in
+        # batches (bit-identical stream to one scalar draw per start).
+        buffered_draws = not policy.uses_rng
+        draw_buffer: List[float] = []
+        draw_pos = _DRAW_CHUNK
+
+        # Generated workloads arrive in nondecreasing order, so first
+        # submits merge lazily into the event heap instead of being
+        # pushed up front: the heap only ever holds in-flight events
+        # (busy devices + think-phase sessions), keeping sift depth at
+        # O(log active) instead of O(log jobs).  Lazy submits take seq
+        # 0..num_jobs-1 and later events continue from num_jobs — the
+        # exact (time, seq) order the reference loop produces by pushing
+        # everything eagerly.  Hand-built unsorted workloads fall back to
+        # the eager push with identical (time, seq) keys.
+        next_arrival = 0
+        if num_jobs > 1 and np.any(np.diff(arrays.arrival_time) < 0.0):
+            for j in range(num_jobs):
+                heap.append((arrivals[j], j, _SUBMIT, j, 0, -1))
+            heapq.heapify(heap)
+            next_arrival = num_jobs
+        seq = num_jobs
+        now = 0.0
+        while True:
+            if heap:
+                head = heap[0]
+                if next_arrival < num_jobs:
+                    arrival = arrivals[next_arrival]
+                    head_time = head[0]
+                    if arrival < head_time or (
+                        arrival == head_time and next_arrival < head[1]
+                    ):
+                        now = arrival
+                        kind = _SUBMIT
+                        j = next_arrival
+                        execution = 0
+                        di = -1
+                        next_arrival += 1
+                    else:
+                        now, _, kind, j, execution, di = pop(heap)
+                else:
+                    now, _, kind, j, execution, di = pop(heap)
+            elif next_arrival < num_jobs:
+                now = arrivals[next_arrival]
+                kind = _SUBMIT
+                j = next_arrival
+                execution = 0
+                di = -1
+                next_arrival += 1
+            else:
+                break
+
+            # Wake only the touched device: no other device's queue or
+            # free-time changed, so nothing else can have become
+            # startable (execution times are strictly positive).
+            if kind == _SUBMIT:
+                if not pinned or (di := pins[j]) < 0:
+                    device = select(
+                        jobs[j], execution, totals[j], devices, now, rng
+                    )
+                    di = device_index.get(id(device), -1)
+                    if di < 0:
+                        raise SchedulingError(
+                            f"policy selected a device outside the fleet "
+                            f"for job {job_ids[j]}"
+                        )
+                    if pinned:
+                        pins[j] = di
+                device = devices[di]
+                device_heap = device_heaps[di]
+                if device_heap or device.busy_until > now:
+                    usage = device_usages[di]
+                    count = device_counters[di]
+                    device_counters[di] = count + 1
+                    push(device_heap,
+                         (usage.get(user_ids[j], 0.0), count, j, execution,
+                          now))
+                    if device.busy_until > now:
+                        continue
+                    _, _, j2, execution2, queued_at = pop(device_heap)
+                else:
+                    # Idle device, empty queue: the entry would be popped
+                    # right back — start directly.  Skipping the counter
+                    # only relabels later keys monotonically, so fair-share
+                    # pop order is unchanged.
+                    j2, execution2, queued_at = j, execution, now
+            else:
+                next_execution = execution + 1
+                if next_execution < totals[j]:
+                    push(heap, (now + think_seconds[j], seq, _SUBMIT, j,
+                                next_execution, -1))
+                    seq += 1
+                device = devices[di]
+                device_heap = device_heaps[di]
+                if not device_heap or device.busy_until > now:
+                    continue
+                _, _, j2, execution2, queued_at = pop(device_heap)
+
+            # Start the dequeued (or directly submitted) execution.
+            low = base_seconds[j2] * speed[di]
+            if buffered_draws:
+                if draw_pos == _DRAW_CHUNK:
+                    draw_buffer = rng.random(_DRAW_CHUNK).tolist()
+                    draw_pos = 0
+                # Same float ops as Generator.uniform(low, 3*low).
+                high = 3.0 * low
+                duration = low + (high - low) * draw_buffer[draw_pos]
+                draw_pos += 1
+            else:
+                duration = device.execution_time(base_seconds[j2], rng)
+            end = now + duration
+            device.busy_until = end
+            device.busy_seconds += duration
+            device.completed_executions += 1
+            usage = device_usages[di]
+            user = user_ids[j2]
+            usage[user] = usage.get(user, 0.0) + duration
+            rec_job_append(job_ids[j2])
+            rec_execution_append(execution2)
+            rec_device_append(di)
+            rec_queued_append(queued_at)
+            rec_started_append(now)
+            rec_finished_append(end)
+            push(heap, (end, seq, _FINISH, j2, execution2, di))
+            seq += 1
+
+        store = RecordStore.from_columns(
+            rec_job, rec_execution, rec_device, rec_queued, rec_started,
+            rec_finished,
+        )
+        return SimulationResult(
+            policy_name=policy.name,
+            vqa_ratio=workload.vqa_ratio,
+            records=store,
+            makespan=now,
+            total_executions=len(store),
+            devices=devices,
+            workload=workload,
+        )
+
+    # -- seed reference loop --------------------------------------------
+
+    def run_legacy(self, workload: Workload) -> SimulationResult:
+        """The seed implementation, preserved as the reference baseline.
+
+        Rescans every device after every event, allocates one frozen
+        :class:`ExecutionRecord` per execution, and heaps order-comparing
+        event objects.  Kept for the seeded equivalence tests that pin
+        :meth:`run` to this loop's exact schedule, and as the baseline the
+        queue benchmark measures against.
+        """
         rng = np.random.default_rng(self.seed)
         self.policy.reset()
         for device in self.devices:
@@ -155,9 +616,8 @@ class QueueSimulator:
             d.name: FairShareQueue() for d in self.devices
         }
         device_by_name = {d.name: d for d in self.devices}
-        device_free_at: Dict[str, float] = {d.name: 0.0 for d in self.devices}
-        results: Dict[int, JobResult] = {
-            job.job_id: JobResult(job=job) for job in workload.jobs
+        results: Dict[int, List[ExecutionRecord]] = {
+            job.job_id: [] for job in workload.jobs
         }
         totals: Dict[int, int] = {
             job.job_id: self.policy.executions_for(job) for job in workload.jobs
@@ -170,7 +630,7 @@ class QueueSimulator:
 
         def try_start(device: CloudDevice, now: float) -> None:
             queue = queues[device.name]
-            if queue.is_empty or device_free_at[device.name] > now:
+            if queue.is_empty or device.busy_until > now:
                 return
             pending: _PendingExecution = queue.pop()
             duration = device.execution_time(
@@ -178,7 +638,6 @@ class QueueSimulator:
             )
             start = now
             end = start + duration
-            device_free_at[device.name] = end
             device.busy_until = end
             device.busy_seconds += duration
             device.completed_executions += 1
@@ -192,7 +651,7 @@ class QueueSimulator:
                 started_at=start,
                 finished_at=end,
             )
-            results[pending.job.job_id].records.append(record)
+            results[pending.job.job_id].append(record)
             push_event(end, "finish", (device.name, pending))
 
         for job in workload.jobs:
@@ -229,17 +688,27 @@ class QueueSimulator:
             # A device may have become free exactly now with queued work
             # (e.g. work arrived while busy): start anything startable.
             for device in self.devices:
-                if device_free_at[device.name] <= now:
+                if device.busy_until <= now:
                     try_start(device, now)
 
-        total_execs = sum(len(jr.records) for jr in results.values())
+        name_to_index = {d.name: i for i, d in enumerate(self.devices)}
+        records = [r for job in workload.jobs for r in results[job.job_id]]
+        store = RecordStore.from_columns(
+            [r.job_id for r in records],
+            [r.execution_index for r in records],
+            [name_to_index[r.device_name] for r in records],
+            [r.queued_at for r in records],
+            [r.started_at for r in records],
+            [r.finished_at for r in records],
+        )
         return SimulationResult(
             policy_name=self.policy.name,
             vqa_ratio=workload.vqa_ratio,
-            job_results=results,
+            records=store,
             makespan=makespan,
-            total_executions=total_execs,
+            total_executions=len(store),
             devices=self.devices,
+            workload=workload,
         )
 
 

@@ -1,0 +1,166 @@
+"""Parallel policy/seed/ratio sweeps over the queue simulator.
+
+The Fig 12 study is a grid: every scheduling policy crossed with several
+workload seeds and VQA ratios.  Grid cells are completely independent —
+each one builds its own workload, fleet, and policy — so
+:func:`run_sweep` fans them across a process pool and merges the
+per-cell :class:`~repro.cloud.queue_sim.SimulationResult`s into a
+:class:`SweepResult` (per-policy frontier means across seeds).
+
+Cells are deterministic functions of ``(policy, vqa_ratio, seed)``:
+serial and parallel execution produce identical results, and the pool is
+skipped automatically when only one worker is available.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.device import hypothetical_fleet
+from repro.cloud.policies import SchedulingPolicy
+from repro.cloud.queue_sim import QueueSimulator, SimulationResult
+from repro.cloud.workload import generate_workload
+from repro.exceptions import SchedulingError
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point of a sweep."""
+
+    policy_name: str
+    vqa_ratio: float
+    seed: int
+
+
+def _run_cell(args) -> SimulationResult:
+    """Worker body: build workload + fleet + simulator for one cell."""
+    policy, vqa_ratio, seed, num_jobs, workload_kwargs, fleet_kwargs, legacy = args
+    workload = generate_workload(
+        num_jobs=num_jobs, vqa_ratio=vqa_ratio, seed=seed, **workload_kwargs
+    )
+    simulator = QueueSimulator(
+        hypothetical_fleet(**fleet_kwargs), policy, seed=seed
+    )
+    if legacy:
+        return simulator.run_legacy(workload)
+    return simulator.run(workload)
+
+
+class SweepResult:
+    """Merged results of a (policy, vqa_ratio, seed) grid."""
+
+    def __init__(self, cells: Dict[SweepCell, SimulationResult]):
+        self.cells = cells
+
+    @property
+    def policy_names(self) -> List[str]:
+        return sorted({c.policy_name for c in self.cells})
+
+    @property
+    def vqa_ratios(self) -> List[float]:
+        return sorted({c.vqa_ratio for c in self.cells})
+
+    @property
+    def seeds(self) -> List[int]:
+        return sorted({c.seed for c in self.cells})
+
+    def get(self, policy_name: str, vqa_ratio: float, seed: int) -> SimulationResult:
+        return self.cells[SweepCell(policy_name, vqa_ratio, seed)]
+
+    def frontier(self, vqa_ratio: float) -> Dict[str, Tuple[float, float]]:
+        """Fig 12 axes at one ratio: policy -> (mean fidelity, mean
+        throughput), averaged across the sweep's seeds.
+
+        At extreme ratios a cell's sampled workload may contain no VQA
+        jobs at all; such cells fall back to the all-jobs fidelity
+        instead of failing the whole frontier.
+        """
+        out: Dict[str, Tuple[float, float]] = {}
+        for name in self.policy_names:
+            results = [
+                r for c, r in self.cells.items()
+                if c.policy_name == name and c.vqa_ratio == vqa_ratio
+            ]
+            if not results:
+                raise SchedulingError(
+                    f"no sweep cells for policy {name!r} at ratio {vqa_ratio}"
+                )
+            fidelities = [
+                r.mean_relative_fidelity(
+                    vqa_only=bool(r.workload.arrays().is_vqa.any())
+                )
+                for r in results
+            ]
+            out[name] = (
+                float(np.mean(fidelities)),
+                float(np.mean([r.throughput for r in results])),
+            )
+        return out
+
+
+def run_sweep(
+    policies: Sequence[SchedulingPolicy],
+    vqa_ratios: Sequence[float],
+    seeds: Sequence[int],
+    num_jobs: int = 1000,
+    workload_kwargs: Optional[dict] = None,
+    fleet_kwargs: Optional[dict] = None,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+    legacy: bool = False,
+) -> SweepResult:
+    """Run the full (policy x vqa_ratio x seed) grid and merge the results.
+
+    Each cell generates ``generate_workload(num_jobs, vqa_ratio, seed)``,
+    builds a fresh ``hypothetical_fleet(**fleet_kwargs)``, and simulates
+    under a per-cell copy of the policy (cells never share mutable
+    state).  With ``parallel`` the cells fan out over a process pool
+    sized ``min(cpu_count, cells, max_workers)``; one-worker grids fall
+    back to an in-process loop.  ``legacy`` routes every cell through the
+    reference loop instead of the engine (benchmark baseline).
+    """
+    if not policies or not vqa_ratios or not seeds:
+        raise SchedulingError("sweep grid must be non-empty")
+    names = [p.name for p in policies]
+    if len(set(names)) != len(names):
+        raise SchedulingError("sweep policies must have distinct names")
+    # Cells are keyed by (policy, ratio, seed): duplicates would run extra
+    # simulations and then silently collapse in the result dict.
+    if len(set(vqa_ratios)) != len(list(vqa_ratios)):
+        raise SchedulingError("sweep vqa_ratios must be distinct")
+    if len(set(seeds)) != len(list(seeds)):
+        raise SchedulingError("sweep seeds must be distinct")
+    workload_kwargs = dict(workload_kwargs or {})
+    fleet_kwargs = dict(fleet_kwargs or {})
+
+    keys: List[SweepCell] = []
+    cell_args = []
+    for policy in policies:
+        for ratio in vqa_ratios:
+            for seed in seeds:
+                keys.append(SweepCell(policy.name, float(ratio), int(seed)))
+                cell_args.append((
+                    copy.deepcopy(policy), float(ratio), int(seed), num_jobs,
+                    workload_kwargs, fleet_kwargs, legacy,
+                ))
+
+    if max_workers is None:
+        workers = min(os.cpu_count() or 1, len(cell_args))
+    else:
+        # An explicit worker count is honored even beyond cpu_count
+        # (oversubscription is sometimes useful; it also keeps the pool
+        # path testable on single-core machines).
+        workers = min(max_workers, len(cell_args))
+    if parallel and workers > 1:
+        chunksize = max(1, len(cell_args) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_cell, cell_args, chunksize=chunksize))
+    else:
+        results = [_run_cell(args) for args in cell_args]
+    return SweepResult(dict(zip(keys, results)))

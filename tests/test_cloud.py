@@ -57,6 +57,71 @@ def test_workload_validation():
         generate_workload(num_jobs=0)
     with pytest.raises(SchedulingError):
         JobSpec(0, 0, 0.0, False, 0, 1.0)
+    with pytest.raises(SchedulingError):
+        JobSpec(0, 0, 0.0, False, 1, 0.0)  # zero-duration execution
+    with pytest.raises(SchedulingError):
+        JobSpec(0, 0, 0.0, True, 2, 1.0, inter_submission_seconds=-1.0)
+    with pytest.raises(SchedulingError):
+        JobSpec(0, 0, -5.0, False, 1, 1.0)  # pre-epoch arrival
+
+
+def test_workload_rejects_duplicate_job_ids():
+    from repro.cloud import Workload
+
+    jobs = [
+        JobSpec(0, 0, 0.0, False, 1, 5.0),
+        JobSpec(0, 1, 1.0, False, 1, 5.0),
+    ]
+    with pytest.raises(SchedulingError):
+        Workload(jobs=jobs, vqa_ratio=0.0, seed=0)
+
+
+def test_pinned_policy_detects_vanished_device():
+    from repro.cloud import LeastBusyPolicy
+
+    fleet = hypothetical_fleet(3)
+    policy = LeastBusyPolicy()
+    policy.reset()
+    policy.bind_fleet(fleet)
+    job = JobSpec(0, 0, 0.0, True, 4, 5.0)
+    rng = np.random.default_rng(0)
+    pinned = policy.select_device(job, 0, 4, fleet, 0.0, rng)
+    # Later executions with a filtered subset still containing the pin
+    # succeed; a subset without it must fail loudly, not migrate.
+    subset_with = [d for d in fleet if d is pinned]
+    assert policy.select_device(job, 1, 4, subset_with, 1.0, rng) is pinned
+    subset_without = [d for d in fleet if d is not pinned]
+    with pytest.raises(SchedulingError):
+        policy.select_device(job, 2, 4, subset_without, 2.0, rng)
+
+
+def test_workload_arrays_path_validates_like_jobspec():
+    import numpy as np
+
+    from repro.cloud import Workload, WorkloadArrays
+
+    def arrays(**overrides):
+        base = dict(
+            job_id=np.array([0]), user_id=np.array([0]),
+            arrival_time=np.array([0.0]), is_vqa=np.array([False]),
+            num_executions=np.array([1]),
+            base_execution_seconds=np.array([5.0]),
+            inter_submission_seconds=np.array([0.0]),
+            num_qubits=np.array([0]),
+        )
+        base.update(overrides)
+        return WorkloadArrays(**base)
+
+    Workload(arrays=arrays())  # valid baseline
+    for bad in (
+        arrays(num_executions=np.array([0])),
+        arrays(base_execution_seconds=np.array([0.0])),
+        arrays(inter_submission_seconds=np.array([-1.0])),
+        arrays(arrival_time=np.array([-2.0])),
+        arrays(arrival_time=np.array([0.0, 1.0])),  # length mismatch
+    ):
+        with pytest.raises(SchedulingError):
+            Workload(arrays=bad)
 
 
 # -- cloud devices ------------------------------------------------------------------
@@ -137,6 +202,107 @@ def test_fair_share_len():
     assert len(q) == 2
     q.pop()
     assert len(q) == 1
+
+
+def test_fair_share_usage_tie_breaks_by_submission_order():
+    """Equal usage (across different users) falls back to FIFO."""
+    q = FairShareQueue()
+    q.record_usage(1, 50.0)
+    q.record_usage(2, 50.0)
+    q.push("user1-first", 1)
+    q.push("user2-second", 2)
+    q.push("user1-third", 1)
+    assert [q.pop() for _ in range(3)] == [
+        "user1-first", "user2-second", "user1-third"
+    ]
+
+
+def test_fair_share_snapshot_priority_semantics():
+    """Entries keep the usage snapshot taken at enqueue time.
+
+    Usage recorded *after* an entry is queued must not demote it: only
+    requests submitted afterwards see the new (higher) usage.
+    """
+    q = FairShareQueue()
+    q.push("before-charge", 1)
+    q.record_usage(1, 1000.0)
+    q.push("light-user", 2)
+    # The user-1 entry was queued at usage 0, so it still precedes the
+    # fresh user-2 entry (0-usage snapshot, later submission).
+    assert q.pop() == "before-charge"
+    assert q.pop() == "light-user"
+    # New user-1 work now carries the 1000s snapshot and loses.
+    q.push("after-charge", 1)
+    q.push("still-light", 2)
+    assert q.pop() == "still-light"
+    assert q.pop() == "after-charge"
+    assert q.usage_of(1) == pytest.approx(1000.0)
+
+
+# -- policy execution-count rounding ----------------------------------------
+
+
+def _job(num_executions, is_vqa=True):
+    return JobSpec(
+        job_id=0, user_id=0, arrival_time=0.0, is_vqa=is_vqa,
+        num_executions=num_executions, base_execution_seconds=5.0,
+    )
+
+
+def test_eqc_executions_rounding():
+    from repro.cloud import EQCPolicy
+
+    policy = EQCPolicy(overhead_factor=1.5)
+    # 3 * 1.5 = 4.5 rounds half-to-even to 4 (python round semantics).
+    assert policy.executions_for(_job(3)) == 4
+    assert policy.executions_for(_job(4)) == 6
+    # Non-VQA tasks are never inflated.
+    assert policy.executions_for(_job(7, is_vqa=False)) == 7
+    assert EQCPolicy(overhead_factor=1.0).executions_for(_job(9)) == 9
+
+
+def test_qoncord_executions_rounding_boundaries():
+    from repro.cloud import QoncordPolicy
+
+    # Tiny explore fraction: the rounded explore count hits 0 and must be
+    # clamped to at least one exploration execution.
+    policy = QoncordPolicy(explore_fraction=0.01, keep_fraction=0.5)
+    assert policy.executions_for(_job(10)) == 1 + round(9 * 0.5)
+    # Explore fraction rounding up to the whole session: no fine-tune
+    # phase survives, keep_fraction becomes irrelevant.
+    policy = QoncordPolicy(explore_fraction=0.99, keep_fraction=0.5)
+    assert policy.executions_for(_job(10)) == 10
+    # keep_fraction=1.0 keeps every fine-tune execution.
+    policy = QoncordPolicy(explore_fraction=0.4, keep_fraction=1.0)
+    assert policy.executions_for(_job(10)) == 10
+    assert policy.executions_for(_job(10, is_vqa=False)) == 10
+
+
+def test_executions_for_batch_matches_scalar():
+    """The vectorized closed forms agree with the per-job method."""
+    from repro.cloud import EQCPolicy, QoncordPolicy, generate_workload
+
+    wl = generate_workload(num_jobs=300, vqa_ratio=0.6, seed=11)
+    for policy in (
+        EQCPolicy(overhead_factor=1.7),
+        QoncordPolicy(explore_fraction=0.35, keep_fraction=0.45),
+        QoncordPolicy(explore_fraction=0.01),
+        QoncordPolicy(explore_fraction=0.99),
+    ):
+        batch = policy.executions_for_batch(wl)
+        scalar = [policy.executions_for(j) for j in wl.jobs]
+        assert batch.tolist() == scalar
+
+    # A subclass that reshapes the scalar rule must not inherit the
+    # closed form: the batch path falls back to the per-job loop.
+    class TripleEQC(EQCPolicy):
+        def executions_for(self, job):
+            return 3 * job.num_executions
+
+    policy = TripleEQC()
+    assert policy.executions_for_batch(wl).tolist() == [
+        3 * j.num_executions for j in wl.jobs
+    ]
 
 
 # -- pricing (Tables I & II) -----------------------------------------------------------

@@ -11,8 +11,12 @@ from repro.cloud import (
     LoadWeightedPolicy,
     QoncordPolicy,
     QueueSimulator,
+    RecordStore,
+    SweepCell,
+    WidthAwarePolicy,
     generate_workload,
     hypothetical_fleet,
+    run_sweep,
     standard_policies,
     sweep_policies,
 )
@@ -136,3 +140,287 @@ def test_deterministic_given_seed(workload):
     r2 = run_policy(LeastBusyPolicy(), workload, seed=5)
     assert r1.makespan == pytest.approx(r2.makespan)
     assert r1.total_executions == r2.total_executions
+
+
+# -- engine vs reference loop equivalence -----------------------------------
+
+
+@pytest.fixture(scope="module")
+def paper_workload():
+    """The Fig 12 configuration: 1000 jobs, half of them VQA sessions."""
+    return generate_workload(num_jobs=1000, vqa_ratio=0.5, seed=42)
+
+
+@pytest.mark.parametrize(
+    "make_policy",
+    [
+        LeastBusyPolicy,
+        LoadWeightedPolicy,
+        FidelityWeightedPolicy,
+        BestFidelityPolicy,
+        EQCPolicy,
+        QoncordPolicy,
+    ],
+    ids=lambda cls: cls.name,
+)
+def test_engine_matches_legacy_schedule(make_policy, paper_workload):
+    """The engine reproduces the seed loop's exact per-execution schedule.
+
+    Same seeds, same fleet: every (job, execution) must land on the same
+    device with bit-identical queued/start/finish times — the O(1)
+    wake-ups, batched RNG draws, and policy caches are pure optimizations.
+    """
+    fast = QueueSimulator(hypothetical_fleet(), make_policy(), seed=1).run(
+        paper_workload
+    )
+    legacy = QueueSimulator(
+        hypothetical_fleet(), make_policy(), seed=1
+    ).run_legacy(paper_workload)
+    assert fast.total_executions == legacy.total_executions
+    assert fast.makespan == legacy.makespan
+    assert np.array_equal(
+        fast.records.schedule_key(), legacy.records.schedule_key()
+    )
+    assert fast.mean_relative_fidelity() == pytest.approx(
+        legacy.mean_relative_fidelity(), rel=1e-12
+    )
+
+
+def test_engine_matches_legacy_on_unsorted_arrivals():
+    """Hand-built workloads need not arrive in order: the engine must
+    detect the unsorted arrivals and still match the reference loop."""
+    from repro.cloud import JobSpec, Workload
+
+    jobs = [
+        JobSpec(0, 0, 100.0, True, 5, 8.0, inter_submission_seconds=3.0),
+        JobSpec(1, 1, 5.0, False, 1, 6.0),
+        JobSpec(2, 0, 40.0, True, 4, 7.0, inter_submission_seconds=2.0),
+        JobSpec(3, 2, 40.0, False, 1, 9.0),
+    ]
+    workload = Workload(jobs=jobs, vqa_ratio=0.5, seed=0)
+    fast = QueueSimulator(hypothetical_fleet(3), QoncordPolicy(), seed=2).run(
+        workload
+    )
+    legacy = QueueSimulator(
+        hypothetical_fleet(3), QoncordPolicy(), seed=2
+    ).run_legacy(workload)
+    assert np.array_equal(
+        fast.records.schedule_key(), legacy.records.schedule_key()
+    )
+    assert fast.makespan == legacy.makespan
+
+
+def test_engine_matches_legacy_width_aware(paper_workload):
+    """The wrapper policy path (full-fleet passthrough) stays equivalent."""
+    fast = QueueSimulator(
+        hypothetical_fleet(), WidthAwarePolicy(QoncordPolicy()), seed=3
+    ).run(paper_workload)
+    legacy = QueueSimulator(
+        hypothetical_fleet(), WidthAwarePolicy(QoncordPolicy()), seed=3
+    ).run_legacy(paper_workload)
+    assert np.array_equal(
+        fast.records.schedule_key(), legacy.records.schedule_key()
+    )
+
+
+def test_engine_matches_legacy_width_constrained():
+    """Width-filtered subset device lists (cache identity misses in the
+    inner policy) stay schedule-equivalent to the reference loop."""
+    from repro.cloud import CloudDevice, JobSpec, Workload
+
+    fleet = [
+        CloudDevice("small_a", 0.4, speed_factor=0.7, num_qubits=5),
+        CloudDevice("small_b", 0.5, speed_factor=0.8, num_qubits=8),
+        CloudDevice("mid", 0.7, speed_factor=1.0, num_qubits=12),
+        CloudDevice("big", 0.9, speed_factor=1.3, num_qubits=24),
+    ]
+    rng = np.random.default_rng(0)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            user_id=int(rng.integers(4)),
+            arrival_time=float(i) * 3.0,
+            is_vqa=bool(i % 2),
+            num_executions=6 if i % 2 else 1,
+            base_execution_seconds=5.0 + float(rng.random()),
+            inter_submission_seconds=2.0 if i % 2 else 0.0,
+            # Widths span the fleet: some jobs fit everywhere, some only
+            # on the mid/big machines, exercising varying subsets.
+            num_qubits=int(rng.choice([0, 4, 10, 20])),
+        )
+        for i in range(60)
+    ]
+    workload = Workload(jobs=jobs, vqa_ratio=0.5, seed=0)
+    for inner in (QoncordPolicy, LeastBusyPolicy, EQCPolicy):
+        fast = QueueSimulator(
+            [CloudDevice(d.name, d.fidelity, d.speed_factor,
+                         num_qubits=d.num_qubits) for d in fleet],
+            WidthAwarePolicy(inner()), seed=5,
+        ).run(workload)
+        legacy = QueueSimulator(
+            [CloudDevice(d.name, d.fidelity, d.speed_factor,
+                         num_qubits=d.num_qubits) for d in fleet],
+            WidthAwarePolicy(inner()), seed=5,
+        ).run_legacy(workload)
+        assert np.array_equal(
+            fast.records.schedule_key(), legacy.records.schedule_key()
+        ), inner.name
+        # Width constraints were honored: no record on a too-small device.
+        widths = {i: d.num_qubits for i, d in enumerate(fleet)}
+        store = fast.records
+        for job_id, device_index in zip(
+            store.job_id.tolist(), store.device_index.tolist()
+        ):
+            need = jobs[job_id].num_qubits
+            if need > 0:
+                assert widths[device_index] >= need
+
+
+# -- RecordStore and vectorized metrics -------------------------------------
+
+
+def test_record_store_grows_past_capacity():
+    store = RecordStore(capacity=2)
+    for i in range(100):
+        store.append(i, 0, i % 3, 0.0, float(i), float(i) + 1.0)
+    assert len(store) == 100
+    assert store.job_id.tolist() == list(range(100))
+    assert store.device_index.tolist() == [i % 3 for i in range(100)]
+    assert store.finished_at[-1] == pytest.approx(100.0)
+
+
+def test_record_store_from_columns_validates_lengths():
+    with pytest.raises(SchedulingError):
+        RecordStore.from_columns([1], [0], [0], [0.0], [0.0], [])
+
+
+def test_record_store_appends_after_empty_bulk_load():
+    store = RecordStore.from_columns([], [], [], [], [], [])
+    store.append(7, 0, 1, 0.0, 1.0, 2.0)
+    store.append(8, 0, 0, 0.5, 2.0, 3.0)
+    assert len(store) == 2
+    assert store.job_id.tolist() == [7, 8]
+
+
+def test_sweep_frontier_handles_vqa_free_cells():
+    """A cell whose sampled workload drew zero VQA jobs must not sink the
+    whole frontier; it falls back to all-jobs fidelity."""
+    sweep = run_sweep(
+        [LeastBusyPolicy()], vqa_ratios=(0.05,), seeds=(2,), num_jobs=20,
+        parallel=False,
+    )
+    frontier = sweep.frontier(0.05)
+    assert 0.0 < frontier["least_busy"][0] <= 1.0
+
+
+def test_workload_pickles_without_materialized_jobs():
+    import pickle
+
+    wl = generate_workload(num_jobs=50, vqa_ratio=0.5, seed=0)
+    _ = wl.jobs  # materialize the view
+    clone = pickle.loads(pickle.dumps(wl))
+    assert clone._jobs is None  # views rebuilt lazily, not shipped
+    assert clone.num_jobs == 50
+    assert [j.job_id for j in clone.jobs] == [j.job_id for j in wl.jobs]
+
+
+def test_metrics_reject_unknown_job_ids():
+    """Records pointing at job ids absent from the workload must raise
+    SchedulingError (not IndexError), including ids past the last job."""
+    from repro.cloud import JobSpec, SimulationResult, Workload
+
+    store = RecordStore.from_columns([999], [0], [0], [0.0], [0.0], [1.0])
+    workload = Workload(
+        jobs=[JobSpec(0, 0, 0.0, True, 1, 5.0)], vqa_ratio=1.0, seed=0
+    )
+    result = SimulationResult(
+        policy_name="x", vqa_ratio=1.0, records=store, makespan=1.0,
+        total_executions=1, devices=hypothetical_fleet(2), workload=workload,
+    )
+    with pytest.raises(SchedulingError):
+        result.mean_relative_fidelity()
+    with pytest.raises(SchedulingError):
+        result.mean_turnaround()
+
+
+def test_vectorized_metrics_match_object_view(workload):
+    """Segment-reduction metrics equal the per-job object computation."""
+    result = run_policy(QoncordPolicy(), workload)
+    best = max(d.fidelity for d in result.devices)
+    object_fid = np.mean([
+        jr.relative_fidelity(best)
+        for jr in result.job_results.values()
+        if jr.records and jr.job.is_vqa
+    ])
+    assert result.mean_relative_fidelity() == pytest.approx(
+        object_fid, rel=1e-12
+    )
+    object_turnaround = np.mean([
+        jr.turnaround_seconds
+        for jr in result.job_results.values()
+        if jr.records
+    ])
+    assert result.mean_turnaround() == pytest.approx(
+        object_turnaround, rel=1e-12
+    )
+
+
+def test_job_results_view_covers_all_jobs(workload):
+    result = run_policy(LeastBusyPolicy(), workload)
+    assert set(result.job_results) == {j.job_id for j in workload.jobs}
+    total = sum(len(jr.records) for jr in result.job_results.values())
+    assert total == result.total_executions == len(result.records)
+
+
+# -- sweep runner -----------------------------------------------------------
+
+
+def test_sweep_serial_matches_parallel():
+    policies = [LeastBusyPolicy(), QoncordPolicy()]
+    grid = dict(vqa_ratios=(0.3, 0.7), seeds=(0, 1), num_jobs=60)
+    serial = run_sweep(policies, parallel=False, **grid)
+    pooled = run_sweep(policies, parallel=True, max_workers=2, **grid)
+    assert set(serial.cells) == set(pooled.cells)
+    for cell, result in serial.cells.items():
+        other = pooled.cells[cell]
+        assert result.makespan == other.makespan
+        assert np.array_equal(
+            result.records.schedule_key(), other.records.schedule_key()
+        )
+
+
+def test_sweep_frontier_and_accessors():
+    sweep = run_sweep(
+        standard_policies(), vqa_ratios=(0.5,), seeds=(0, 1), num_jobs=80,
+        parallel=False,
+    )
+    assert sweep.policy_names == sorted(p.name for p in standard_policies())
+    assert sweep.vqa_ratios == [0.5]
+    assert sweep.seeds == [0, 1]
+    frontier = sweep.frontier(0.5)
+    assert frontier["best_fidelity"][0] == pytest.approx(1.0)
+    assert frontier["qoncord"][0] > frontier["least_busy"][0]
+    cell = sweep.get("qoncord", 0.5, 1)
+    assert cell.policy_name == "qoncord"
+    assert SweepCell("qoncord", 0.5, 1) in sweep.cells
+
+
+def test_sweep_validation():
+    with pytest.raises(SchedulingError):
+        run_sweep([], vqa_ratios=(0.5,), seeds=(0,))
+    with pytest.raises(SchedulingError):
+        run_sweep(
+            [LeastBusyPolicy(), LeastBusyPolicy()],
+            vqa_ratios=(0.5,),
+            seeds=(0,),
+        )
+    with pytest.raises(SchedulingError):
+        run_sweep([LeastBusyPolicy()], vqa_ratios=(0.5,), seeds=(0, 0))
+    with pytest.raises(SchedulingError):
+        run_sweep([LeastBusyPolicy()], vqa_ratios=(0.5, 0.5), seeds=(0,))
+    sweep = run_sweep(
+        [LeastBusyPolicy()], vqa_ratios=(0.5,), seeds=(0,), num_jobs=30,
+        parallel=False,
+    )
+    with pytest.raises(SchedulingError):
+        sweep.frontier(0.9)
