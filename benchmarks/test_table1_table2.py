@@ -2,6 +2,10 @@
 
 from benchmarks._helpers import once, print_series
 from repro.cloud import (
+    BestFidelityPolicy,
+    QueueSimulator,
+    generate_workload,
+    hypothetical_fleet,
     per_shot_price_ratio,
     table1_rows,
     table2_rows,
@@ -57,3 +61,48 @@ def test_table2_pricing(benchmark):
     # 1000-shot task on Harmony: access fee + shots.
     assert task_cost("Harmony", 1000) == 0.3 + 10.0
     assert len(rows) == 4
+
+
+def test_fleet_wait_telemetry(benchmark):
+    """Simulated fleet reproduces Table I's structure: the fidelity-greedy
+    policy piles its queue onto the best device, so that device shows the
+    longest waits and highest utilization in the per-device telemetry."""
+
+    def run():
+        fleet = hypothetical_fleet(8, (0.3, 0.9))
+        workload = generate_workload(num_jobs=4000, vqa_ratio=0.5, seed=3)
+        result = QueueSimulator(fleet, BestFidelityPolicy(), seed=3).run(
+            workload
+        )
+        stats = result.device_wait_stats()
+        print_series(
+            "Fleet wait telemetry (BestFidelity, 8 devices)",
+            [
+                f"{name:12s} exec={s['executions']:5d} "
+                f"mean_wait={s['mean_wait']:9.1f}s "
+                f"p50={s['p50_wait']:9.1f}s util={s['utilization']:.2f}"
+                for name, s in stats.items()
+            ],
+        )
+        return result, stats
+
+    result, stats = once(benchmark, run)
+    fleet = {d.name: d for d in result.devices}
+    best = max(stats, key=lambda n: fleet[n].fidelity)
+    # Fidelity-greedy: the best device takes the bulk of the load...
+    assert stats[best]["executions"] > sum(
+        s["executions"] for s in stats.values()
+    ) / 2
+    # ...and therefore has the fleet's longest mean wait (Table I's
+    # fidelity <-> wait correlation, reproduced rather than tabulated).
+    assert stats[best]["mean_wait"] == max(
+        s["mean_wait"] for s in stats.values()
+    )
+    assert stats[best]["utilization"] > 0.9
+    # Histogram mass must agree with the raw per-device wait arrays.
+    hist = result.wait_time_histogram(best)
+    assert hist.count == stats[best]["executions"]
+    waits = result.wait_times_by_device()[best]
+    assert abs(hist.sum - float(waits.sum())) < 1e-6
+    # Fleet-level histogram covers every execution exactly once.
+    assert result.wait_time_histogram().count == result.total_executions

@@ -12,9 +12,17 @@ Layer map (bottom-up):
   restart filter, multi-device scheduler.
 * :mod:`repro.cloud` — queue simulation, scheduling policies, pricing data.
 * :mod:`repro.analysis` — landscape / clustering / entropy-arc studies.
+* :mod:`repro.obs` — telemetry: metrics registry, tracing, logging wiring.
 """
 
+import logging as _logging
+
 __version__ = "1.0.0"
+
+# Library logging convention: every repro.* logger chains to this root,
+# which stays silent unless the application attaches a handler (e.g. via
+# repro.obs.configure_logging).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 from repro.core import Qoncord, VQAJob
 

@@ -57,6 +57,13 @@ class CloudDevice:
         low = base_seconds * self.speed_factor
         return float(rng.uniform(low, 3.0 * low))
 
+    def utilization(self, makespan: float) -> float:
+        """Fraction of ``makespan`` this device spent executing (Table I
+        axis).  Zero for an empty simulation."""
+        if makespan <= 0.0:
+            return 0.0
+        return self.busy_seconds / makespan
+
     def reset(self) -> None:
         self.busy_until = 0.0
         self.completed_executions = 0

@@ -29,16 +29,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cloud.device import CloudDevice
 from repro.cloud.fair_share import FairShareQueue
 from repro.cloud.policies import SchedulingPolicy
 from repro.cloud.workload import JobSpec, Workload
 from repro.exceptions import SchedulingError
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Tracer
+
+_log = logging.getLogger(__name__)
 
 #: Event kinds on the engine's heap (compared only via (time, seq)).
 _SUBMIT = 0
@@ -46,6 +52,13 @@ _FINISH = 1
 
 #: Batched execution-time draws per RNG refill (deterministic policies).
 _DRAW_CHUNK = 4096
+
+#: Bucket edges (simulated seconds) for queue wait-time histograms — the
+#: Table I axis: sub-second direct starts up to day-scale backlogs.
+WAIT_EDGES: Tuple[float, ...] = (
+    0.0, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 7200.0, 14400.0,
+    28800.0, 86400.0,
+)
 
 
 class RecordStore:
@@ -344,7 +357,126 @@ class SimulationResult:
     def device_utilization(self) -> Dict[str, float]:
         if self.makespan <= 0:
             return {d.name: 0.0 for d in self.devices}
-        return {d.name: d.busy_seconds / self.makespan for d in self.devices}
+        return {d.name: d.utilization(self.makespan) for d in self.devices}
+
+    # -- telemetry views (derived post-hoc from the record columns) ------
+
+    def wait_times_by_device(self) -> Dict[str, np.ndarray]:
+        """Queue-wait seconds (``started_at - queued_at``) per device."""
+        waits = self.records.started_at - self.records.queued_at
+        di = self.records.device_index
+        return {
+            d.name: waits[di == i] for i, d in enumerate(self.devices)
+        }
+
+    def wait_time_histogram(
+        self, device_name: Optional[str] = None,
+        edges: Sequence[float] = WAIT_EDGES,
+    ) -> Histogram:
+        """Table I-style wait-time histogram, fleet-wide or per device.
+
+        Bucket 0 (``<= 0``) counts direct starts — executions that never
+        queued.  Standalone :class:`~repro.obs.metrics.Histogram`: built
+        from the record columns whether or not telemetry was enabled.
+        """
+        waits = self.records.started_at - self.records.queued_at
+        if device_name is not None:
+            names = [d.name for d in self.devices]
+            if device_name not in names:
+                raise SchedulingError(f"unknown device {device_name!r}")
+            waits = waits[self.records.device_index == names.index(device_name)]
+        label = device_name if device_name is not None else "fleet"
+        hist = Histogram(f"cloud.wait_seconds.{label}", edges)
+        hist.observe_many(waits)
+        return hist
+
+    def device_wait_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-device summary: executions, wait quartiles, utilization."""
+        util = self.device_utilization()
+        out: Dict[str, Dict[str, float]] = {}
+        for name, waits in self.wait_times_by_device().items():
+            n = int(waits.shape[0])
+            out[name] = {
+                "executions": n,
+                "mean_wait": float(waits.mean()) if n else 0.0,
+                "p50_wait": float(np.median(waits)) if n else 0.0,
+                "max_wait": float(waits.max()) if n else 0.0,
+                "utilization": float(util[name]),
+            }
+        return out
+
+    def queue_depth_timeline(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Fleet-wide queued-execution count over simulated time.
+
+        Each execution contributes +1 at ``queued_at`` and -1 at
+        ``started_at``; at equal times the +1 sorts first, so the depth
+        momentarily includes zero-wait direct starts.  Returns
+        ``(times, depths)`` step-function samples.
+        """
+        q = self.records.queued_at
+        s = self.records.started_at
+        n = q.shape[0]
+        if n == 0:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        times = np.concatenate([q, s])
+        deltas = np.concatenate([
+            np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64)
+        ])
+        order = np.lexsort((-deltas, times))
+        return times[order], np.cumsum(deltas[order])
+
+    def engine_stats(self) -> Dict[str, int]:
+        """Event/heap/wake-up counts, derived from the schedule.
+
+        The engine processes exactly one submit and one finish event per
+        execution and wakes exactly one device per event, so these are
+        reconstructible without touching the hot loop: ``heap_ops``
+        counts central-heap pushes+pops under the sorted-arrival fast
+        path (first submits merge lazily and never hit the heap).
+        """
+        n = len(self.records)
+        waits = self.records.started_at - self.records.queued_at
+        queued = int(np.count_nonzero(waits > 0.0))
+        num_jobs = self.workload.num_jobs
+        _, depths = self.queue_depth_timeline()
+        return {
+            "executions": n,
+            "events": 2 * n,
+            "device_wakeups": 2 * n,
+            "heap_ops": max(0, 4 * n - 2 * min(num_jobs, n)),
+            "queued_executions": queued,
+            "direct_starts": n - queued,
+            "max_queue_depth": int(depths.max()) if depths.size else 0,
+        }
+
+    def device_summary(self) -> str:
+        """Human-readable per-device table (used by the examples)."""
+        lines = [
+            f"{'device':<14}{'fidelity':>9}{'execs':>8}{'util':>7}"
+            f"{'mean wait':>11}{'max wait':>11}"
+        ]
+        stats = self.device_wait_stats()
+        for d in self.devices:
+            s = stats[d.name]
+            lines.append(
+                f"{d.name:<14}{d.fidelity:>9.2f}{s['executions']:>8d}"
+                f"{s['utilization']:>7.1%}{s['mean_wait']:>10.1f}s"
+                f"{s['max_wait']:>10.1f}s"
+            )
+        return "\n".join(lines)
+
+    def export_chrome_trace(self, path, max_events: int = 50_000) -> int:
+        """Write a Perfetto-loadable trace of the simulated fleet timeline.
+
+        One "X" event per execution on its device's track (simulated
+        seconds as the time axis), plus a fleet queue-depth counter
+        track.  Returns the number of events written.  Works regardless
+        of whether telemetry was enabled for the run.
+        """
+        tracer = Tracer(max_events=max_events + 2 * len(self.devices) + 4)
+        _emit_simulated_timeline(tracer, self, max_events)
+        tracer.export(path)
+        return len(tracer)
 
     # -- compatibility object view --------------------------------------
 
@@ -398,6 +530,27 @@ class QueueSimulator:
 
     def run(self, workload: Workload) -> SimulationResult:
         """Simulate ``workload``; seeded runs match :meth:`run_legacy`.
+
+        Telemetry strategy: the event loop (:meth:`_run_engine`) is
+        never touched — with telemetry off this wrapper is one flag
+        check, and with it on every queue metric (wait histograms,
+        depth timeline, wake-up/heap counters, device timelines) is
+        derived after the fact from the record columns, which already
+        contain the full schedule.
+        """
+        if not (obs.STATE.metrics or obs.STATE.tracing):
+            return self._run_engine(workload)
+        with obs.span(
+            "cloud.run",
+            {"policy": self.policy.name, "jobs": workload.num_jobs,
+             "devices": len(self.devices), "seed": self.seed},
+        ):
+            result = self._run_engine(workload)
+        _publish_queue_telemetry(result)
+        return result
+
+    def _run_engine(self, workload: Workload) -> SimulationResult:
+        """The PR 5 event loop, verbatim (timed directly by BENCH_obs).
 
         Per event only the affected device is examined: a submit wakes
         the selected device, a finish wakes the device that freed up.
@@ -709,6 +862,76 @@ class QueueSimulator:
             total_executions=len(store),
             devices=self.devices,
             workload=workload,
+        )
+
+
+def _publish_queue_telemetry(result: SimulationResult) -> None:
+    """Push one run's derived telemetry into the global registry/tracer."""
+    if obs.STATE.metrics:
+        reg = obs.registry()
+        stats = result.engine_stats()
+        for key in ("executions", "events", "device_wakeups", "heap_ops",
+                    "queued_executions", "direct_starts"):
+            reg.counter(f"cloud.queue.{key}").inc(stats[key])
+        reg.gauge("cloud.queue.max_depth").set(stats["max_queue_depth"])
+        reg.gauge("cloud.queue.makespan_seconds").set(result.makespan)
+        util = result.device_utilization()
+        for name, waits in result.wait_times_by_device().items():
+            reg.histogram(
+                f"cloud.wait_seconds.{name}", WAIT_EDGES
+            ).observe_many(waits)
+            reg.gauge(f"cloud.utilization.{name}").set(util[name])
+        _log.debug(
+            "queue run '%s': %d executions, %d queued, makespan %.1fs",
+            result.policy_name, stats["executions"],
+            stats["queued_executions"], result.makespan,
+        )
+    if obs.STATE.tracing:
+        _emit_simulated_timeline(obs.tracer(), result, max_events=20_000)
+
+
+def _emit_simulated_timeline(
+    tracer: Tracer, result: SimulationResult, max_events: int
+) -> None:
+    """Emit the simulated fleet schedule as Chrome trace events.
+
+    Simulated seconds map 1:1 onto trace seconds on pid 1 (wall-clock
+    spans live on pid 0): one track per device, one "X" event per
+    execution, plus a sampled fleet queue-depth counter track.  Runs
+    larger than ``max_events`` are truncated (and the drop logged) to
+    keep traces loadable.
+    """
+    tracer.process_name(
+        f"simulated fleet [{result.policy_name}]", pid=1
+    )
+    for i, d in enumerate(result.devices):
+        tracer.thread_name(f"{d.name} (fid {d.fidelity:.2f})", pid=1, tid=i)
+    store = result.records
+    n = len(store)
+    emit = min(n, max_events)
+    jid = store.job_id[:emit].tolist()
+    eidx = store.execution_index[:emit].tolist()
+    didx = store.device_index[:emit].tolist()
+    started = store.started_at[:emit].tolist()
+    finished = store.finished_at[:emit].tolist()
+    complete = tracer.complete
+    for k in range(emit):
+        complete(
+            f"job {jid[k]} #{eidx[k]}",
+            start=started[k],
+            duration=finished[k] - started[k],
+            pid=1,
+            tid=didx[k],
+        )
+    if emit < n:
+        _log.info(
+            "trace truncated: %d of %d executions emitted", emit, n
+        )
+    times, depths = result.queue_depth_timeline()
+    step = max(1, times.shape[0] // 2000)
+    for t, depth in zip(times[::step].tolist(), depths[::step].tolist()):
+        tracer.counter(
+            "queue depth", {"queued": depth}, pid=1, timestamp=t
         )
 
 

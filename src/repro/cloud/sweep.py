@@ -15,18 +15,23 @@ skipped automatically when only one worker is available.
 from __future__ import annotations
 
 import copy
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cloud.device import hypothetical_fleet
 from repro.cloud.policies import SchedulingPolicy
 from repro.cloud.queue_sim import QueueSimulator, SimulationResult
 from repro.cloud.workload import generate_workload
 from repro.exceptions import SchedulingError
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -38,18 +43,46 @@ class SweepCell:
     seed: int
 
 
-def _run_cell(args) -> SimulationResult:
-    """Worker body: build workload + fleet + simulator for one cell."""
-    policy, vqa_ratio, seed, num_jobs, workload_kwargs, fleet_kwargs, legacy = args
+def _run_cell(args) -> Tuple[SimulationResult, Optional[dict]]:
+    """Worker body: build workload + fleet + simulator for one cell.
+
+    With ``collect`` the cell runs in a pool worker whose parent wants
+    telemetry: the worker enables metrics locally, resets its (possibly
+    fork-inherited) registry so the snapshot is a pure per-cell delta,
+    and returns that snapshot plus wall-clock timing for the parent to
+    merge.  Timestamps use ``time.time()`` — the only clock comparable
+    across processes.
+    """
+    (policy, vqa_ratio, seed, num_jobs, workload_kwargs, fleet_kwargs,
+     legacy, collect) = args
+    if collect:
+        obs.enable(metrics=True, tracing=False)
+        obs.registry().reset()
+    start = time.time()
     workload = generate_workload(
         num_jobs=num_jobs, vqa_ratio=vqa_ratio, seed=seed, **workload_kwargs
     )
     simulator = QueueSimulator(
         hypothetical_fleet(**fleet_kwargs), policy, seed=seed
     )
-    if legacy:
-        return simulator.run_legacy(workload)
-    return simulator.run(workload)
+    with obs.span(
+        "sweep.cell",
+        {"policy": policy.name, "vqa_ratio": vqa_ratio, "seed": seed},
+    ):
+        if legacy:
+            result = simulator.run_legacy(workload)
+        else:
+            result = simulator.run(workload)
+    meta = None
+    if collect:
+        meta = {
+            "snapshot": obs.registry().snapshot(),
+            "start": start,
+            "wall_seconds": time.time() - start,
+            "worker_pid": os.getpid(),
+            "cell": f"{policy.name}/r{vqa_ratio:g}/s{seed}",
+        }
+    return result, meta
 
 
 class SweepResult:
@@ -139,6 +172,23 @@ def run_sweep(
     workload_kwargs = dict(workload_kwargs or {})
     fleet_kwargs = dict(fleet_kwargs or {})
 
+    if max_workers is None:
+        workers = min(
+            os.cpu_count() or 1, len(policies) * len(vqa_ratios) * len(seeds)
+        )
+    else:
+        # An explicit worker count is honored even beyond cpu_count
+        # (oversubscription is sometimes useful; it also keeps the pool
+        # path testable on single-core machines).
+        workers = min(
+            max_workers, len(policies) * len(vqa_ratios) * len(seeds)
+        )
+    pooled = parallel and workers > 1
+    # Serial cells publish straight into this process's registry; pool
+    # cells can't, so each worker returns a per-cell snapshot delta that
+    # gets merged here after the map.
+    collect = pooled and obs.STATE.metrics
+
     keys: List[SweepCell] = []
     cell_args = []
     for policy in policies:
@@ -147,20 +197,67 @@ def run_sweep(
                 keys.append(SweepCell(policy.name, float(ratio), int(seed)))
                 cell_args.append((
                     copy.deepcopy(policy), float(ratio), int(seed), num_jobs,
-                    workload_kwargs, fleet_kwargs, legacy,
+                    workload_kwargs, fleet_kwargs, legacy, collect,
                 ))
 
-    if max_workers is None:
-        workers = min(os.cpu_count() or 1, len(cell_args))
-    else:
-        # An explicit worker count is honored even beyond cpu_count
-        # (oversubscription is sometimes useful; it also keeps the pool
-        # path testable on single-core machines).
-        workers = min(max_workers, len(cell_args))
-    if parallel and workers > 1:
-        chunksize = max(1, len(cell_args) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_cell, cell_args, chunksize=chunksize))
-    else:
-        results = [_run_cell(args) for args in cell_args]
+    sweep_start = time.time()
+    with obs.span(
+        "cloud.sweep",
+        {"cells": len(cell_args), "workers": workers if pooled else 1},
+    ):
+        if pooled:
+            chunksize = max(1, len(cell_args) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pairs = list(
+                    pool.map(_run_cell, cell_args, chunksize=chunksize)
+                )
+        else:
+            pairs = [_run_cell(args) for args in cell_args]
+    results = [result for result, _ in pairs]
+    metas = [meta for _, meta in pairs if meta is not None]
+    if metas:
+        _merge_worker_telemetry(
+            metas, workers, time.time() - sweep_start
+        )
     return SweepResult(dict(zip(keys, results)))
+
+
+def _merge_worker_telemetry(
+    metas: List[dict], workers: int, sweep_wall: float
+) -> None:
+    """Fold pool workers' per-cell snapshots into the parent registry.
+
+    Also records sweep-level worker accounting (cells, busy seconds,
+    utilization = busy / (workers x sweep wall)) and, when tracing is
+    on, one span per cell on pid 2 — worker timestamps are
+    ``time.time()``-based, so pid 2's timeline is self-consistent but
+    not aligned with the wall-clock spans on pid 0.
+    """
+    reg = obs.registry()
+    for meta in metas:
+        reg.merge(meta["snapshot"])
+    busy = sum(meta["wall_seconds"] for meta in metas)
+    reg.counter("cloud.sweep.cells").inc(len(metas))
+    reg.counter("cloud.sweep.cell_seconds").inc(busy)
+    reg.gauge("cloud.sweep.workers").set(workers)
+    if sweep_wall > 0.0 and workers > 0:
+        reg.gauge("cloud.sweep.worker_utilization").set(
+            busy / (workers * sweep_wall)
+        )
+    _log.debug(
+        "sweep merged %d worker cells: %.2fs busy over %d workers",
+        len(metas), busy, workers,
+    )
+    if obs.STATE.tracing:
+        tracer = obs.tracer()
+        tracer.process_name("sweep workers", pid=2)
+        tids: Dict[int, int] = {}
+        for meta in metas:
+            pid = meta["worker_pid"]
+            if pid not in tids:
+                tids[pid] = len(tids)
+                tracer.thread_name(f"worker pid {pid}", pid=2, tid=tids[pid])
+            tracer.complete(
+                meta["cell"], start=meta["start"],
+                duration=meta["wall_seconds"], pid=2, tid=tids[pid],
+            )

@@ -41,3 +41,7 @@ class ConvergenceError(ReproError):
 
 class CuttingError(ReproError):
     """Invalid circuit-cutting request (cut placement, width, reconstruction)."""
+
+
+class TelemetryError(ReproError):
+    """Misuse of the :mod:`repro.obs` telemetry subsystem."""

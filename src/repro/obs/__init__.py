@@ -1,0 +1,184 @@
+"""``repro.obs`` — unified telemetry: metrics, tracing, and logging wiring.
+
+Telemetry is **off by default** and costs nothing measurable when off:
+every accessor first checks a plain bool on :data:`STATE`, and disabled
+lookups return shared no-op singletons, so instrumented call sites are a
+dict-free attribute test away from doing zero work.  Enable it per
+process::
+
+    from repro import obs
+
+    obs.enable()                    # metrics + tracing
+    obs.enable(tracing=False)       # metrics only
+
+    result = simulator.run(workload)
+
+    obs.export_metrics("metrics.json")   # deterministic JSON snapshot
+    obs.export_trace("trace.json")       # load in ui.perfetto.dev
+    obs.disable()
+
+Design rules enforced here:
+
+* this package is an import **leaf** — stdlib plus (optionally) numpy,
+  never anything from ``repro.sim``/``repro.cloud``/``repro.vqa``, so
+  any module may instrument itself without creating cycles;
+* hot paths read ``obs.STATE.metrics`` / ``obs.STATE.tracing`` directly
+  (one attribute load) before touching any instrument;
+* logging follows library convention: ``repro`` gets a ``NullHandler``
+  (wired in ``repro/__init__``), and :func:`configure_logging` attaches
+  a real handler only when the *application* asks for one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+from typing import Iterator, Optional, Sequence
+
+from repro.obs.metrics import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "STATE",
+    "enable",
+    "disable",
+    "enabled",
+    "registry",
+    "tracer",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "export_metrics",
+    "export_trace",
+    "configure_logging",
+    "MetricsRegistry",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "NOOP",
+    "DEFAULT_EDGES",
+]
+
+
+class _State:
+    """Process-global telemetry switchboard (plain attrs for hot checks)."""
+
+    __slots__ = ("metrics", "tracing", "registry", "tracer")
+
+    def __init__(self):
+        self.metrics = False
+        self.tracing = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+
+STATE = _State()
+
+
+def enable(metrics: bool = True, tracing: bool = True,
+           clock=None) -> None:
+    """Turn telemetry on for this process.
+
+    ``clock`` (zero-arg callable returning seconds) replaces the
+    tracer's wall clock — used by tests for deterministic traces.
+    """
+    STATE.metrics = bool(metrics)
+    STATE.tracing = bool(tracing)
+    if clock is not None:
+        STATE.tracer.clock = clock
+
+
+def disable() -> None:
+    """Turn telemetry off (registries keep their data until reset)."""
+    STATE.metrics = False
+    STATE.tracing = False
+
+
+def enabled() -> bool:
+    return STATE.metrics or STATE.tracing
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry (live even while disabled)."""
+    return STATE.registry
+
+
+def tracer() -> Tracer:
+    """The process-global tracer (live even while disabled)."""
+    return STATE.tracer
+
+
+# -- instrument accessors (no-op singletons when disabled) ---------------
+
+def counter(name: str):
+    return STATE.registry.counter(name) if STATE.metrics else NOOP
+
+
+def gauge(name: str):
+    return STATE.registry.gauge(name) if STATE.metrics else NOOP
+
+
+def histogram(name: str, edges: Optional[Sequence[float]] = None):
+    return STATE.registry.histogram(name, edges) if STATE.metrics else NOOP
+
+
+@contextlib.contextmanager
+def _noop_span() -> Iterator[None]:
+    yield None
+
+
+def span(name: str, args: Optional[dict] = None, pid: int = 0, tid: int = 0):
+    """Context manager: a wall-clock trace span, or a no-op when tracing
+    is off.  Usage: ``with obs.span("cloud.run", {"jobs": n}): ...``."""
+    if STATE.tracing:
+        return STATE.tracer.span(name, args, pid=pid, tid=tid)
+    return _noop_span()
+
+
+# -- export helpers ------------------------------------------------------
+
+def export_metrics(path: str) -> None:
+    """Write the registry snapshot as deterministic JSON."""
+    STATE.registry.export(path)
+
+
+def export_trace(path) -> None:
+    """Write the collected trace as a Perfetto-loadable JSON array."""
+    STATE.tracer.export(path)
+
+
+def reset() -> None:
+    """Zero metrics and drop trace events (instruments stay registered)."""
+    STATE.registry.reset()
+    STATE.tracer.reset()
+
+
+# -- logging wiring ------------------------------------------------------
+
+def configure_logging(level: int = logging.INFO,
+                      stream=None) -> logging.Handler:
+    """Attach a formatted stream handler to the ``repro`` root logger.
+
+    Libraries must not configure logging on import — the package root
+    carries only a ``NullHandler``.  Applications (examples, benchmarks,
+    notebooks) call this once to actually see ``repro.*`` log output.
+    Returns the handler so callers can remove it.
+    """
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(levelname)s %(name)s: %(message)s"
+    ))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

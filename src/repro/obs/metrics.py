@@ -1,0 +1,263 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms, registry.
+
+Zero-dependency by design (numpy is used opportunistically for bulk
+histogram observation but never required): the instruments are plain
+slotted objects whose hot operation is one attribute add, and the
+registry is three dicts.  The *no-op fast path* lives one level up, in
+:mod:`repro.obs` — when telemetry is disabled, instrument lookups return
+a shared :data:`NOOP` singleton, so instrumented code pays nothing but a
+flag check.
+
+Snapshot semantics: :meth:`MetricsRegistry.snapshot` returns plain
+nested dicts (JSON-ready), :meth:`MetricsRegistry.reset` zeroes every
+instrument *in place* (cached instrument references stay live), and
+:meth:`MetricsRegistry.merge` folds a snapshot from another registry —
+typically a sweep worker process — into this one.  Exports are
+deterministic: keys are emitted sorted, so two identical runs produce
+byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import TelemetryError
+
+try:  # pragma: no cover - numpy is a package dependency, but obs runs without it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Default histogram bucket upper bounds: geometric decades wide enough
+#: for both kernel timings (microseconds) and simulated queue waits
+#: (up to ~1e5 seconds).  A final +inf overflow bucket is implicit.
+DEFAULT_EDGES: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6,
+)
+
+
+class Counter:
+    """Monotonically increasing numeric total (ints or floats)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (utilizations, depths, configuration facts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``value <= edge`` bucket semantics.
+
+    ``edges`` are the bucket upper bounds (sorted ascending); a value
+    exactly equal to an edge lands in that edge's bucket, and values
+    beyond the last edge land in the implicit overflow bucket, so
+    ``len(counts) == len(edges) + 1``.  ``sum``/``count`` track the raw
+    total and observation count for mean computation.
+    """
+
+    __slots__ = ("name", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_EDGES):
+        edges = tuple(float(e) for e in edges)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} needs strictly increasing edges"
+            )
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Bulk observation (vectorized via numpy when available)."""
+        if _np is not None:
+            arr = _np.asarray(values, dtype=float)
+            if arr.size == 0:
+                return
+            idx = _np.searchsorted(self.edges, arr, side="left")
+            bins = _np.bincount(idx, minlength=len(self.counts))
+            for i, c in enumerate(bins.tolist()):
+                self.counts[i] += c
+            self.sum += float(arr.sum())
+            self.count += int(arr.size)
+            return
+        for v in values:  # pragma: no cover - numpy-less fallback
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _Noop:
+    """Shared do-nothing instrument returned while telemetry is disabled.
+
+    Implements the full Counter/Gauge/Histogram surface so instrumented
+    code never branches on the instrument type.
+    """
+
+    __slots__ = ()
+    name = "<noop>"
+    value = 0
+    sum = 0.0
+    count = 0
+    edges: Tuple[float, ...] = ()
+    counts: List[int] = []
+    mean = 0.0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+
+NOOP = _Noop()
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Instruments are created on first use and then returned by identity,
+    so hot paths may cache references; :meth:`reset` zeroes in place to
+    keep those references live.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors -------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, edges or DEFAULT_EDGES)
+        elif edges is not None and tuple(float(e) for e in edges) != h.edges:
+            raise TelemetryError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return h
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- snapshot / reset / merge ---------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-ready nested dicts of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        for c in self._counters.values():
+            c.value = 0
+        for g in self._gauges.values():
+            g.value = 0.0
+        for h in self._histograms.values():
+            h.counts = [0] * len(h.counts)
+            h.sum = 0.0
+            h.count = 0
+
+    def clear(self) -> None:
+        """Drop every instrument (test isolation helper)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def merge(self, snapshot: Mapping[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last writer wins — documally sufficient for per-worker
+        facts).  Histogram edge sets must match exactly.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            h = self.histogram(name, data["edges"])
+            if list(h.edges) != [float(e) for e in data["edges"]]:
+                raise TelemetryError(
+                    f"cannot merge histogram {name!r}: edge mismatch"
+                )
+            if len(data["counts"]) != len(h.counts):
+                raise TelemetryError(
+                    f"cannot merge histogram {name!r}: bucket-count mismatch"
+                )
+            for i, c in enumerate(data["counts"]):
+                h.counts[i] += c
+            h.sum += data["sum"]
+            h.count += data["count"]
+
+    def to_json(self) -> str:
+        """Deterministic JSON export (sorted keys, stable formatting)."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def export(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())

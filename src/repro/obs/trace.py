@@ -1,0 +1,204 @@
+"""Span-based tracing with a Chrome trace-event exporter.
+
+Spans nest naturally through a context manager and are recorded as
+Chrome trace-event ``"X"`` (complete) events — the format loadable by
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.  Two
+timebases coexist in one trace:
+
+* **wall-clock** events, stamped from the tracer's clock (injectable for
+  deterministic tests; defaults to :func:`time.perf_counter`), cover
+  host-side work such as lowering, sweep cells, and optimizer steps;
+* **simulated-time** events, stamped explicitly by the caller (e.g.
+  per-execution device timelines from the queue engine), use the
+  simulation's own seconds axis.
+
+Both are emitted in microseconds, as the format requires.  The exporter
+writes a JSON array with one event per line — valid JSON *and* greppable
+line-by-line, which is what the issue calls "JSONL" export.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, List, Optional, Union
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """An open span; closing records a complete ("X") trace event."""
+
+    __slots__ = ("tracer", "name", "args", "pid", "tid", "_start", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Optional[dict],
+                 pid: int, tid: int):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+        self.pid = pid
+        self.tid = tid
+        self._start = 0.0
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.depth = tracer._enter_depth()
+        self._start = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self.tracer
+        end = tracer.clock()
+        tracer._exit_depth()
+        tracer.complete(
+            self.name,
+            start=self._start,
+            duration=end - self._start,
+            args=self.args,
+            pid=self.pid,
+            tid=self.tid,
+        )
+
+
+class Tracer:
+    """Collects Chrome trace events in memory; thread-safe appends.
+
+    ``clock`` is any zero-arg callable returning seconds; tests inject a
+    fake clock to get deterministic exports.  ``max_events`` bounds
+    memory — once reached, further events are dropped and counted in
+    :attr:`dropped`.
+    """
+
+    def __init__(self, clock=time.perf_counter, max_events: int = 1_000_000):
+        self.clock = clock
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[dict] = []
+        self._lock = threading.Lock()
+        self._depth = threading.local()
+
+    # -- span nesting depth (per-thread, for tests/inspection) -----------
+
+    def _enter_depth(self) -> int:
+        d = getattr(self._depth, "value", 0)
+        self._depth.value = d + 1
+        return d
+
+    def _exit_depth(self) -> None:
+        self._depth.value = max(0, getattr(self._depth, "value", 1) - 1)
+
+    @property
+    def current_depth(self) -> int:
+        """Nesting depth of open spans on the calling thread."""
+        return getattr(self._depth, "value", 0)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[dict]:
+        return list(self._events)
+
+    # -- event emission --------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    def span(self, name: str, args: Optional[dict] = None,
+             pid: int = 0, tid: int = 0) -> Span:
+        """Context manager timing a wall-clock span."""
+        return Span(self, name, args, pid, tid)
+
+    def complete(self, name: str, start: float, duration: float,
+                 args: Optional[dict] = None, pid: int = 0,
+                 tid: int = 0) -> None:
+        """Record a complete event from explicit start/duration seconds."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": start * 1e6,
+            "dur": max(0.0, duration) * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def instant(self, name: str, args: Optional[dict] = None,
+                pid: int = 0, tid: int = 0,
+                timestamp: Optional[float] = None) -> None:
+        """Record an instant ("i") event at ``timestamp`` (default: now)."""
+        ts = self.clock() if timestamp is None else timestamp
+        event = {
+            "name": name,
+            "ph": "i",
+            "ts": ts * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._append(event)
+
+    def counter(self, name: str, values: dict, pid: int = 0,
+                timestamp: Optional[float] = None) -> None:
+        """Record a counter ("C") sample — rendered as a chart track."""
+        ts = self.clock() if timestamp is None else timestamp
+        self._append({
+            "name": name,
+            "ph": "C",
+            "ts": ts * 1e6,
+            "pid": pid,
+            "args": values,
+        })
+
+    def thread_name(self, name: str, pid: int = 0, tid: int = 0) -> None:
+        """Metadata event labelling a (pid, tid) track in the viewer."""
+        self._append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": name},
+        })
+
+    def process_name(self, name: str, pid: int = 0) -> None:
+        self._append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": name},
+        })
+
+    # -- lifecycle / export ----------------------------------------------
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def to_jsonl(self) -> str:
+        """Chrome trace JSON array, one event per line (Perfetto-loadable)."""
+        with self._lock:
+            lines = [json.dumps(e, sort_keys=True) for e in self._events]
+        if not lines:
+            return "[\n]\n"
+        body = ",\n".join(lines)
+        return "[\n" + body + "\n]\n"
+
+    def export(self, path_or_file: Union[str, IO[str]]) -> None:
+        """Write the trace to ``path_or_file`` (path string or open file)."""
+        text = self.to_jsonl()
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(text)
+        else:
+            with open(path_or_file, "w") as f:
+                f.write(text)

@@ -32,11 +32,13 @@ and uncompiled execution agree to machine precision.
 
 from __future__ import annotations
 
+import time
 import weakref
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.circuits import gates as gatedefs
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.parameter import Parameter, ParameterExpression
@@ -70,22 +72,35 @@ class PlanCache:
     plans do not accumulate up to the cap.
     """
 
-    def __init__(self, max_entries: int = 64):
+    def __init__(self, max_entries: int = 64,
+                 metrics_prefix: Optional[str] = None):
         self._max = max_entries
         self._entries: Dict[int, Tuple[weakref.ref, Tuple, Any]] = {}
+        #: Registry namespace for hit/miss/eviction counters; ``None``
+        #: (plus disabled telemetry) keeps lookups at one extra flag test.
+        self.metrics_prefix = metrics_prefix
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _count(self, event: str) -> None:
+        if self.metrics_prefix is not None and obs.STATE.metrics:
+            obs.STATE.registry.counter(
+                f"{self.metrics_prefix}.{event}"
+            ).inc()
+
     def get(self, circuit: QuantumCircuit) -> Optional[Any]:
         entry = self._entries.get(id(circuit))
         if entry is None or entry[0]() is not circuit:
+            self._count("misses")
             return None
         insts = circuit.instructions
         if len(entry[1]) == len(insts) and all(
             a is b for a, b in zip(entry[1], insts)
         ):
+            self._count("hits")
             return entry[2]
+        self._count("misses")
         return None
 
     def put(self, circuit: QuantumCircuit, plan: Any) -> Any:
@@ -96,6 +111,7 @@ class PlanCache:
             # clearing: a clear-all would cost every cached plan whenever
             # >max circuits cycle round-robin.
             self._entries.pop(next(iter(self._entries)))
+            self._count("evictions")
         self._entries[id(circuit)] = (
             weakref.ref(circuit),
             circuit.instructions,
@@ -135,19 +151,30 @@ class StructuralPlanCache:
     Entries hold full-dimension kernel arrays, hence the cap.
     """
 
-    def __init__(self, max_entries: int = 64):
+    def __init__(self, max_entries: int = 64,
+                 metrics_prefix: Optional[str] = None):
         self._max = max_entries
         self._entries: Dict[Tuple, Any] = {}
+        self.metrics_prefix = metrics_prefix
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _count(self, event: str) -> None:
+        if self.metrics_prefix is not None and obs.STATE.metrics:
+            obs.STATE.registry.counter(
+                f"{self.metrics_prefix}.{event}"
+            ).inc()
+
     def get(self, key: Tuple) -> Optional[Any]:
-        return self._entries.get(key)
+        plan = self._entries.get(key)
+        self._count("hits" if plan is not None else "misses")
+        return plan
 
     def put(self, key: Tuple, plan: Any) -> Any:
         if key not in self._entries and len(self._entries) >= self._max:
             self._entries.pop(next(iter(self._entries)))
+            self._count("evictions")
         self._entries[key] = plan
         return plan
 
@@ -481,6 +508,47 @@ def _lower(circuit: QuantumCircuit) -> List[_Segment]:
     return segments
 
 
+def _record_fusion_stats(segments: List[_Segment]) -> None:
+    """Publish one lowering's fusion statistics (telemetry on only)."""
+    reg = obs.STATE.registry
+    gates = sum(len(seg.insts) for seg in segments)
+    diag = sum(1 for seg in segments if seg.kind == KERNEL_DIAG)
+    pairs = sum(
+        1 for seg in segments
+        if seg.kind == KERNEL_MATRIX and len(seg.qubits) == 2
+    )
+    reg.counter("sim.compile.lowerings").inc()
+    reg.counter("sim.compile.source_gates").inc(gates)
+    reg.counter("sim.compile.kernels").inc(len(segments))
+    reg.counter("sim.compile.diag_kernels").inc(diag)
+    reg.counter("sim.compile.pair_kernels").inc(pairs)
+    if segments:
+        reg.histogram(
+            "sim.compile.gates_per_kernel", _FUSION_EDGES
+        ).observe(gates / len(segments))
+
+
+#: Fusion-ratio buckets: 1 gate/kernel (no fusion) up to whole-layer runs.
+_FUSION_EDGES: Tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0)
+
+#: Sampled-profiling guard: with metrics on, every ``_SAMPLE_EVERY``-th
+#: program execution runs through the timed path.
+_SAMPLE_EVERY = 64
+_run_tick = 0
+
+#: Kernel-class labels for the sampled apply-timing histograms.
+_KERNEL_CLASS = {
+    (KERNEL_DIAG, 0): "diag",
+    (KERNEL_MATRIX, 1): "matrix1q",
+    (KERNEL_MATRIX, 2): "matrix2q",
+}
+
+#: Sub-millisecond timing buckets for per-kernel apply costs.
+_APPLY_EDGES: Tuple[float, ...] = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 1e-1,
+)
+
+
 def _apply_1q_inplace(state: np.ndarray, m: np.ndarray, qubit: int) -> None:
     """Apply a 2x2 matrix to one qubit of an owned statevector, in place.
 
@@ -539,6 +607,13 @@ class CompiledProgram:
                 raise SimulationError("initial state dimension mismatch")
             if check_normalized:
                 _check_normalized(state)
+        if obs.STATE.metrics:
+            # Sampled profiling: every _SAMPLE_EVERY-th execution pays
+            # for per-kernel timers; the rest take the plain loop below.
+            global _run_tick
+            _run_tick += 1
+            if _run_tick % _SAMPLE_EVERY == 0:
+                return self._run_timed(state, apply_unitary, n)
         for kind, qubits, arr in self.ops:
             if kind == KERNEL_DIAG:
                 state *= arr
@@ -546,6 +621,27 @@ class CompiledProgram:
                 _apply_1q_inplace(state, arr, qubits[0])
             else:
                 state = apply_unitary(state, arr, qubits, n)
+        return state
+
+    def _run_timed(self, state: np.ndarray, apply_unitary, n: int) -> np.ndarray:
+        """The :meth:`run` kernel loop with per-kernel-class timers."""
+        reg = obs.STATE.registry
+        perf = time.perf_counter
+        for kind, qubits, arr in self.ops:
+            t0 = perf()
+            if kind == KERNEL_DIAG:
+                state *= arr
+            elif len(qubits) == 1:
+                _apply_1q_inplace(state, arr, qubits[0])
+            else:
+                state = apply_unitary(state, arr, qubits, n)
+            label = _KERNEL_CLASS.get(
+                (kind, len(qubits)), f"matrix{len(qubits)}q"
+            )
+            reg.histogram(
+                f"sim.apply_seconds.{label}", _APPLY_EDGES
+            ).observe(perf() - t0)
+        reg.counter("sim.run.sampled_executions").inc()
         return state
 
     def run_batch(
@@ -619,7 +715,12 @@ class CompiledCircuit:
         self.num_qubits = circuit.num_qubits
         self.name = circuit.name
         self.parameters: List[Parameter] = circuit.parameters
-        self._segments = _lower(circuit)
+        with obs.span(
+            "sim.lower", {"circuit": self.name, "qubits": self.num_qubits}
+        ):
+            self._segments = _lower(circuit)
+        if obs.STATE.metrics:
+            _record_fusion_stats(self._segments)
         for seg in self._segments:
             seg.prepare(self.num_qubits)
         self._static: List[Optional[np.ndarray]] = [

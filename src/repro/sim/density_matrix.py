@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.circuits import gates as gatedefs
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.hamiltonian import Hamiltonian
@@ -312,10 +313,31 @@ class DensityMatrixSimulator:
         #: ``structural_rebind=False`` restores the old object-identity-only
         #: caching — kept for baseline benchmarking.
         self._structural_rebind = bool(structural_rebind)
-        self._structural_cache = StructuralPlanCache()
-        #: Number of full plan lowerings performed (test/benchmark probe:
-        #: an optimizer loop over fresh bound circuits must lower once).
-        self.lowering_count = 0
+        self._structural_cache = StructuralPlanCache(
+            metrics_prefix="sim.dm.structural_cache"
+        )
+        self._plan_cache.metrics_prefix = "sim.dm.plan_cache"
+        self._lowering_count = 0
+
+    @property
+    def lowering_count(self) -> int:
+        """Number of full plan lowerings performed.
+
+        Compat shim over the ``sim.dm.lowerings`` registry counter: an
+        optimizer loop over fresh bound circuits must lower once (the
+        structural-rebind tests pin this).  Assignable so callers can
+        still zero the probe between phases.
+        """
+        return self._lowering_count
+
+    @lowering_count.setter
+    def lowering_count(self, value: int) -> None:
+        self._lowering_count = value
+
+    def _bump_lowering(self) -> None:
+        self._lowering_count += 1
+        if obs.STATE.metrics:
+            obs.STATE.registry.counter("sim.dm.lowerings").inc()
 
     # -- superoperator compilation -------------------------------------------
 
@@ -430,7 +452,7 @@ class DensityMatrixSimulator:
           gates (a noisy rzz outside any pair group) store angle
           base/slope + gather for a one-``exp`` rebind.
         """
-        self.lowering_count += 1
+        self._bump_lowering()
         n = circuit.num_qubits
         template: list = []
         rebinds: list = []
@@ -603,7 +625,7 @@ class DensityMatrixSimulator:
         kept as the ``structural_rebind=False`` baseline so the rebinding
         speedup stays measurable against real history.
         """
-        self.lowering_count += 1
+        self._bump_lowering()
         n = circuit.num_qubits
         plan: list = []
         for inst in circuit:

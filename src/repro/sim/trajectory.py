@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.circuits import gates as gatedefs
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.hamiltonian import Hamiltonian
@@ -172,9 +173,25 @@ class TrajectorySimulator:
         #: instead of re-lowering.  ``structural_rebind=False`` restores
         #: object-identity-only caching (baseline benchmarking).
         self._structural_rebind = bool(structural_rebind)
-        self._structural_cache = StructuralPlanCache()
-        #: Number of full plan lowerings performed (test/benchmark probe).
-        self.lowering_count = 0
+        self._structural_cache = StructuralPlanCache(
+            metrics_prefix="sim.traj.structural_cache"
+        )
+        self._plan_cache.metrics_prefix = "sim.traj.plan_cache"
+        self._lowering_count = 0
+
+    @property
+    def lowering_count(self) -> int:
+        """Full-lowering probe (compat shim over ``sim.traj.lowerings``)."""
+        return self._lowering_count
+
+    @lowering_count.setter
+    def lowering_count(self, value: int) -> None:
+        self._lowering_count = value
+
+    def _bump_lowering(self) -> None:
+        self._lowering_count += 1
+        if obs.STATE.metrics:
+            obs.STATE.registry.counter("sim.traj.lowerings").inc()
 
     # -- circuit lowering ---------------------------------------------------
 
@@ -211,7 +228,7 @@ class TrajectorySimulator:
         positions (``None`` at slots) and ``rebinds`` mixes
         :class:`_TrajSlot` and :class:`_TrajRunSpec` entries.
         """
-        self.lowering_count += 1
+        self._bump_lowering()
         n = circuit.num_qubits
         nm = self.noise_model
         template: List[Optional[_PlanOp]] = []
@@ -352,7 +369,7 @@ class TrajectorySimulator:
         This is the pre-structural concrete lowering, kept as the
         ``structural_rebind=False`` baseline.
         """
-        self.lowering_count += 1
+        self._bump_lowering()
         n = circuit.num_qubits
         nm = self.noise_model
         plan: List[_PlanOp] = []

@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.hamiltonian import Hamiltonian
 from repro.exceptions import SimulationError
@@ -77,6 +78,20 @@ def _normalized_quasi_probabilities(raw: np.ndarray) -> np.ndarray:
     if total <= 0:
         raise SimulationError("reconstructed distribution is empty")
     return probs / total
+
+
+def _publish_evaluation(evaluation: Evaluation, shots: int) -> None:
+    """Fold one objective evaluation into the global registry.
+
+    ``vqa.shots`` counts sampled shots actually drawn (zero in the exact
+    infinite-shot mode); ``vqa.hardware_seconds`` is the paper's
+    estimated-device-time accounting, a float counter.
+    """
+    reg = obs.STATE.registry
+    reg.counter("vqa.evaluations").inc()
+    reg.counter("vqa.circuits").inc(evaluation.circuits)
+    reg.counter("vqa.shots").inc(shots * evaluation.circuits)
+    reg.counter("vqa.hardware_seconds").inc(evaluation.hardware_seconds)
 
 
 class EnergyEvaluator:
@@ -332,6 +347,18 @@ class EnergyEvaluator:
 
     def evaluate(self, params) -> Evaluation:
         """Energy + entropy of the ansatz at ``params`` on this device."""
+        if not (obs.STATE.metrics or obs.STATE.tracing):
+            return self._evaluate(params)
+        with obs.span(
+            "vqa.evaluate",
+            {"device": self.device.name if self.device else "ideal"},
+        ):
+            evaluation = self._evaluate(params)
+        if obs.STATE.metrics:
+            _publish_evaluation(evaluation, self.shots)
+        return evaluation
+
+    def _evaluate(self, params) -> Evaluation:
         if self._compiled is not None:
             return self._evaluate_compiled(params)
         circuit = self.bound_circuit(params)
@@ -512,6 +539,18 @@ class CutEnergyEvaluator:
 
     def evaluate(self, params) -> Evaluation:
         """Energy + entropy of the cut ansatz at ``params``."""
+        if not (obs.STATE.metrics or obs.STATE.tracing):
+            return self._evaluate(params)
+        with obs.span(
+            "vqa.evaluate_cut",
+            {"device": self.device.name if self.device else "ideal"},
+        ):
+            evaluation = self._evaluate(params)
+        if obs.STATE.metrics:
+            _publish_evaluation(evaluation, self.shots)
+        return evaluation
+
+    def _evaluate(self, params) -> Evaluation:
         from repro.cutting import reconstruct_probabilities
         from repro.cutting.execute import CachedFragmentExecutor
         from repro.cutting.reconstruct import group_energy, split_idle_rotations

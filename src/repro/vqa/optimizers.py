@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ConvergenceError
 
 Objective = Callable[[np.ndarray], float]
@@ -77,8 +78,18 @@ class StepwiseOptimizer:
         nfev = 0
         record: Optional[StepRecord] = None
         converged = False
+        telemetry = obs.STATE.metrics or obs.STATE.tracing
+        optimizer = type(self).__name__
         for _ in range(maxiter):
-            record = self.step(objective)
+            if telemetry:
+                with obs.span("vqa.opt_step", {"optimizer": optimizer}):
+                    record = self.step(objective)
+                if obs.STATE.metrics:
+                    reg = obs.STATE.registry
+                    reg.counter("vqa.opt_steps").inc()
+                    reg.counter("vqa.opt_fev").inc(record.nfev)
+            else:
+                record = self.step(objective)
             nfev += record.nfev
             history.append(record.value)
             if callback is not None:
