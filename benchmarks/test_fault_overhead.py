@@ -1,0 +1,212 @@
+"""Fault-layer overhead benchmark — writes ``BENCH_faults.json``.
+
+The hard requirement of the fault-tolerance tentpole: a simulator with
+*no* fault model attached (or a null one) must stay on the PR 5 engine
+fast path, costing nothing measurable.  The headline comparison reruns
+the fleet case (50k jobs / 20 devices) two ways:
+
+* ``QueueSimulator._run_engine`` — the bare event loop, the reference
+  cost;
+* ``QueueSimulator.run`` with a null :class:`FaultModel` attached —
+  the dispatching entry point, which must stay within the 2% floor of
+  the reference (the dispatch is one attribute test per ``run()``).
+
+A second (informational, not gated) measurement attaches a fault model
+exercising every process — failures, degradations, maintenance, drift,
+recalibration, retries — to record what full fault simulation costs on
+the same workload.  Both the null and faulty paths double as
+equivalence/determinism checks: the null run must reproduce the
+engine's exact schedule, and the faulty run is asserted deterministic
+across the repeat timings.
+
+``QONCORD_BENCH_SCALE=smoke`` shrinks the workload and skips the floor
+assertion (shared CI runners are too noisy to gate on ±2%); the JSON is
+written either way so the perf trajectory accumulates across PRs.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.cloud import (
+    FaultModel,
+    LeastBusyPolicy,
+    MaintenanceWindow,
+    QueueSimulator,
+    RetryPolicy,
+    generate_workload,
+    hypothetical_fleet,
+)
+
+from _helpers import once, print_series
+
+_SCALE = os.environ.get("QONCORD_BENCH_SCALE", "small")
+SMOKE = _SCALE == "smoke"
+
+JOBS = 5_000 if SMOKE else 50_000
+DEVICES = 20
+#: Null-model overhead floor (fraction of the reference engine cost).
+OVERHEAD_FLOOR = 0.02
+#: Back-to-back (engine, null-model) timing pairs.  Machine-load drift
+#: swings single timings by far more than the 2% floor, so the overhead
+#: estimate is the median of per-pair ratios (both halves of a pair
+#: share the drift phase) cross-checked against best-of-N.
+REPEATS = 3 if SMOKE else 7
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(_ROOT, "BENCH_faults.json")
+
+#: The informational faulty run: every fault process at once.
+ROUGH = FaultModel(
+    name="rough",
+    mean_time_between_failures=20_000.0,
+    mean_repair_seconds=600.0,
+    mean_time_between_degradations=15_000.0,
+    mean_degraded_seconds=900.0,
+    maintenance=MaintenanceWindow(
+        period_seconds=40_000.0, duration_seconds=1_200.0,
+        stagger_seconds=1_000.0,
+    ),
+    drift_rate=1e-5,
+    recalibration_interval_seconds=20_000.0,
+    retry=RetryPolicy(max_attempts=4, backoff_seconds=30.0),
+)
+
+
+@contextmanager
+def _gc_paused():
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _timed(fn):
+    with _gc_paused():
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+    return elapsed, result
+
+
+def _fleet():
+    return hypothetical_fleet(DEVICES, (0.3, 0.9))
+
+
+def test_fault_overhead(benchmark):
+    def body():
+        workload = generate_workload(num_jobs=JOBS, vqa_ratio=0.5, seed=42)
+        warm = generate_workload(num_jobs=500, vqa_ratio=0.5, seed=7)
+        QueueSimulator(
+            _fleet(), LeastBusyPolicy(), seed=1, faults=FaultModel()
+        ).run(warm)
+
+        ratios = []
+        raw_best = float("inf")
+        null_best = float("inf")
+        null_result = None
+        for _ in range(REPEATS):
+            raw_t, raw = _timed(
+                lambda: QueueSimulator(
+                    _fleet(), LeastBusyPolicy(), seed=1
+                )._run_engine(workload)
+            )
+            null_t, null_result = _timed(
+                lambda: QueueSimulator(
+                    _fleet(), LeastBusyPolicy(), seed=1,
+                    faults=FaultModel(),
+                ).run(workload)
+            )
+            ratios.append(null_t / raw_t)
+            raw_best = min(raw_best, raw_t)
+            null_best = min(null_best, null_t)
+        assert np.array_equal(
+            raw.records.schedule_key(), null_result.records.schedule_key()
+        ), "null fault model changed the schedule"
+        assert null_result.faults is None, (
+            "null fault model left the engine fast path"
+        )
+        # Same twin-estimator gate as the telemetry benchmark: a real
+        # regression inflates both the median pair ratio and best-of-N;
+        # a load spike rarely pushes both past the floor at once.
+        median_overhead = float(np.median(ratios)) - 1.0
+        best_overhead = null_best / raw_best - 1.0
+        null_overhead = min(median_overhead, best_overhead)
+
+        # Informational: the full fault layer on the same workload, and
+        # a determinism spot-check across the repeats.
+        faulty_best = float("inf")
+        faulty_keys = []
+        for _ in range(2):
+            faulty_t, faulty = _timed(
+                lambda: QueueSimulator(
+                    _fleet(), LeastBusyPolicy(), seed=1, faults=ROUGH
+                ).run(workload)
+            )
+            faulty_best = min(faulty_best, faulty_t)
+            faulty_keys.append(faulty.records.schedule_key())
+        for key in faulty_keys[1:]:
+            assert np.array_equal(faulty_keys[0], key), (
+                "faulty run is not deterministic"
+            )
+        counters = faulty.faults.counters()
+
+        payload = {
+            "benchmark": "fault_overhead",
+            "scale": _SCALE,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "results": {
+                "jobs": JOBS,
+                "devices": DEVICES,
+                "executions": null_result.total_executions,
+                "engine_seconds": raw_best,
+                "null_model_seconds": null_best,
+                "null_overhead": null_overhead,
+                "median_pair_overhead": median_overhead,
+                "best_of_n_overhead": best_overhead,
+                "pair_ratios": [round(r - 1.0, 4) for r in ratios],
+                "faulty_seconds": faulty_best,
+                "faulty_slowdown": faulty_best / raw_best - 1.0,
+                "faulty_goodput": faulty.goodput,
+                "faulty_counters": counters,
+                "floor": OVERHEAD_FLOOR,
+            },
+        }
+        with open(BENCH_PATH, "w") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+
+        print_series(
+            "Fault-layer overhead (50k-job fleet run)",
+            [
+                f"engine (no faults):  {raw_best:.3f}s",
+                f"null fault model:    {null_best:.3f}s "
+                f"(median pair {median_overhead:+.2%}, best-of-N "
+                f"{best_overhead:+.2%}, floor {OVERHEAD_FLOOR:.0%})",
+                f"full fault model:    {faulty_best:.3f}s "
+                f"({faulty_best / raw_best - 1.0:+.2%}; "
+                f"{counters['preemptions']} preemptions, "
+                f"{counters['retries']} retries, "
+                f"{counters['maintenance_windows']} maintenance windows)",
+            ],
+        )
+        if not SMOKE:
+            assert null_overhead <= OVERHEAD_FLOOR, (
+                f"null-fault-model overhead {null_overhead:.2%} "
+                f"exceeds {OVERHEAD_FLOOR:.0%}"
+            )
+        return payload["results"]
+
+    once(benchmark, body)

@@ -9,12 +9,24 @@ maximum.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from repro.exceptions import SchedulingError
+
+#: Availability states (ordered by severity).  ONLINE and DEGRADED
+#: devices accept work; MAINTENANCE and DOWN devices do not.  The fault
+#: layer (:mod:`repro.cloud.faults`) drives the transitions; a fault-free
+#: simulation never leaves ONLINE.
+ONLINE = 0
+DEGRADED = 1
+MAINTENANCE = 2
+DOWN = 3
+
+AVAILABILITY_NAMES = ("online", "degraded", "maintenance", "down")
 
 
 @dataclass(slots=True)
@@ -41,12 +53,41 @@ class CloudDevice:
     #: Fig 12 study never constrains width).  Fragment fan-out sets this so
     #: width-aware policies can skip too-small machines.
     num_qubits: Optional[int] = None
+    #: Availability state (fault-layer simulation state; ONLINE when no
+    #: fault model is active).
+    availability: int = ONLINE
+    #: Calibration-drift rate (per-second exponential fidelity decay
+    #: between recalibrations).  Zero means calibration never goes stale;
+    #: the fault layer sets this per run from its ``drift_rate`` knob.
+    drift_rate: float = 0.0
+    #: Simulated time of the most recent (re)calibration.
+    last_calibrated: float = 0.0
 
     def __post_init__(self):
         if not 0.0 < self.fidelity <= 1.0:
             raise SchedulingError(f"fidelity {self.fidelity} outside (0, 1]")
         if self.speed_factor <= 0:
             raise SchedulingError("speed factor must be positive")
+
+    @property
+    def available_for_work(self) -> bool:
+        """Whether the device currently accepts new executions."""
+        return self.availability <= DEGRADED
+
+    def current_fidelity(self, now: float) -> float:
+        """Effective fidelity at simulated time ``now``.
+
+        Decays exponentially with calibration staleness
+        (``fidelity * exp(-drift_rate * seconds_since_calibration)``).
+        With ``drift_rate == 0`` this returns ``fidelity`` exactly — the
+        bit-identical value fault-free policy decisions depend on.
+        """
+        if self.drift_rate == 0.0:
+            return self.fidelity
+        stale = now - self.last_calibrated
+        if stale <= 0.0:
+            return self.fidelity
+        return self.fidelity * math.exp(-self.drift_rate * stale)
 
     def queue_delay(self, now: float) -> float:
         """How long a new execution would wait before starting."""
@@ -65,9 +106,18 @@ class CloudDevice:
         return self.busy_seconds / makespan
 
     def reset(self) -> None:
+        """Restore all per-run simulation state.
+
+        Covers the fault-layer fields too (availability, drift, and
+        calibration clock), so a device object reused across sweep cells
+        or simulator runs cannot leak fault state into the next run.
+        """
         self.busy_until = 0.0
         self.completed_executions = 0
         self.busy_seconds = 0.0
+        self.availability = ONLINE
+        self.drift_rate = 0.0
+        self.last_calibrated = 0.0
 
 
 def hypothetical_fleet(

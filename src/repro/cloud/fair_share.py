@@ -11,12 +11,18 @@ itself and heap sifts stay in C.  (An earlier revision wrapped entries in
 an order-comparing dataclass with a ``cancelled`` flag nothing ever set;
 at fleet scale the per-execution push/pop pair is hot enough that the
 wrapper dominated the queue's cost.)
+
+Cancellation uses lazy tombstones: :meth:`FairShareQueue.remove` marks a
+job's entries dead in O(entries of that job) without re-heapifying, and
+:meth:`pop` discards dead entries as it reaches them.  Entries pushed
+without a ``job_id`` are anonymous and cannot be removed, which keeps the
+hot push path at one extra ``is None`` test.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Dict
+from typing import Dict, Optional, Set
 
 from repro.exceptions import SchedulingError
 
@@ -24,39 +30,85 @@ from repro.exceptions import SchedulingError
 class FairShareQueue:
     """Priority queue keyed by (user usage at enqueue, submission order)."""
 
-    __slots__ = ("_heap", "_usage", "_counter")
+    __slots__ = ("_heap", "_usage", "_counter", "_dead", "_job_entries",
+                 "_entry_job", "_live")
 
     def __init__(self):
         self._heap = []
         self._usage: Dict[int, float] = {}
         self._counter = 0
+        #: Tombstoned submission counters, discarded lazily by pop().
+        self._dead: Set[int] = set()
+        #: job_id -> live submission counters (only job-tagged entries).
+        self._job_entries: Dict[int, Set[int]] = {}
+        #: submission counter -> job_id (reverse map, for pop cleanup).
+        self._entry_job: Dict[int, int] = {}
+        self._live = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     @property
     def is_empty(self) -> bool:
-        return not self._heap
+        return self._live == 0
 
     def usage_of(self, user_id: int) -> float:
         return self._usage.get(user_id, 0.0)
 
-    def push(self, request, user_id: int) -> None:
+    def push(self, request, user_id: int, job_id: Optional[int] = None) -> None:
         """Enqueue a request owned by ``user_id``.
 
         The entry's priority is the owner's usage *at enqueue time*; later
         ``record_usage`` calls do not reorder it (snapshot semantics,
         matching production fair-share which recomputes at enqueue).
+
+        ``job_id`` tags the entry for :meth:`remove`; untagged entries
+        cannot be cancelled.
         """
         count = self._counter
         self._counter = count + 1
+        if job_id is not None:
+            self._job_entries.setdefault(job_id, set()).add(count)
+            self._entry_job[count] = job_id
+        self._live += 1
         heappush(self._heap, (self._usage.get(user_id, 0.0), count, request))
 
     def pop(self):
-        """Dequeue the fairest request."""
-        if not self._heap:
-            raise SchedulingError("pop from empty fair-share queue")
-        return heappop(self._heap)[2]
+        """Dequeue the fairest live request (skipping tombstones)."""
+        heap = self._heap
+        dead = self._dead
+        while heap:
+            _, count, request = heappop(heap)
+            if count in dead:
+                dead.discard(count)
+                continue
+            job_id = self._entry_job.pop(count, None)
+            if job_id is not None:
+                entries = self._job_entries[job_id]
+                entries.discard(count)
+                if not entries:
+                    del self._job_entries[job_id]
+            self._live -= 1
+            return request
+        raise SchedulingError("pop from empty fair-share queue")
+
+    def remove(self, job_id: int) -> int:
+        """Cancel every queued entry of ``job_id``; returns the count.
+
+        Entries are tombstoned in place (no re-heapify) and skipped when
+        :meth:`pop` reaches them, so the relative order of surviving
+        entries — including their enqueue-time usage snapshots and
+        submission-order tie-breaks — is untouched.  Unknown job ids
+        remove nothing and return 0.
+        """
+        entries = self._job_entries.pop(job_id, None)
+        if not entries:
+            return 0
+        for count in entries:
+            self._dead.add(count)
+            del self._entry_job[count]
+        self._live -= len(entries)
+        return len(entries)
 
     def record_usage(self, user_id: int, seconds: float) -> None:
         """Charge compute time to a user (affects future priorities only)."""

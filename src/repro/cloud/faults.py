@@ -1,0 +1,914 @@
+"""Seeded fault injection and recovery for the cloud-queue engine.
+
+Real quantum clouds are not the always-up fleets the Fig 12 study
+assumes: devices crash mid-execution, rotate through maintenance
+windows, degrade between calibrations, and users cancel work.  This
+module layers all of that onto :mod:`repro.cloud.queue_sim` as extra
+event kinds on the same ``(time, seq)``-ordered heap:
+
+* **Availability states** — every :class:`~repro.cloud.device.CloudDevice`
+  walks ONLINE / DEGRADED / MAINTENANCE / DOWN under deterministic
+  maintenance windows (:class:`MaintenanceWindow`) plus seeded
+  exponential failure/repair and degradation processes.
+* **Job lifecycle** — :func:`cancel` / :func:`cancel_user` events drop a
+  job's queued and future work (in-flight executions complete but count
+  as waste); device crashes *preempt* the in-flight execution, whose
+  retry is governed by :class:`RetryPolicy` (attempt cap, exponential
+  backoff, reroute away from the failed device).
+* **Calibration drift** — device fidelity decays between recalibrations
+  (``CloudDevice.current_fidelity``), so fidelity-seeking policies chase
+  a moving target; repairs, maintenance ends, and periodic
+  recalibrations restore it.
+
+Determinism: the fault processes draw from their own seeded stream
+(``default_rng([seed, 0xFA17])``), so the *simulation* RNG consumes
+exactly the sequence the fault-free engine would.  With a null model
+(:attr:`FaultModel.is_null`) :func:`simulate_with_faults` replays
+``QueueSimulator._run_engine``'s event loop decision-for-decision —
+same lazy arrival merge, same seq numbering, same batched draws — and
+produces the bit-identical schedule (the zero-fault equivalence tests
+pin this).  ``QueueSimulator.run`` therefore only routes through this
+module when a non-null model is attached; the fault-free fast path is
+untouched.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.device import (
+    AVAILABILITY_NAMES,
+    DEGRADED,
+    DOWN,
+    MAINTENANCE,
+    ONLINE,
+)
+from repro.cloud.queue_sim import _DRAW_CHUNK, RecordStore, SimulationResult
+from repro.cloud.workload import Workload
+from repro.exceptions import (
+    DeviceUnavailableError,
+    JobCancelledError,
+    RetryExhaustedError,
+    SchedulingError,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "MaintenanceWindow",
+    "CancelEvent",
+    "cancel",
+    "cancel_user",
+    "sample_cancellations",
+    "FaultModel",
+    "FaultStats",
+    "NO_FAULTS",
+    "simulate_with_faults",
+]
+
+#: Engine event kinds (0/1 are queue_sim's submit/finish; the fault
+#: layer continues the numbering).  Heap tuples compare on (time, seq)
+#: only — seq is unique — so variable-length payloads are safe.
+_SUBMIT = 0
+_FINISH = 1
+_RETRY = 2
+_CANCEL = 3
+_DOWN = 4
+_REPAIR = 5
+_MAINT_START = 6
+_MAINT_END = 7
+_DEGRADE = 8
+_DEGRADE_END = 9
+_RECAL = 10
+
+#: Spawn key separating the fault processes' RNG stream from the
+#: simulation stream (which must stay bit-identical to the fault-free
+#: engine's).
+_FAULT_STREAM = 0xFA17
+_CANCEL_STREAM = 0xCA9CE1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What happens to an execution its device crashed under.
+
+    ``max_attempts`` counts *total* tries (1 = never retry); the delay
+    before retry *n* is ``backoff_seconds * backoff_factor**(n-1)``.
+    With ``reroute`` the job is unpinned on preemption and the retry
+    avoids the failed device while any alternative is available.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 30.0
+    backoff_factor: float = 2.0
+    reroute: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise SchedulingError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0.0:
+            raise SchedulingError("backoff_seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise SchedulingError("backoff_factor must be >= 1")
+
+    def delay_for(self, retry_number: int) -> float:
+        """Backoff before the ``retry_number``-th retry (1-indexed).
+
+        Raises :class:`RetryExhaustedError` beyond the policy's
+        allowance (``max_attempts - 1`` retries).
+        """
+        if retry_number < 1:
+            raise SchedulingError("retry_number is 1-indexed")
+        if retry_number > self.max_attempts - 1:
+            raise RetryExhaustedError(
+                f"retry {retry_number} exceeds max_attempts="
+                f"{self.max_attempts}"
+            )
+        return self.backoff_seconds * self.backoff_factor ** (retry_number - 1)
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """Deterministic periodic service window, staggered across the fleet.
+
+    Device ``i``'s ``k``-th window starts at ``offset_seconds +
+    stagger_seconds * i + k * period_seconds`` and lasts
+    ``duration_seconds``.  A window is skipped (not deferred) if the
+    device is DOWN when it opens.
+    """
+
+    period_seconds: float
+    duration_seconds: float
+    offset_seconds: float = 0.0
+    stagger_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.duration_seconds <= 0.0:
+            raise SchedulingError("maintenance duration must be positive")
+        if self.period_seconds <= self.duration_seconds:
+            raise SchedulingError(
+                "maintenance period must exceed its duration"
+            )
+        if self.offset_seconds < 0.0 or self.stagger_seconds < 0.0:
+            raise SchedulingError(
+                "maintenance offset/stagger must be non-negative"
+            )
+
+    def start_of(self, device_index: int, window: int) -> float:
+        return (self.offset_seconds + self.stagger_seconds * device_index
+                + window * self.period_seconds)
+
+
+@dataclass(frozen=True)
+class CancelEvent:
+    """A scheduled cancellation: one job, or a user's every job."""
+
+    time: float
+    job_id: Optional[int] = None
+    user_id: Optional[int] = None
+
+    def __post_init__(self):
+        if (self.job_id is None) == (self.user_id is None):
+            raise SchedulingError(
+                "CancelEvent needs exactly one of job_id or user_id"
+            )
+        if self.time < 0.0:
+            raise SchedulingError("cancel time must be non-negative")
+
+
+def cancel(job_id: int, at: float) -> CancelEvent:
+    """Cancel one job at simulated time ``at``."""
+    return CancelEvent(time=at, job_id=job_id)
+
+
+def cancel_user(user_id: int, at: float) -> CancelEvent:
+    """Cancel every job of ``user_id`` at simulated time ``at``."""
+    return CancelEvent(time=at, user_id=user_id)
+
+
+def sample_cancellations(
+    workload: Workload,
+    rate: float,
+    mean_delay_seconds: float = 120.0,
+    seed: int = 0,
+) -> Tuple[CancelEvent, ...]:
+    """Seeded per-job cancellations: each job is cancelled with
+    probability ``rate`` at an exponential delay after its arrival.
+
+    The draws cover every job (not just the cancelled ones), so the same
+    seed marks the same jobs at any rate overlap.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise SchedulingError("cancellation rate must be in [0, 1]")
+    if mean_delay_seconds <= 0.0:
+        raise SchedulingError("mean cancellation delay must be positive")
+    arrays = workload.arrays()
+    rng = np.random.default_rng([seed, _CANCEL_STREAM])
+    marks = rng.random(workload.num_jobs) < rate
+    delays = rng.exponential(mean_delay_seconds, size=workload.num_jobs)
+    times = arrays.arrival_time + delays
+    return tuple(
+        CancelEvent(time=float(t), job_id=int(j))
+        for j, t, m in zip(
+            arrays.job_id.tolist(), times.tolist(), marks.tolist()
+        )
+        if m
+    )
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Everything that can go wrong in one simulated fleet run.
+
+    All processes are off by default — the default instance ``is_null``
+    and leaves ``QueueSimulator.run`` on its fault-free fast path.
+    Failure, degradation, and repair times are exponential with the
+    given means, drawn from a fault-only RNG stream seeded by the
+    simulator seed (so fault runs are exactly repeatable and the
+    simulation stream is never perturbed).
+    """
+
+    name: str = "faults"
+    #: Mean seconds between hard failures per device (0 disables).
+    mean_time_between_failures: float = 0.0
+    mean_repair_seconds: float = 300.0
+    #: Mean seconds between soft degradations per device (0 disables).
+    mean_time_between_degradations: float = 0.0
+    mean_degraded_seconds: float = 600.0
+    #: Execution-time multiplier for work started on a DEGRADED device.
+    degraded_slowdown: float = 1.5
+    maintenance: Optional[MaintenanceWindow] = None
+    #: Per-second exponential fidelity decay between recalibrations.
+    drift_rate: float = 0.0
+    #: Periodic recalibration spacing (0: only repairs/maintenance
+    #: recalibrate).  Only meaningful with ``drift_rate > 0``.
+    recalibration_interval_seconds: float = 0.0
+    retry: RetryPolicy = RetryPolicy()
+    cancellations: Tuple[CancelEvent, ...] = ()
+
+    def __post_init__(self):
+        if self.mean_time_between_failures < 0.0:
+            raise SchedulingError("mean_time_between_failures must be >= 0")
+        if self.mean_repair_seconds <= 0.0:
+            raise SchedulingError("mean_repair_seconds must be positive")
+        if self.mean_time_between_degradations < 0.0:
+            raise SchedulingError(
+                "mean_time_between_degradations must be >= 0"
+            )
+        if self.mean_degraded_seconds <= 0.0:
+            raise SchedulingError("mean_degraded_seconds must be positive")
+        if self.degraded_slowdown < 1.0:
+            raise SchedulingError("degraded_slowdown must be >= 1")
+        if self.drift_rate < 0.0:
+            raise SchedulingError("drift_rate must be >= 0")
+        if self.recalibration_interval_seconds < 0.0:
+            raise SchedulingError("recalibration interval must be >= 0")
+        object.__setattr__(
+            self, "cancellations", tuple(self.cancellations)
+        )
+        for ev in self.cancellations:
+            if not isinstance(ev, CancelEvent):
+                raise SchedulingError(
+                    "cancellations must be CancelEvent instances"
+                )
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault process is active (fast-path eligible)."""
+        return (
+            self.mean_time_between_failures == 0.0
+            and self.mean_time_between_degradations == 0.0
+            and self.maintenance is None
+            and self.drift_rate == 0.0
+            and not self.cancellations
+        )
+
+
+#: The canonical "nothing goes wrong" model.
+NO_FAULTS = FaultModel(name="none")
+
+
+@dataclass
+class FaultStats:
+    """Fault-layer accounting for one run (attached to the result)."""
+
+    failures: int = 0
+    repairs: int = 0
+    degradations: int = 0
+    maintenance_windows: int = 0
+    recalibrations: int = 0
+    preemptions: int = 0
+    retries: int = 0
+    reroutes: int = 0
+    stranded: int = 0
+    #: Queued/future executions dropped by cancellation or exhaustion.
+    cancelled_executions: int = 0
+    #: Simulated compute seconds that produced no usable result
+    #: (preempted partials + completed executions of cancelled jobs).
+    wasted_seconds: float = 0.0
+    cancelled_jobs: List[int] = field(default_factory=list)
+    exhausted_jobs: List[int] = field(default_factory=list)
+    #: ``(time, device_index, new_state)`` — the availability timeline.
+    transitions: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: Effective (drift-decayed) device fidelity at the start of each
+    #: completed execution, aligned with the result's record rows.
+    execution_fidelity: np.ndarray = field(
+        default_factory=lambda: np.empty(0)
+    )
+
+    def counters(self) -> Dict[str, int]:
+        """Scalar counters for telemetry export."""
+        return {
+            "failures": self.failures,
+            "repairs": self.repairs,
+            "degradations": self.degradations,
+            "maintenance_windows": self.maintenance_windows,
+            "recalibrations": self.recalibrations,
+            "preemptions": self.preemptions,
+            "retries": self.retries,
+            "reroutes": self.reroutes,
+            "stranded": self.stranded,
+            "cancelled_jobs": len(self.cancelled_jobs),
+            "exhausted_jobs": len(self.exhausted_jobs),
+            "cancelled_executions": self.cancelled_executions,
+        }
+
+    def availability_intervals(
+        self, num_devices: int, horizon: float
+    ) -> List[List[Tuple[float, float, int]]]:
+        """Per-device ``(start, end, state)`` intervals covering
+        ``[0, horizon]`` (devices begin ONLINE at time 0)."""
+        out: List[List[Tuple[float, float, int]]] = [
+            [] for _ in range(num_devices)
+        ]
+        state = [ONLINE] * num_devices
+        since = [0.0] * num_devices
+        for t, di, s in self.transitions:
+            if s == state[di]:
+                continue
+            if t > since[di]:
+                out[di].append((since[di], t, state[di]))
+            state[di] = s
+            since[di] = t
+        for di in range(num_devices):
+            if horizon > since[di] or not out[di]:
+                out[di].append((since[di], max(horizon, since[di]),
+                                state[di]))
+        return out
+
+    def unavailable_seconds(
+        self, num_devices: int, horizon: float
+    ) -> List[float]:
+        """Seconds each device spent DOWN or in MAINTENANCE."""
+        return [
+            sum(e - s for s, e, st in ivals if st >= MAINTENANCE)
+            for ivals in self.availability_intervals(num_devices, horizon)
+        ]
+
+
+def simulate_with_faults(
+    simulator,
+    workload: Workload,
+    faults: Optional[FaultModel] = None,
+) -> SimulationResult:
+    """Run ``simulator``'s workload under a fault model.
+
+    The event loop mirrors ``QueueSimulator._run_engine`` exactly and
+    adds the fault event kinds; with a null model the produced schedule
+    is bit-identical to the engine's.  Records are appended at *finish*
+    (a preempted execution leaves no record), so row order differs from
+    the engine's start-ordered rows — ``RecordStore.schedule_key`` is
+    the canonical comparison.
+
+    Semantics:
+
+    * A crash (DOWN) preempts the in-flight execution (work refunded and
+      counted as waste) and drains the device's queue by rerouting; the
+      preempted execution retries under ``faults.retry``.
+    * MAINTENANCE drains the queue but lets the in-flight execution
+      complete; repairs and maintenance ends recalibrate the device.
+    * Cancellation kills a job's queued and future work immediately; an
+      in-flight execution completes but counts as waste.
+    * Work with no available device is stranded until a repair or
+      maintenance end; a run that can never wake stranded work raises
+      :class:`DeviceUnavailableError`.
+    """
+    model = faults if faults is not None else NO_FAULTS
+    rng = np.random.default_rng(simulator.seed)
+    frng = np.random.default_rng([simulator.seed, _FAULT_STREAM])
+    policy = simulator.policy
+    policy.reset()
+    devices = simulator.devices
+    for device in devices:
+        device.reset()
+    policy.bind_fleet(devices)
+    n_dev = len(devices)
+    stats = FaultStats()
+
+    if model.drift_rate > 0.0:
+        for device in devices:
+            device.drift_rate = model.drift_rate
+
+    arrays = workload.arrays()
+    jobs = workload.jobs
+    num_jobs = workload.num_jobs
+    job_ids = arrays.job_id.tolist()
+    user_ids = arrays.user_id.tolist()
+    arrivals = arrays.arrival_time.tolist()
+    base_seconds = arrays.base_execution_seconds.tolist()
+    think_seconds = arrays.inter_submission_seconds.tolist()
+    totals = policy.executions_for_batch(workload).tolist()
+
+    speed = [d.speed_factor for d in devices]
+    device_heaps: List[list] = [[] for _ in devices]
+    device_counters: List[int] = [0] * n_dev
+    device_usages: List[Dict[int, float]] = [{} for _ in devices]
+    device_index = {id(d): i for i, d in enumerate(devices)}
+
+    rec_job: List[int] = []
+    rec_execution: List[int] = []
+    rec_device: List[int] = []
+    rec_queued: List[float] = []
+    rec_started: List[float] = []
+    rec_finished: List[float] = []
+    exec_fid: List[float] = []
+
+    heap: list = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    select = policy.select_device
+    pinned = policy.pins_jobs
+    pins: List[int] = [-1] * num_jobs
+    buffered_draws = not policy.uses_rng
+    draw_buffer: List[float] = []
+    draw_pos = _DRAW_CHUNK
+
+    # Fault-layer state.
+    avail = [ONLINE] * n_dev
+    avail_count = n_dev
+    run_token = [0] * n_dev
+    #: Per-device in-flight execution: (j, execution, queued_at,
+    #: started, duration, attempt) or None.
+    inflight: List[Optional[tuple]] = [None] * n_dev
+    dead: set = set()  # cancelled or retry-exhausted job indices
+    done = [False] * num_jobs
+    completed_execs = [0] * num_jobs
+    stranded: List[tuple] = []
+    active = num_jobs
+    retry = model.retry
+    slowdown = model.degraded_slowdown
+    mtbf = model.mean_time_between_failures
+    mtbd = model.mean_time_between_degradations
+    mean_degraded = model.mean_degraded_seconds
+    mean_repair = model.mean_repair_seconds
+    maint = model.maintenance
+    recal_interval = model.recalibration_interval_seconds
+
+    # Same lazy sorted-arrival merge as the engine: first submits take
+    # seq 0..num_jobs-1 and later events continue from num_jobs.
+    next_arrival = 0
+    if num_jobs > 1 and np.any(np.diff(arrays.arrival_time) < 0.0):
+        for j in range(num_jobs):
+            heap.append((arrivals[j], j, _SUBMIT, j, 0))
+        next_arrival = num_jobs
+    seq = num_jobs
+
+    # Seed the fault-event chains (each device keeps exactly one
+    # outstanding event per process; handlers push the successor).
+    if mtbf > 0.0:
+        for di in range(n_dev):
+            heap.append((frng.exponential(mtbf), seq, _DOWN, di))
+            seq += 1
+    if mtbd > 0.0:
+        for di in range(n_dev):
+            heap.append((frng.exponential(mtbd), seq, _DEGRADE, di))
+            seq += 1
+    if maint is not None:
+        for di in range(n_dev):
+            heap.append((maint.start_of(di, 0), seq, _MAINT_START, di))
+            seq += 1
+    if model.drift_rate > 0.0 and recal_interval > 0.0:
+        for di in range(n_dev):
+            heap.append((recal_interval, seq, _RECAL, di))
+            seq += 1
+    cancels = model.cancellations
+    jid_to_idx: Dict[int, int] = {}
+    user_jobs: Dict[int, List[int]] = {}
+    if cancels:
+        jid_to_idx = {jid: i for i, jid in enumerate(job_ids)}
+        for i, u in enumerate(user_ids):
+            user_jobs.setdefault(u, []).append(i)
+        for ci, ev in enumerate(cancels):
+            if ev.job_id is not None and ev.job_id not in jid_to_idx:
+                raise JobCancelledError(
+                    f"cancellation targets unknown job {ev.job_id}"
+                )
+            if ev.user_id is not None and ev.user_id not in user_jobs:
+                raise JobCancelledError(
+                    f"cancellation targets unknown user {ev.user_id}"
+                )
+            heap.append((ev.time, seq, _CANCEL, ci))
+            seq += 1
+    if heap:
+        heapq.heapify(heap)
+
+    def _start(di: int, j2: int, execution2: int, queued_at: float,
+               attempt: int, now: float) -> None:
+        """Begin an execution on a free, available device."""
+        nonlocal seq, draw_buffer, draw_pos
+        device = devices[di]
+        low = base_seconds[j2] * speed[di]
+        if buffered_draws:
+            if draw_pos == _DRAW_CHUNK:
+                draw_buffer = rng.random(_DRAW_CHUNK).tolist()
+                draw_pos = 0
+            # Same float ops as Generator.uniform(low, 3*low).
+            high = 3.0 * low
+            duration = low + (high - low) * draw_buffer[draw_pos]
+            draw_pos += 1
+        else:
+            duration = device.execution_time(base_seconds[j2], rng)
+        if avail[di] == DEGRADED:
+            duration *= slowdown
+        fid = device.current_fidelity(now)
+        end = now + duration
+        device.busy_until = end
+        device.busy_seconds += duration
+        device.completed_executions += 1
+        usage = device_usages[di]
+        user = user_ids[j2]
+        usage[user] = usage.get(user, 0.0) + duration
+        inflight[di] = (j2, execution2, queued_at, now, duration, attempt)
+        push(heap, (end, seq, _FINISH, di, run_token[di], j2, execution2,
+                    queued_at, now, duration, fid))
+        seq += 1
+
+    def _pop_live(device_heap: list) -> Optional[tuple]:
+        """Pop the fairest entry whose job is still alive."""
+        while device_heap:
+            entry = pop(device_heap)
+            if entry[2] in dead:
+                continue
+            return entry
+        return None
+
+    def _route(j: int, execution: int, queued_at: float, attempt: int,
+               failed_di: int, now: float) -> None:
+        """Select a device for an execution, enqueue, maybe start it."""
+        if avail_count == 0:
+            stranded.append((j, execution, queued_at, attempt))
+            stats.stranded += 1
+            return
+        exclude = failed_di if (failed_di >= 0 and retry.reroute) else -1
+        if avail_count == n_dev and exclude < 0:
+            # Identity preserved: fleet-keyed policy caches stay warm
+            # and pinned policies skip their membership scan.
+            eligible: Sequence = devices
+        else:
+            eligible = [
+                d for i, d in enumerate(devices)
+                if avail[i] <= DEGRADED and i != exclude
+            ]
+            if not eligible:
+                # The failed device is the only one available: a retry
+                # there beats stranding behind no wake-up event.
+                eligible = [devices[exclude]]
+        di = -1
+        if pinned:
+            di = pins[j]
+            if di >= 0 and (avail[di] > DEGRADED or di == exclude):
+                policy.unpin(job_ids[j])
+                pins[j] = -1
+                di = -1
+        if di < 0:
+            try:
+                device = select(
+                    jobs[j], execution, totals[j], eligible, now, rng
+                )
+            except DeviceUnavailableError:
+                if eligible is devices:
+                    raise
+                # No *currently available* device fits (e.g. the wide
+                # machines are down): wait for the fleet to recover.
+                stranded.append((j, execution, queued_at, attempt))
+                stats.stranded += 1
+                return
+            di = device_index.get(id(device), -1)
+            if di < 0:
+                raise SchedulingError(
+                    f"policy selected a device outside the fleet for "
+                    f"job {job_ids[j]}"
+                )
+            if pinned:
+                pins[j] = di
+        device = devices[di]
+        device_heap = device_heaps[di]
+        if device_heap or device.busy_until > now:
+            usage = device_usages[di]
+            count = device_counters[di]
+            device_counters[di] = count + 1
+            push(device_heap,
+                 (usage.get(user_ids[j], 0.0), count, j, execution,
+                  queued_at, attempt))
+            if device.busy_until > now:
+                return
+            entry = _pop_live(device_heap)
+            if entry is None:
+                return
+            _, _, j2, execution2, queued2, attempt2 = entry
+        else:
+            # Idle device, empty queue: start directly (engine's
+            # direct-start optimization, same counter relabeling).
+            j2, execution2, queued2, attempt2 = (
+                j, execution, queued_at, attempt
+            )
+        _start(di, j2, execution2, queued2, attempt2, now)
+
+    def _try_start(di: int, now: float) -> None:
+        if avail[di] > DEGRADED:
+            return
+        device = devices[di]
+        if device.busy_until > now:
+            return
+        entry = _pop_live(device_heaps[di])
+        if entry is not None:
+            _start(di, entry[2], entry[3], entry[4], entry[5], now)
+
+    def _drain(di: int, now: float) -> None:
+        """Reroute every queued entry off an unavailable device."""
+        device_heap = device_heaps[di]
+        if not device_heap:
+            return
+        entries = sorted(device_heap)
+        device_heap.clear()
+        for _, _, j, execution, queued_at, attempt in entries:
+            if j in dead:
+                continue
+            stats.reroutes += 1
+            if pinned and pins[j] == di:
+                policy.unpin(job_ids[j])
+                pins[j] = -1
+            _route(j, execution, queued_at, attempt, -1, now)
+
+    def _flush_stranded(now: float) -> None:
+        if not stranded:
+            return
+        pending = stranded[:]
+        del stranded[:]
+        for j, execution, queued_at, attempt in pending:
+            if j in dead:
+                continue
+            _route(j, execution, queued_at, attempt, -1, now)
+
+    def _preempt(di: int, now: float) -> None:
+        """Crash the in-flight execution; refund and schedule its retry."""
+        nonlocal active, seq
+        entry = inflight[di]
+        device = devices[di]
+        if entry is None or device.busy_until <= now:
+            return
+        j2, execution2, queued_at, started, duration, attempt = entry
+        inflight[di] = None
+        run_token[di] += 1  # the pending finish event is now stale
+        device.busy_until = now
+        device.busy_seconds -= duration
+        device.completed_executions -= 1
+        usage = device_usages[di]
+        usage[user_ids[j2]] -= duration
+        stats.preemptions += 1
+        stats.wasted_seconds += now - started
+        if j2 in dead:
+            return
+        if pinned and pins[j2] >= 0 and retry.reroute:
+            policy.unpin(job_ids[j2])
+            pins[j2] = -1
+        if attempt >= retry.max_attempts:
+            dead.add(j2)
+            active -= 1
+            stats.exhausted_jobs.append(job_ids[j2])
+            stats.cancelled_executions += totals[j2] - completed_execs[j2]
+            return
+        delay = retry.delay_for(attempt)
+        push(heap, (now + delay, seq, _RETRY, j2, execution2, queued_at,
+                    attempt + 1, di))
+        seq += 1
+        stats.retries += 1
+
+    now = 0.0
+    while True:
+        if active == 0 and next_arrival >= num_jobs:
+            break
+        ev = None
+        if heap:
+            head = heap[0]
+            if next_arrival < num_jobs:
+                arrival = arrivals[next_arrival]
+                head_time = head[0]
+                if arrival < head_time or (
+                    arrival == head_time and next_arrival < head[1]
+                ):
+                    now = arrival
+                    kind = _SUBMIT
+                    j = next_arrival
+                    execution = 0
+                    next_arrival += 1
+                else:
+                    ev = pop(heap)
+                    now = ev[0]
+                    kind = ev[2]
+            else:
+                ev = pop(heap)
+                now = ev[0]
+                kind = ev[2]
+        elif next_arrival < num_jobs:
+            now = arrivals[next_arrival]
+            kind = _SUBMIT
+            j = next_arrival
+            execution = 0
+            next_arrival += 1
+        else:
+            raise DeviceUnavailableError(
+                f"{active} jobs stranded with no pending repair or "
+                f"maintenance end"
+            )
+
+        if kind == _SUBMIT:
+            if ev is not None:
+                j = ev[3]
+                execution = ev[4]
+            if j in dead:
+                continue
+            _route(j, execution, now, 1, -1, now)
+
+        elif kind == _FINISH:
+            di = ev[3]
+            if ev[4] != run_token[di]:
+                continue  # execution was preempted: stale completion
+            j2, execution2 = ev[5], ev[6]
+            queued_at, started, duration, fid = ev[7], ev[8], ev[9], ev[10]
+            inflight[di] = None
+            rec_job.append(job_ids[j2])
+            rec_execution.append(execution2)
+            rec_device.append(di)
+            rec_queued.append(queued_at)
+            rec_started.append(started)
+            rec_finished.append(now)
+            exec_fid.append(fid)
+            if j2 in dead:
+                # Cancelled mid-flight: the result is discarded.
+                stats.wasted_seconds += duration
+            else:
+                completed_execs[j2] += 1
+                next_execution = execution2 + 1
+                if next_execution < totals[j2]:
+                    push(heap, (now + think_seconds[j2], seq, _SUBMIT, j2,
+                                next_execution))
+                    seq += 1
+                else:
+                    done[j2] = True
+                    active -= 1
+            if avail[di] > DEGRADED:
+                continue
+            device = devices[di]
+            device_heap = device_heaps[di]
+            if not device_heap or device.busy_until > now:
+                continue
+            entry = _pop_live(device_heap)
+            if entry is not None:
+                _start(di, entry[2], entry[3], entry[4], entry[5], now)
+
+        elif kind == _RETRY:
+            j = ev[3]
+            if j in dead:
+                continue
+            _route(j, ev[4], ev[5], ev[6], ev[7], now)
+
+        elif kind == _CANCEL:
+            cev = cancels[ev[3]]
+            if cev.job_id is not None:
+                targets = (jid_to_idx[cev.job_id],)
+            else:
+                targets = user_jobs[cev.user_id]
+            for j in targets:
+                if done[j] or j in dead:
+                    continue
+                dead.add(j)
+                active -= 1
+                stats.cancelled_jobs.append(job_ids[j])
+                stats.cancelled_executions += (
+                    totals[j] - completed_execs[j]
+                )
+                if pinned and pins[j] >= 0:
+                    policy.unpin(job_ids[j])
+                    pins[j] = -1
+
+        elif kind == _DOWN:
+            di = ev[3]
+            if avail[di] >= MAINTENANCE:
+                # Already out of service: absorb, keep the chain alive.
+                push(heap, (now + frng.exponential(mtbf), seq, _DOWN, di))
+                seq += 1
+                continue
+            avail[di] = DOWN
+            avail_count -= 1
+            stats.failures += 1
+            stats.transitions.append((now, di, DOWN))
+            _preempt(di, now)
+            _drain(di, now)
+            push(heap, (now + frng.exponential(mean_repair), seq,
+                        _REPAIR, di))
+            seq += 1
+
+        elif kind == _REPAIR:
+            di = ev[3]
+            avail[di] = ONLINE
+            avail_count += 1
+            stats.repairs += 1
+            stats.transitions.append((now, di, ONLINE))
+            devices[di].last_calibrated = now
+            stats.recalibrations += 1
+            push(heap, (now + frng.exponential(mtbf), seq, _DOWN, di))
+            seq += 1
+            _flush_stranded(now)
+            _try_start(di, now)
+
+        elif kind == _MAINT_START:
+            di = ev[3]
+            push(heap, (now + maint.period_seconds, seq,
+                        _MAINT_START, di))
+            seq += 1
+            if avail[di] == DOWN:
+                continue  # machine already out: skip this window
+            avail[di] = MAINTENANCE
+            avail_count -= 1
+            stats.maintenance_windows += 1
+            stats.transitions.append((now, di, MAINTENANCE))
+            # In-flight work completes; queued work drains elsewhere.
+            _drain(di, now)
+            push(heap, (now + maint.duration_seconds, seq, _MAINT_END, di))
+            seq += 1
+
+        elif kind == _MAINT_END:
+            di = ev[3]
+            if avail[di] != MAINTENANCE:
+                continue
+            avail[di] = ONLINE
+            avail_count += 1
+            stats.transitions.append((now, di, ONLINE))
+            devices[di].last_calibrated = now
+            stats.recalibrations += 1
+            _flush_stranded(now)
+            _try_start(di, now)
+
+        elif kind == _DEGRADE:
+            di = ev[3]
+            if avail[di] != ONLINE:
+                push(heap, (now + frng.exponential(mtbd), seq,
+                            _DEGRADE, di))
+                seq += 1
+                continue
+            avail[di] = DEGRADED
+            stats.degradations += 1
+            stats.transitions.append((now, di, DEGRADED))
+            push(heap, (now + frng.exponential(mean_degraded), seq,
+                        _DEGRADE_END, di))
+            seq += 1
+
+        elif kind == _DEGRADE_END:
+            di = ev[3]
+            push(heap, (now + frng.exponential(mtbd), seq, _DEGRADE, di))
+            seq += 1
+            if avail[di] == DEGRADED:
+                avail[di] = ONLINE
+                stats.transitions.append((now, di, ONLINE))
+
+        elif kind == _RECAL:
+            di = ev[3]
+            push(heap, (now + recal_interval, seq, _RECAL, di))
+            seq += 1
+            if avail[di] <= DEGRADED:
+                devices[di].last_calibrated = now
+                stats.recalibrations += 1
+
+        else:
+            raise SchedulingError(f"unknown event kind {kind}")
+
+    store = RecordStore.from_columns(
+        rec_job, rec_execution, rec_device, rec_queued, rec_started,
+        rec_finished,
+    )
+    stats.execution_fidelity = np.asarray(exec_fid, dtype=np.float64)
+    makespan = max(rec_finished) if rec_finished else 0.0
+    return SimulationResult(
+        policy_name=policy.name,
+        vqa_ratio=workload.vqa_ratio,
+        records=store,
+        makespan=makespan,
+        total_executions=len(store),
+        devices=devices,
+        workload=workload,
+        faults=stats,
+    )

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.cloud.device import CloudDevice
 from repro.cloud.policies import LeastBusyPolicy, SchedulingPolicy
 from repro.cloud.workload import JobSpec, Workload
-from repro.exceptions import SchedulingError
+from repro.exceptions import DeviceUnavailableError, SchedulingError
 
 
 @dataclass(frozen=True)
@@ -158,6 +158,9 @@ class WidthAwarePolicy(SchedulingPolicy):
         # policy's fleet-keyed caches stay valid for them.
         self.inner.bind_fleet(devices)
 
+    def unpin(self, job_id: int) -> None:
+        self.inner.unpin(job_id)
+
     def executions_for(self, job: JobSpec) -> int:
         return self.inner.executions_for(job)
 
@@ -177,7 +180,7 @@ class WidthAwarePolicy(SchedulingPolicy):
             if d.num_qubits is None or d.num_qubits >= job.num_qubits
         ]
         if not fitting:
-            raise SchedulingError(
+            raise DeviceUnavailableError(
                 f"no device in the fleet has {job.num_qubits} qubits for "
                 f"job {job.job_id}"
             )

@@ -58,6 +58,15 @@ class SchedulingPolicy:
         key on the sequence identity and fall back to recomputing.
         """
 
+    def unpin(self, job_id: int) -> None:
+        """Forget any device assignment held for ``job_id``.
+
+        The fault layer calls this when a pinned job must be rerouted
+        (its device went DOWN or entered MAINTENANCE): the next
+        ``select_device`` call for the job chooses afresh.  A no-op for
+        policies that never pin.
+        """
+
     def executions_for(self, job: JobSpec) -> int:
         """How many executions this policy actually runs for ``job``."""
         return job.num_executions
@@ -103,6 +112,9 @@ class _PinnedPolicy(SchedulingPolicy):
 
     def bind_fleet(self, devices: Sequence[CloudDevice]) -> None:
         self._fleet = devices
+
+    def unpin(self, job_id: int) -> None:
+        self._assignment.pop(job_id, None)
 
     def _choose(self, devices, now, rng) -> CloudDevice:
         raise NotImplementedError
@@ -193,25 +205,41 @@ class LoadWeightedPolicy(_PinnedPolicy):
 
 
 class FidelityWeightedPolicy(_PinnedPolicy):
-    """Random choice weighted by fidelity (typical user behaviour)."""
+    """Random choice weighted by fidelity (typical user behaviour).
+
+    Weights use :meth:`CloudDevice.current_fidelity`, so under
+    calibration drift the policy chases each device's *effective*
+    fidelity at submission time (with zero drift this is exactly the
+    nominal fidelity — bit-identical selections).
+    """
 
     name = "fidelity_weighted"
 
     def _choose(self, devices, now, rng):
-        weights = np.array([d.fidelity for d in devices], dtype=float)
+        weights = np.array(
+            [d.current_fidelity(now) for d in devices], dtype=float
+        )
         weights /= weights.sum()
         return devices[int(rng.choice(len(devices), p=weights))]
 
 
 class BestFidelityPolicy(_PinnedPolicy):
-    """Always one of the highest-fidelity devices: best quality, worst wait."""
+    """Always one of the highest-fidelity devices: best quality, worst wait.
+
+    "Highest" is judged by effective (drift-decayed) fidelity at
+    submission time, so a stale top device loses its crown to a freshly
+    calibrated rival until its next recalibration.
+    """
 
     name = "best_fidelity"
     uses_rng = False
 
     def _choose(self, devices, now, rng):
-        best = max(d.fidelity for d in devices)
-        candidates = [d for d in devices if d.fidelity >= best - 1e-12]
+        fidelities = [d.current_fidelity(now) for d in devices]
+        best = max(fidelities)
+        candidates = [
+            d for d, f in zip(devices, fidelities) if f >= best - 1e-12
+        ]
         return _shortest_queue(candidates, now)
 
 
@@ -262,6 +290,10 @@ class QoncordPolicy(SchedulingPolicy):
     The explore and fine-tune pools depend only on the fleet, so they are
     computed once per ``bind_fleet`` (or on first sight of an unbound
     device list) instead of re-sorting the fleet on every selection.
+    Pools rank by *nominal* fidelity: tier membership is a property of
+    the hardware, not of calibration staleness, so calibration drift
+    degrades realized quality without reshuffling the tiers (production
+    clouds publish static tiers the same way).
     """
 
     name = "qoncord"

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.cloud.device import CloudDevice
+from repro.cloud.device import AVAILABILITY_NAMES, ONLINE, CloudDevice
 from repro.cloud.fair_share import FairShareQueue
 from repro.cloud.policies import SchedulingPolicy
 from repro.cloud.workload import JobSpec, Workload
@@ -255,6 +255,7 @@ class SimulationResult:
         total_executions: int,
         devices: List[CloudDevice],
         workload: Workload,
+        faults=None,
     ):
         self.policy_name = policy_name
         self.vqa_ratio = vqa_ratio
@@ -263,6 +264,9 @@ class SimulationResult:
         self.total_executions = total_executions
         self.devices = devices
         self.workload = workload
+        #: :class:`~repro.cloud.faults.FaultStats` when the run went
+        #: through the fault layer; ``None`` on the fault-free path.
+        self.faults = faults
         self._segments_cache = None
         self._flags_cache = None
         self._job_results: Optional[Dict[int, JobResult]] = None
@@ -313,14 +317,63 @@ class SimulationResult:
             raise SchedulingError("empty simulation")
         return self.total_executions / self.makespan
 
+    @property
+    def goodput(self) -> float:
+        """Throughput restricted to work that mattered.
+
+        Executions of cancelled or retry-exhausted jobs ran (and show up
+        in :attr:`throughput`) but produced nothing a user kept; goodput
+        drops them.  Equal to :attr:`throughput` on fault-free runs.
+        """
+        if self.makespan <= 0:
+            raise SchedulingError("empty simulation")
+        f = self.faults
+        if f is None or (not f.cancelled_jobs and not f.exhausted_jobs):
+            return self.total_executions / self.makespan
+        lost = np.asarray(
+            f.cancelled_jobs + f.exhausted_jobs, dtype=np.int64
+        )
+        good = int(np.count_nonzero(~np.isin(self.records.job_id, lost)))
+        return good / self.makespan
+
+    def availability_timeline(self):
+        """Per-device ``(start, end, state_name)`` intervals over the run.
+
+        Derived from the fault layer's transition log; a fault-free run
+        reports one all-``"online"`` interval per device.
+        """
+        if self.faults is None or not self.faults.transitions:
+            return {
+                d.name: [(0.0, self.makespan, AVAILABILITY_NAMES[ONLINE])]
+                for d in self.devices
+            }
+        intervals = self.faults.availability_intervals(
+            len(self.devices), self.makespan
+        )
+        return {
+            d.name: [
+                (s, e, AVAILABILITY_NAMES[state])
+                for s, e, state in intervals[i]
+            ]
+            for i, d in enumerate(self.devices)
+        }
+
     def mean_relative_fidelity(
-        self, vqa_only: bool = True, tail_fraction: float = 0.25
+        self, vqa_only: bool = True, tail_fraction: float = 0.25,
+        effective: bool = False,
     ) -> float:
         """Mean per-job tail-averaged device fidelity / best fidelity.
 
         One segmented reduction over the store: the last
         ``tail_fraction`` of each job's executions (at least one) are
         averaged, normalized by the fleet's best device.
+
+        ``effective`` scores each execution by the device's
+        drift-decayed fidelity at its start instead of the nominal
+        rating (fault-layer runs only) — under calibration drift the two
+        diverge, which is exactly what fidelity-seeking policies are
+        chasing.  The normalizer stays the nominal best, so drift always
+        shows up as a loss.
         """
         best = max(d.fidelity for d in self.devices)
         order, jid, starts, counts = self._segments()
@@ -332,8 +385,16 @@ class SimulationResult:
             keep = np.empty(0, dtype=bool)
         if not np.any(keep):
             raise SchedulingError("no jobs matched the fidelity filter")
-        device_fid = np.array([d.fidelity for d in self.devices])
-        fid = device_fid[self.records.device_index[order]]
+        if effective:
+            f = self.faults
+            if f is None or f.execution_fidelity.shape[0] != m:
+                raise SchedulingError(
+                    "effective fidelity needs a fault-layer run"
+                )
+            fid = f.execution_fidelity[order]
+        else:
+            device_fid = np.array([d.fidelity for d in self.devices])
+            fid = device_fid[self.records.device_index[order]]
         k = np.maximum(1, np.rint(counts * tail_fraction).astype(np.int64))
         # Row positions within each job segment; a row is in the tail iff
         # its position is within the last k of its segment.
@@ -470,10 +531,16 @@ class SimulationResult:
 
         One "X" event per execution on its device's track (simulated
         seconds as the time axis), plus a fleet queue-depth counter
-        track.  Returns the number of events written.  Works regardless
-        of whether telemetry was enabled for the run.
+        track.  Fault-layer runs add one availability lane per device
+        that ever left ONLINE.  Returns the number of events written.
+        Works regardless of whether telemetry was enabled for the run.
         """
-        tracer = Tracer(max_events=max_events + 2 * len(self.devices) + 4)
+        extra = 0
+        if self.faults is not None:
+            extra = len(self.faults.transitions) + len(self.devices)
+        tracer = Tracer(
+            max_events=max_events + 2 * len(self.devices) + extra + 4
+        )
         _emit_simulated_timeline(tracer, self, max_events)
         tracer.export(path)
         return len(tracer)
@@ -519,17 +586,27 @@ class QueueSimulator:
         devices: Sequence[CloudDevice],
         policy: SchedulingPolicy,
         seed: int = 0,
+        faults=None,
     ):
         if not devices:
             raise SchedulingError("need at least one device")
         self.devices = list(devices)
         self.policy = policy
         self.seed = seed
+        #: Optional :class:`~repro.cloud.faults.FaultModel`.  ``None``
+        #: and null models keep :meth:`run` on the fault-free engine.
+        self.faults = faults
 
     # -- fleet-scale engine ---------------------------------------------
 
     def run(self, workload: Workload) -> SimulationResult:
         """Simulate ``workload``; seeded runs match :meth:`run_legacy`.
+
+        With a non-null fault model attached the run routes through
+        :func:`repro.cloud.faults.simulate_with_faults`; otherwise (the
+        default) the fault-free engine runs untouched — the null check
+        is one attribute test, keeping the fast path's overhead at the
+        noise floor (``benchmarks/test_fault_overhead.py`` gates this).
 
         Telemetry strategy: the event loop (:meth:`_run_engine`) is
         never touched — with telemetry off this wrapper is one flag
@@ -538,6 +615,21 @@ class QueueSimulator:
         derived after the fact from the record columns, which already
         contain the full schedule.
         """
+        faults = self.faults
+        if faults is not None and not faults.is_null:
+            from repro.cloud.faults import simulate_with_faults
+
+            if not (obs.STATE.metrics or obs.STATE.tracing):
+                return simulate_with_faults(self, workload, faults)
+            with obs.span(
+                "cloud.run",
+                {"policy": self.policy.name, "jobs": workload.num_jobs,
+                 "devices": len(self.devices), "seed": self.seed,
+                 "faults": faults.name},
+            ):
+                result = simulate_with_faults(self, workload, faults)
+            _publish_queue_telemetry(result)
+            return result
         if not (obs.STATE.metrics or obs.STATE.tracing):
             return self._run_engine(workload)
         with obs.span(
@@ -761,6 +853,11 @@ class QueueSimulator:
         :meth:`run` to this loop's exact schedule, and as the baseline the
         queue benchmark measures against.
         """
+        if self.faults is not None and not self.faults.is_null:
+            raise SchedulingError(
+                "the legacy reference loop has no fault layer; run() "
+                "simulates non-null fault models"
+            )
         rng = np.random.default_rng(self.seed)
         self.policy.reset()
         for device in self.devices:
@@ -881,6 +978,22 @@ def _publish_queue_telemetry(result: SimulationResult) -> None:
                 f"cloud.wait_seconds.{name}", WAIT_EDGES
             ).observe_many(waits)
             reg.gauge(f"cloud.utilization.{name}").set(util[name])
+        faults = result.faults
+        if faults is not None:
+            for key, value in faults.counters().items():
+                reg.counter(f"cloud.faults.{key}").inc(value)
+            reg.counter("cloud.faults.wasted_seconds").inc(
+                faults.wasted_seconds
+            )
+            if result.makespan > 0:
+                reg.gauge("cloud.faults.goodput").set(result.goodput)
+                down = faults.unavailable_seconds(
+                    len(result.devices), result.makespan
+                )
+                for d, seconds in zip(result.devices, down):
+                    reg.gauge(f"cloud.availability.{d.name}").set(
+                        1.0 - seconds / result.makespan
+                    )
         _log.debug(
             "queue run '%s': %d executions, %d queued, makespan %.1fs",
             result.policy_name, stats["executions"],
@@ -933,6 +1046,29 @@ def _emit_simulated_timeline(
         tracer.counter(
             "queue depth", {"queued": depth}, pid=1, timestamp=t
         )
+    faults = result.faults
+    if faults is not None and faults.transitions:
+        # Availability lanes: one extra track per device that ever left
+        # ONLINE, with an "X" slab per non-ONLINE interval.
+        base = len(result.devices)
+        intervals = faults.availability_intervals(
+            len(result.devices), result.makespan
+        )
+        for i, d in enumerate(result.devices):
+            lane = [iv for iv in intervals[i] if iv[2] != ONLINE]
+            if not lane:
+                continue
+            tracer.thread_name(
+                f"{d.name} availability", pid=1, tid=base + i
+            )
+            for start, end, state in lane:
+                complete(
+                    AVAILABILITY_NAMES[state],
+                    start=start,
+                    duration=end - start,
+                    pid=1,
+                    tid=base + i,
+                )
 
 
 def sweep_policies(

@@ -41,6 +41,8 @@ class SweepCell:
     policy_name: str
     vqa_ratio: float
     seed: int
+    #: Name of the cell's fault model ("none" = fault-free).
+    fault_name: str = "none"
 
 
 def _run_cell(args) -> Tuple[SimulationResult, Optional[dict]]:
@@ -54,7 +56,7 @@ def _run_cell(args) -> Tuple[SimulationResult, Optional[dict]]:
     across processes.
     """
     (policy, vqa_ratio, seed, num_jobs, workload_kwargs, fleet_kwargs,
-     legacy, collect) = args
+     legacy, collect, faults) = args
     if collect:
         obs.enable(metrics=True, tracing=False)
         obs.registry().reset()
@@ -63,7 +65,7 @@ def _run_cell(args) -> Tuple[SimulationResult, Optional[dict]]:
         num_jobs=num_jobs, vqa_ratio=vqa_ratio, seed=seed, **workload_kwargs
     )
     simulator = QueueSimulator(
-        hypothetical_fleet(**fleet_kwargs), policy, seed=seed
+        hypothetical_fleet(**fleet_kwargs), policy, seed=seed, faults=faults
     )
     with obs.span(
         "sweep.cell",
@@ -103,22 +105,46 @@ class SweepResult:
     def seeds(self) -> List[int]:
         return sorted({c.seed for c in self.cells})
 
-    def get(self, policy_name: str, vqa_ratio: float, seed: int) -> SimulationResult:
-        return self.cells[SweepCell(policy_name, vqa_ratio, seed)]
+    @property
+    def fault_names(self) -> List[str]:
+        return sorted({c.fault_name for c in self.cells})
 
-    def frontier(self, vqa_ratio: float) -> Dict[str, Tuple[float, float]]:
+    def get(self, policy_name: str, vqa_ratio: float, seed: int,
+            fault_name: str = "none") -> SimulationResult:
+        return self.cells[
+            SweepCell(policy_name, vqa_ratio, seed, fault_name)
+        ]
+
+    def frontier(
+        self, vqa_ratio: float, fault_name: Optional[str] = None
+    ) -> Dict[str, Tuple[float, float]]:
         """Fig 12 axes at one ratio: policy -> (mean fidelity, mean
         throughput), averaged across the sweep's seeds.
 
-        At extreme ratios a cell's sampled workload may contain no VQA
-        jobs at all; such cells fall back to the all-jobs fidelity
-        instead of failing the whole frontier.
+        Sweeps with a fault axis must pick one ``fault_name`` —
+        averaging a fault-free frontier with a degraded one would
+        describe neither.  At extreme ratios a cell's sampled workload
+        may contain no VQA jobs at all; such cells fall back to the
+        all-jobs fidelity instead of failing the whole frontier.
         """
+        names_present = self.fault_names
+        if fault_name is None:
+            if len(names_present) > 1:
+                raise SchedulingError(
+                    "sweep has a fault axis: pass fault_name to "
+                    f"frontier() (one of {names_present})"
+                )
+            fault_name = names_present[0]
+        elif fault_name not in names_present:
+            raise SchedulingError(
+                f"no sweep cells with fault model {fault_name!r}"
+            )
         out: Dict[str, Tuple[float, float]] = {}
         for name in self.policy_names:
             results = [
                 r for c, r in self.cells.items()
                 if c.policy_name == name and c.vqa_ratio == vqa_ratio
+                and c.fault_name == fault_name
             ]
             if not results:
                 raise SchedulingError(
@@ -147,8 +173,9 @@ def run_sweep(
     max_workers: Optional[int] = None,
     parallel: bool = True,
     legacy: bool = False,
+    fault_models: Optional[Sequence] = None,
 ) -> SweepResult:
-    """Run the full (policy x vqa_ratio x seed) grid and merge the results.
+    """Run the (policy x vqa_ratio x seed x fault model) grid and merge.
 
     Each cell generates ``generate_workload(num_jobs, vqa_ratio, seed)``,
     builds a fresh ``hypothetical_fleet(**fleet_kwargs)``, and simulates
@@ -157,32 +184,46 @@ def run_sweep(
     sized ``min(cpu_count, cells, max_workers)``; one-worker grids fall
     back to an in-process loop.  ``legacy`` routes every cell through the
     reference loop instead of the engine (benchmark baseline).
+
+    ``fault_models`` adds a fourth sweep axis of
+    :class:`~repro.cloud.faults.FaultModel` entries (``None`` entries
+    mean fault-free); cells are keyed by each model's ``name``.  Fault
+    runs are deterministic functions of ``(model, seed)``, so serial and
+    parallel sweeps still agree cell-for-cell.
     """
     if not policies or not vqa_ratios or not seeds:
         raise SchedulingError("sweep grid must be non-empty")
     names = [p.name for p in policies]
     if len(set(names)) != len(names):
         raise SchedulingError("sweep policies must have distinct names")
-    # Cells are keyed by (policy, ratio, seed): duplicates would run extra
-    # simulations and then silently collapse in the result dict.
+    # Cells are keyed by (policy, ratio, seed, fault): duplicates would
+    # run extra simulations and then silently collapse in the result dict.
     if len(set(vqa_ratios)) != len(list(vqa_ratios)):
         raise SchedulingError("sweep vqa_ratios must be distinct")
     if len(set(seeds)) != len(list(seeds)):
         raise SchedulingError("sweep seeds must be distinct")
+    models = list(fault_models) if fault_models is not None else [None]
+    if not models:
+        raise SchedulingError("fault_models must be non-empty when given")
+    model_names = [m.name if m is not None else "none" for m in models]
+    if len(set(model_names)) != len(model_names):
+        raise SchedulingError("sweep fault models must have distinct names")
+    if legacy and any(m is not None and not m.is_null for m in models):
+        raise SchedulingError(
+            "the legacy reference loop cannot simulate fault models"
+        )
     workload_kwargs = dict(workload_kwargs or {})
     fleet_kwargs = dict(fleet_kwargs or {})
 
+    grid_size = (len(policies) * len(vqa_ratios) * len(seeds)
+                 * len(models))
     if max_workers is None:
-        workers = min(
-            os.cpu_count() or 1, len(policies) * len(vqa_ratios) * len(seeds)
-        )
+        workers = min(os.cpu_count() or 1, grid_size)
     else:
         # An explicit worker count is honored even beyond cpu_count
         # (oversubscription is sometimes useful; it also keeps the pool
         # path testable on single-core machines).
-        workers = min(
-            max_workers, len(policies) * len(vqa_ratios) * len(seeds)
-        )
+        workers = min(max_workers, grid_size)
     pooled = parallel and workers > 1
     # Serial cells publish straight into this process's registry; pool
     # cells can't, so each worker returns a per-cell snapshot delta that
@@ -194,11 +235,15 @@ def run_sweep(
     for policy in policies:
         for ratio in vqa_ratios:
             for seed in seeds:
-                keys.append(SweepCell(policy.name, float(ratio), int(seed)))
-                cell_args.append((
-                    copy.deepcopy(policy), float(ratio), int(seed), num_jobs,
-                    workload_kwargs, fleet_kwargs, legacy, collect,
-                ))
+                for model, model_name in zip(models, model_names):
+                    keys.append(SweepCell(
+                        policy.name, float(ratio), int(seed), model_name
+                    ))
+                    cell_args.append((
+                        copy.deepcopy(policy), float(ratio), int(seed),
+                        num_jobs, workload_kwargs, fleet_kwargs, legacy,
+                        collect, model,
+                    ))
 
     sweep_start = time.time()
     with obs.span(

@@ -186,6 +186,15 @@ class Workload:
     def vqa_jobs(self) -> List[JobSpec]:
         return [j for j in self.jobs if j.is_vqa]
 
+    def user_job_ids(self, user_id: int) -> np.ndarray:
+        """Job ids owned by ``user_id`` (vectorized; may be empty).
+
+        The cancellation API (:func:`repro.cloud.faults.cancel_user`)
+        resolves a user-level cancel through this view.
+        """
+        arrays = self.arrays()
+        return arrays.job_id[arrays.user_id == user_id]
+
 
 def generate_workload(
     num_jobs: int = 1000,

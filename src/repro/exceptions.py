@@ -35,6 +35,34 @@ class SchedulingError(ReproError):
     """Cloud/Qoncord scheduling failure (e.g. no eligible device)."""
 
 
+class DeviceUnavailableError(SchedulingError):
+    """Work was routed at a device that cannot currently accept it.
+
+    Raised at cloud API boundaries when a job targets a device that is
+    DOWN or in MAINTENANCE, when no device in the fleet can serve a job
+    (e.g. none is wide enough), or when the whole fleet is out with no
+    repair pending.
+    """
+
+
+class JobCancelledError(SchedulingError):
+    """A job-lifecycle operation referenced a cancelled or unknown job.
+
+    Raised by the cancellation API (``cancel`` / ``cancel_user``
+    schedules) when a cancellation targets a job or user the workload
+    does not contain.
+    """
+
+
+class RetryExhaustedError(SchedulingError):
+    """An execution failed more times than its :class:`RetryPolicy` allows.
+
+    Raised by ``RetryPolicy.delay_for`` when asked for a backoff delay
+    beyond ``max_attempts``; the queue simulator records exhausted jobs
+    in its fault statistics instead of aborting the run.
+    """
+
+
 class ConvergenceError(ReproError):
     """Optimization loop misconfiguration (not a failure to converge)."""
 

@@ -1,0 +1,774 @@
+"""Tests for the fault-injection layer (repro.cloud.faults)."""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cloud import (
+    AVAILABILITY_NAMES,
+    DEGRADED,
+    DOWN,
+    MAINTENANCE,
+    NO_FAULTS,
+    ONLINE,
+    BestFidelityPolicy,
+    CancelEvent,
+    CloudDevice,
+    EQCPolicy,
+    FairShareQueue,
+    FaultModel,
+    FidelityWeightedPolicy,
+    LeastBusyPolicy,
+    LoadWeightedPolicy,
+    MaintenanceWindow,
+    QoncordPolicy,
+    QueueSimulator,
+    RetryPolicy,
+    SweepCell,
+    WidthAwarePolicy,
+    cancel,
+    cancel_user,
+    generate_workload,
+    hypothetical_fleet,
+    run_sweep,
+    sample_cancellations,
+    simulate_with_faults,
+)
+from repro.exceptions import (
+    DeviceUnavailableError,
+    JobCancelledError,
+    RetryExhaustedError,
+    SchedulingError,
+)
+
+POLICIES = [
+    LeastBusyPolicy,
+    LoadWeightedPolicy,
+    FidelityWeightedPolicy,
+    BestFidelityPolicy,
+    EQCPolicy,
+    QoncordPolicy,
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(num_jobs=400, vqa_ratio=0.5, seed=11)
+
+
+def rough_model(**overrides):
+    """A model exercising every fault process at once."""
+    kwargs = dict(
+        name="rough",
+        mean_time_between_failures=2500.0,
+        mean_repair_seconds=400.0,
+        mean_time_between_degradations=2000.0,
+        mean_degraded_seconds=300.0,
+        maintenance=MaintenanceWindow(
+            period_seconds=4000.0, duration_seconds=250.0,
+            stagger_seconds=137.0,
+        ),
+        drift_rate=1e-4,
+        recalibration_interval_seconds=1800.0,
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=20.0),
+    )
+    kwargs.update(overrides)
+    return FaultModel(**kwargs)
+
+
+# -- zero-fault equivalence (satellite d) -------------------------------
+
+
+@pytest.mark.parametrize("make_policy", POLICIES)
+def test_null_model_matches_engine_bit_identically(make_policy, workload):
+    engine = QueueSimulator(
+        hypothetical_fleet(), make_policy(), seed=11
+    )._run_engine(workload)
+    faulty = simulate_with_faults(
+        QueueSimulator(hypothetical_fleet(), make_policy(), seed=11),
+        workload,
+        NO_FAULTS,
+    )
+    assert np.array_equal(
+        engine.records.schedule_key(), faulty.records.schedule_key()
+    )
+    assert engine.makespan == faulty.makespan
+    assert engine.total_executions == faulty.total_executions
+
+
+def test_null_model_matches_engine_width_aware(workload):
+    policy = WidthAwarePolicy(LeastBusyPolicy())
+    engine = QueueSimulator(
+        hypothetical_fleet(), policy, seed=11
+    )._run_engine(workload)
+    faulty = simulate_with_faults(
+        QueueSimulator(
+            hypothetical_fleet(), WidthAwarePolicy(LeastBusyPolicy()),
+            seed=11,
+        ),
+        workload,
+    )
+    assert np.array_equal(
+        engine.records.schedule_key(), faulty.records.schedule_key()
+    )
+
+
+def test_run_dispatch_ignores_null_models(workload):
+    """Attaching a null model must keep run() on the fast engine path."""
+    plain = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11
+    ).run(workload)
+    nulled = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11,
+        faults=FaultModel(name="noop"),
+    ).run(workload)
+    assert np.array_equal(
+        plain.records.schedule_key(), nulled.records.schedule_key()
+    )
+    # The fast path never builds fault stats.
+    assert nulled.faults is None
+
+
+def test_null_model_matches_engine_unsorted_arrivals():
+    rng = np.random.default_rng(5)
+    from repro.cloud import JobSpec, Workload
+
+    jobs = [
+        JobSpec(
+            job_id=i, user_id=int(rng.integers(4)),
+            arrival_time=float(rng.uniform(0.0, 100.0)),
+            is_vqa=bool(i % 3 == 0),
+            num_executions=int(rng.integers(1, 6)),
+            base_execution_seconds=float(rng.uniform(2.0, 8.0)),
+            inter_submission_seconds=float(rng.uniform(0.0, 4.0)),
+        )
+        for i in range(60)
+    ]
+    workload = Workload(jobs=jobs, vqa_ratio=0.3, seed=5)
+    engine = QueueSimulator(
+        hypothetical_fleet(), QoncordPolicy(), seed=5
+    )._run_engine(workload)
+    faulty = simulate_with_faults(
+        QueueSimulator(hypothetical_fleet(), QoncordPolicy(), seed=5),
+        workload,
+    )
+    assert np.array_equal(
+        engine.records.schedule_key(), faulty.records.schedule_key()
+    )
+
+
+# -- determinism --------------------------------------------------------
+
+
+@pytest.mark.parametrize("make_policy", [LeastBusyPolicy, QoncordPolicy,
+                                         FidelityWeightedPolicy])
+def test_fault_runs_repeat_exactly(make_policy, workload):
+    model = rough_model()
+    runs = [
+        QueueSimulator(
+            hypothetical_fleet(), make_policy(), seed=11, faults=model
+        ).run(workload)
+        for _ in range(2)
+    ]
+    assert np.array_equal(
+        runs[0].records.schedule_key(), runs[1].records.schedule_key()
+    )
+    assert runs[0].faults.counters() == runs[1].faults.counters()
+    assert runs[0].faults.transitions == runs[1].faults.transitions
+    assert np.array_equal(
+        runs[0].faults.execution_fidelity, runs[1].faults.execution_fidelity
+    )
+
+
+def test_fault_runs_differ_by_seed(workload):
+    model = rough_model()
+    a = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11, faults=model
+    ).run(workload)
+    b = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=12, faults=model
+    ).run(workload)
+    assert a.faults.transitions != b.faults.transitions
+
+
+# -- availability semantics ---------------------------------------------
+
+
+def _intervals_by_state(result, device_index):
+    name = result.devices[device_index].name
+    return result.availability_timeline()[name]
+
+
+def test_no_starts_while_device_unavailable(workload):
+    model = rough_model()
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11, faults=model
+    ).run(workload)
+    assert result.faults.failures > 0
+    assert result.faults.maintenance_windows > 0
+    store = result.records
+    started = store.started_at
+    di = store.device_index
+    for i in range(len(result.devices)):
+        for s, e, state in _intervals_by_state(result, i):
+            if state in ("down", "maintenance"):
+                inside = (di == i) & (started >= s) & (started < e)
+                assert not np.any(inside), (
+                    f"execution started on device {i} during {state}"
+                )
+
+
+def test_timeline_covers_run_and_uses_known_states(workload):
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11,
+        faults=rough_model(),
+    ).run(workload)
+    for intervals in result.availability_timeline().values():
+        assert intervals[0][0] == 0.0
+        for (s0, e0, st), (s1, _, _) in zip(intervals, intervals[1:]):
+            assert e0 == s1
+            assert st in AVAILABILITY_NAMES
+        assert intervals[-1][1] >= result.makespan
+
+
+def test_maintenance_windows_are_deterministic():
+    workload = generate_workload(num_jobs=150, vqa_ratio=0.3, seed=2)
+    window = MaintenanceWindow(
+        period_seconds=1000.0, duration_seconds=100.0,
+        offset_seconds=300.0, stagger_seconds=50.0,
+    )
+    model = FaultModel(name="maint", maintenance=window)
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=2, faults=model
+    ).run(workload)
+    stats = result.faults
+    assert stats.maintenance_windows > 0
+    assert stats.failures == 0 and stats.preemptions == 0
+    maint_starts = [
+        (t, di) for t, di, s in stats.transitions if s == MAINTENANCE
+    ]
+    for t, di in maint_starts:
+        # Every window start sits on the deterministic schedule.
+        k = round((t - window.start_of(di, 0)) / window.period_seconds)
+        assert t == pytest.approx(window.start_of(di, k))
+
+
+def test_preemption_refunds_device_accounting(workload):
+    model = rough_model(
+        maintenance=None, mean_time_between_degradations=0.0,
+        drift_rate=0.0,
+    )
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11, faults=model
+    ).run(workload)
+    stats = result.faults
+    assert stats.preemptions > 0
+    assert stats.wasted_seconds > 0.0
+    # Completed-execution counters must equal the records that landed.
+    per_device = {
+        i: int(np.count_nonzero(result.records.device_index == i))
+        for i in range(len(result.devices))
+    }
+    for i, d in enumerate(result.devices):
+        assert d.completed_executions == per_device[i]
+
+
+def test_degraded_devices_still_serve_work():
+    workload = generate_workload(num_jobs=200, vqa_ratio=0.4, seed=9)
+    model = FaultModel(
+        name="slow",
+        mean_time_between_degradations=500.0,
+        mean_degraded_seconds=800.0,
+        degraded_slowdown=2.0,
+    )
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=9, faults=model
+    ).run(workload)
+    stats = result.faults
+    assert stats.degradations > 0
+    # Degradation never drops work: every execution completes.
+    assert result.total_executions == sum(
+        LeastBusyPolicy().executions_for(j) for j in workload.jobs
+    )
+    # But the degraded fleet is slower than the pristine one.
+    clean = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=9
+    ).run(workload)
+    assert result.makespan > clean.makespan
+
+
+# -- cancellation and retries -------------------------------------------
+
+
+def test_cancel_job_drops_future_work(workload):
+    target = 17
+    model = FaultModel(name="c", cancellations=(cancel(target, at=0.0),))
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11, faults=model
+    ).run(workload)
+    assert result.faults.cancelled_jobs == [target]
+    assert target not in result.records.job_id
+    assert result.goodput == pytest.approx(result.throughput)
+
+
+def test_cancel_user_drops_all_their_jobs(workload):
+    user = int(workload.arrays().user_id[0])
+    owned = set(workload.user_job_ids(user).tolist())
+    assert owned
+    model = FaultModel(name="cu", cancellations=(cancel_user(user, at=0.0),))
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11, faults=model
+    ).run(workload)
+    assert set(result.faults.cancelled_jobs) == owned
+    assert not np.any(np.isin(result.records.job_id, list(owned)))
+
+
+def test_mid_run_cancel_keeps_completed_prefix(workload):
+    arrays = workload.arrays()
+    vqa_ids = arrays.job_id[arrays.is_vqa]
+    target = int(vqa_ids[0])
+    baseline = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11
+    ).run(workload)
+    jr = baseline.job_results[target]
+    # Cancel halfway through the job's life.
+    mid = sorted(r.finished_at for r in jr.records)[len(jr.records) // 2]
+    model = FaultModel(name="mid", cancellations=(cancel(target, at=mid),))
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11, faults=model
+    ).run(workload)
+    kept = result.records.job_id == target
+    n_kept = int(np.count_nonzero(kept))
+    assert 0 < n_kept < len(jr.records)
+    assert result.faults.cancelled_executions >= len(jr.records) - n_kept
+    # Work done for the cancelled job is excluded from goodput.
+    assert result.goodput < result.throughput
+
+
+def test_cancel_unknown_targets_raise(workload):
+    sim = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11,
+        faults=FaultModel(name="bad", cancellations=(cancel(10_000, 0.0),)),
+    )
+    with pytest.raises(JobCancelledError):
+        sim.run(workload)
+    sim = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11,
+        faults=FaultModel(
+            name="bad2", cancellations=(cancel_user(10_000, 0.0),)
+        ),
+    )
+    with pytest.raises(JobCancelledError):
+        sim.run(workload)
+
+
+def test_sample_cancellations_is_seeded(workload):
+    a = sample_cancellations(workload, rate=0.1, seed=4)
+    b = sample_cancellations(workload, rate=0.1, seed=4)
+    assert a == b
+    assert 0 < len(a) < workload.num_jobs
+    c = sample_cancellations(workload, rate=0.1, seed=5)
+    assert a != c
+    for ev in a:
+        assert ev.job_id is not None and ev.time >= 0.0
+
+
+def test_retry_exhaustion_kills_job():
+    # One device, constant crashes, no retries allowed: every preempted
+    # job dies and the run still terminates.
+    workload = generate_workload(num_jobs=40, vqa_ratio=0.5, seed=1)
+    model = FaultModel(
+        name="hostile",
+        mean_time_between_failures=40.0,
+        mean_repair_seconds=10.0,
+        retry=RetryPolicy(max_attempts=1),
+    )
+    result = QueueSimulator(
+        hypothetical_fleet(num_devices=1), LeastBusyPolicy(), seed=1,
+        faults=model,
+    ).run(workload)
+    stats = result.faults
+    assert stats.preemptions > 0
+    assert stats.retries == 0
+    assert len(stats.exhausted_jobs) == stats.preemptions
+    assert result.goodput < result.throughput
+
+
+def test_retries_recover_preempted_work(workload):
+    model = rough_model(
+        maintenance=None, mean_time_between_degradations=0.0,
+        drift_rate=0.0, retry=RetryPolicy(max_attempts=5,
+                                          backoff_seconds=5.0),
+    )
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11, faults=model
+    ).run(workload)
+    stats = result.faults
+    assert stats.preemptions > 0
+    assert stats.retries > 0
+    assert not stats.exhausted_jobs
+    # With every retry succeeding eventually, all executions complete.
+    expected = sum(
+        LeastBusyPolicy().executions_for(j) for j in workload.jobs
+    )
+    assert result.total_executions == expected
+
+
+def test_retry_policy_backoff_and_exhaustion():
+    retry = RetryPolicy(max_attempts=4, backoff_seconds=10.0,
+                        backoff_factor=3.0)
+    assert retry.delay_for(1) == 10.0
+    assert retry.delay_for(2) == 30.0
+    assert retry.delay_for(3) == 90.0
+    with pytest.raises(RetryExhaustedError):
+        retry.delay_for(4)
+    with pytest.raises(SchedulingError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(SchedulingError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+# -- calibration drift --------------------------------------------------
+
+
+def test_drift_decays_and_recalibration_restores():
+    device = CloudDevice(name="d", fidelity=0.9, drift_rate=1e-3)
+    assert device.current_fidelity(0.0) == 0.9
+    assert device.current_fidelity(1000.0) == pytest.approx(
+        0.9 * np.exp(-1.0)
+    )
+    device.last_calibrated = 1000.0
+    assert device.current_fidelity(1000.0) == 0.9
+    # Zero drift returns the exact nominal float (bit-identity hook).
+    pristine = CloudDevice(name="p", fidelity=0.9)
+    assert pristine.current_fidelity(1e9) == 0.9
+
+
+def test_drift_lowers_effective_fidelity(workload):
+    model = FaultModel(
+        name="drift", drift_rate=2e-4,
+        recalibration_interval_seconds=3600.0,
+    )
+    result = QueueSimulator(
+        hypothetical_fleet(), BestFidelityPolicy(), seed=11, faults=model
+    ).run(workload)
+    nominal = result.mean_relative_fidelity()
+    effective = result.mean_relative_fidelity(effective=True)
+    assert effective < nominal
+    assert result.faults.recalibrations > 0
+
+
+def test_drift_gives_time_varying_execution_fidelity():
+    # Uniform drift with uniform recalibration preserves the fidelity
+    # *ranking* (BestFidelity keeps one device) but the fidelity each
+    # execution actually sees decays between recalibrations — a moving
+    # target even on a single machine.
+    workload = generate_workload(num_jobs=300, vqa_ratio=0.5, seed=3)
+    model = FaultModel(
+        name="chase", drift_rate=5e-3,
+        recalibration_interval_seconds=900.0,
+    )
+    result = QueueSimulator(
+        hypothetical_fleet(), BestFidelityPolicy(), seed=3, faults=model
+    ).run(workload)
+    assert len(set(result.records.device_index.tolist())) == 1
+    fids = result.faults.execution_fidelity
+    assert len(np.unique(fids)) > 1
+    nominal = max(d.fidelity for d in result.devices)
+    assert np.all(fids <= nominal)
+    assert fids.min() < nominal
+
+
+def test_effective_fidelity_requires_fault_run(workload):
+    clean = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11
+    ).run(workload)
+    with pytest.raises(SchedulingError):
+        clean.mean_relative_fidelity(effective=True)
+
+
+# -- fair-share cancellation (satellite a) ------------------------------
+
+
+def test_fair_share_remove_tombstones_job():
+    q = FairShareQueue()
+    q.push("a0", user_id=1, job_id=10)
+    q.push("b0", user_id=2, job_id=20)
+    q.push("a1", user_id=1, job_id=10)
+    assert len(q) == 3
+    assert q.remove(10) == 2
+    assert len(q) == 1
+    assert q.pop() == "b0"
+    assert q.is_empty
+    with pytest.raises(SchedulingError):
+        q.pop()
+
+
+def test_fair_share_remove_unknown_job_is_noop():
+    q = FairShareQueue()
+    q.push("x", user_id=1, job_id=5)
+    assert q.remove(99) == 0
+    assert q.remove(5) == 1
+    assert q.remove(5) == 0
+
+
+def test_fair_share_remove_preserves_tie_order():
+    q = FairShareQueue()
+    for i in range(5):
+        q.push(f"r{i}", user_id=1, job_id=i)
+    q.remove(1)
+    q.remove(3)
+    assert [q.pop() for _ in range(3)] == ["r0", "r2", "r4"]
+
+
+def test_fair_share_remove_preserves_snapshot_priority():
+    q = FairShareQueue()
+    q.record_usage(1, 100.0)
+    q.push("heavy", user_id=1, job_id=1)
+    q.push("light", user_id=2, job_id=2)
+    q.push("doomed", user_id=0, job_id=3)  # usage 0: would pop first
+    q.remove(3)
+    assert q.pop() == "light"
+    assert q.pop() == "heavy"
+
+
+def test_fair_share_push_after_remove_is_live():
+    q = FairShareQueue()
+    q.push("first", user_id=1, job_id=7)
+    q.remove(7)
+    q.push("second", user_id=1, job_id=7)
+    assert len(q) == 1
+    assert q.pop() == "second"
+
+
+def test_fair_share_untagged_entries_cannot_be_removed():
+    q = FairShareQueue()
+    q.push("anon", user_id=1)
+    assert q.remove(0) == 0
+    assert q.pop() == "anon"
+
+
+# -- device reset round-trip (satellite c) ------------------------------
+
+
+def test_device_reset_clears_fault_state():
+    device = CloudDevice(name="d", fidelity=0.8)
+    device.busy_until = 50.0
+    device.busy_seconds = 40.0
+    device.completed_executions = 3
+    device.availability = DOWN
+    device.drift_rate = 1e-3
+    device.last_calibrated = 123.0
+    device.reset()
+    assert device.busy_until == 0.0
+    assert device.busy_seconds == 0.0
+    assert device.completed_executions == 0
+    assert device.availability == ONLINE
+    assert device.drift_rate == 0.0
+    assert device.last_calibrated == 0.0
+    assert device.available_for_work
+
+
+def test_availability_states_gate_work_acceptance():
+    device = CloudDevice(name="d", fidelity=0.8)
+    for state, ok in ((ONLINE, True), (DEGRADED, True),
+                      (MAINTENANCE, False), (DOWN, False)):
+        device.availability = state
+        assert device.available_for_work is ok
+
+
+def test_fleet_reuse_across_fault_and_clean_runs(workload):
+    """A fleet that ran a fault model must come back pristine."""
+    fleet = hypothetical_fleet()
+    QueueSimulator(
+        fleet, LeastBusyPolicy(), seed=11, faults=rough_model()
+    ).run(workload)
+    reference = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11
+    ).run(workload)
+    reused = QueueSimulator(fleet, LeastBusyPolicy(), seed=11).run(workload)
+    assert np.array_equal(
+        reference.records.schedule_key(), reused.records.schedule_key()
+    )
+
+
+# -- exceptions at API boundaries (satellite b) -------------------------
+
+
+def test_exception_hierarchy():
+    assert issubclass(DeviceUnavailableError, SchedulingError)
+    assert issubclass(JobCancelledError, SchedulingError)
+    assert issubclass(RetryExhaustedError, SchedulingError)
+
+
+def test_width_aware_no_fit_raises_device_unavailable():
+    from repro.cloud import JobSpec
+
+    policy = WidthAwarePolicy(LeastBusyPolicy())
+    small = [CloudDevice(name="tiny", fidelity=0.9, num_qubits=5)]
+    wide = JobSpec(job_id=0, user_id=0, arrival_time=0.0, is_vqa=False,
+                   num_executions=1, base_execution_seconds=1.0,
+                   num_qubits=20)
+    with pytest.raises(DeviceUnavailableError):
+        policy.eligible_devices(wide, small)
+
+
+def test_legacy_loop_rejects_fault_models(workload):
+    sim = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11,
+        faults=rough_model(),
+    )
+    with pytest.raises(SchedulingError):
+        sim.run_legacy(workload)
+
+
+def test_fault_model_validation():
+    with pytest.raises(SchedulingError):
+        FaultModel(mean_time_between_failures=-1.0)
+    with pytest.raises(SchedulingError):
+        FaultModel(degraded_slowdown=0.5)
+    with pytest.raises(SchedulingError):
+        FaultModel(mean_repair_seconds=0.0)
+    with pytest.raises(SchedulingError):
+        MaintenanceWindow(period_seconds=10.0, duration_seconds=10.0)
+    with pytest.raises(SchedulingError):
+        CancelEvent(time=1.0)
+    with pytest.raises(SchedulingError):
+        CancelEvent(time=1.0, job_id=1, user_id=2)
+    assert FaultModel().is_null
+    assert not rough_model().is_null
+
+
+# -- sweep fault axis ---------------------------------------------------
+
+
+def test_sweep_fault_axis_serial_matches_parallel():
+    models = [None, rough_model()]
+    kwargs = dict(
+        policies=[LeastBusyPolicy(), QoncordPolicy()],
+        vqa_ratios=[0.5],
+        seeds=[0, 1],
+        num_jobs=120,
+        fault_models=models,
+    )
+    serial = run_sweep(parallel=False, **kwargs)
+    parallel = run_sweep(parallel=True, max_workers=2, **kwargs)
+    assert set(serial.cells) == set(parallel.cells)
+    assert serial.fault_names == ["none", "rough"]
+    for cell, result in serial.cells.items():
+        other = parallel.cells[cell]
+        assert np.array_equal(
+            result.records.schedule_key(), other.records.schedule_key()
+        )
+        if cell.fault_name == "rough":
+            assert result.faults.counters() == other.faults.counters()
+        else:
+            assert result.faults is None
+
+
+def test_sweep_frontier_requires_fault_name_on_fault_axis():
+    sweep = run_sweep(
+        policies=[LeastBusyPolicy()], vqa_ratios=[0.5], seeds=[0],
+        num_jobs=60, parallel=False,
+        fault_models=[None, rough_model()],
+    )
+    with pytest.raises(SchedulingError):
+        sweep.frontier(0.5)
+    clean = sweep.frontier(0.5, fault_name="none")
+    faulty = sweep.frontier(0.5, fault_name="rough")
+    assert clean.keys() == faulty.keys()
+    with pytest.raises(SchedulingError):
+        sweep.frontier(0.5, fault_name="nope")
+    # Cells are addressable by fault name.
+    assert sweep.get("least_busy", 0.5, 0, "rough").faults is not None
+
+
+def test_sweep_rejects_duplicate_fault_names_and_legacy_faults():
+    with pytest.raises(SchedulingError):
+        run_sweep(
+            policies=[LeastBusyPolicy()], vqa_ratios=[0.5], seeds=[0],
+            num_jobs=40, fault_models=[rough_model(), rough_model()],
+        )
+    with pytest.raises(SchedulingError):
+        run_sweep(
+            policies=[LeastBusyPolicy()], vqa_ratios=[0.5], seeds=[0],
+            num_jobs=40, legacy=True, fault_models=[rough_model()],
+        )
+
+
+def test_sweep_cell_three_arg_compatibility():
+    cell = SweepCell("qoncord", 0.5, 1)
+    assert cell.fault_name == "none"
+
+
+# -- telemetry ----------------------------------------------------------
+
+
+def test_fault_counters_published_to_registry(workload):
+    obs.enable(metrics=True, tracing=False)
+    try:
+        obs.registry().reset()
+        QueueSimulator(
+            hypothetical_fleet(), LeastBusyPolicy(), seed=11,
+            faults=rough_model(),
+        ).run(workload)
+        snap = obs.registry().snapshot()
+        counters = snap["counters"]
+        gauges = snap["gauges"]
+        assert counters["cloud.faults.failures"] > 0
+        assert counters["cloud.faults.preemptions"] > 0
+        assert gauges["cloud.faults.goodput"] > 0.0
+        avail = {
+            k: v for k, v in gauges.items()
+            if k.startswith("cloud.availability.")
+        }
+        assert avail
+        assert all(0.0 < v <= 1.0 for v in avail.values())
+    finally:
+        obs.disable()
+
+
+def test_chrome_trace_has_availability_lanes(tmp_path, workload):
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11,
+        faults=rough_model(),
+    ).run(workload)
+    path = tmp_path / "trace.json"
+    result.export_chrome_trace(path)
+    payload = json.loads(path.read_text())
+    events = payload if isinstance(payload, list) else payload["traceEvents"]
+    lanes = {
+        e["args"]["name"]
+        for e in events
+        if e.get("name") == "thread_name" and e.get("pid") == 1
+    }
+    assert any("availability" in lane for lane in lanes)
+    states = {
+        e["name"] for e in events
+        if e.get("ph") == "X" and e["name"] in AVAILABILITY_NAMES
+    }
+    assert states & {"down", "maintenance"}
+
+
+def test_goodput_equals_throughput_without_faults(workload):
+    result = QueueSimulator(
+        hypothetical_fleet(), LeastBusyPolicy(), seed=11
+    ).run(workload)
+    assert result.goodput == result.throughput
+    timeline = result.availability_timeline()
+    for intervals in timeline.values():
+        assert intervals == [(0.0, result.makespan, "online")]
+
+
+def test_policies_deepcopy_with_fault_state():
+    """Sweep cells deepcopy policies; unpin hooks must survive that."""
+    policy = WidthAwarePolicy(QoncordPolicy())
+    clone = copy.deepcopy(policy)
+    clone.unpin(3)  # no-op, must not raise
+    lb = copy.deepcopy(LeastBusyPolicy())
+    lb._assignment[4] = None
+    lb.unpin(4)
+    assert 4 not in lb._assignment
